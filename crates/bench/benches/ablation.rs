@@ -1,0 +1,81 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! - heuristic choice (A vs B) on a benchmark where the full analysis is
+//!   expensive but bounded,
+//! - heuristic constant sweeps (the paper's "even relatively large
+//!   variations of these numbers make scarcely any difference" claim),
+//! - the cost of computing the introspection metrics themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rudoop_core::driver::{analyze_introspective_from, Flavor};
+use rudoop_core::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
+use rudoop_core::solver::SolverConfig;
+use rudoop_core::{analyze, Insensitive, IntrospectionMetrics};
+use rudoop_ir::ClassHierarchy;
+use rudoop_workloads::dacapo;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let program = dacapo::chart().build();
+    let hierarchy = ClassHierarchy::new(&program);
+    let config = SolverConfig::default();
+    let insens = analyze(&program, &hierarchy, &Insensitive, &config);
+    let mut group = c.benchmark_group("ablation/heuristic-chart-2objH");
+    group.sample_size(10);
+    let heuristics: Vec<(&str, Box<dyn RefinementHeuristic>)> = vec![
+        ("A-paper", Box::new(HeuristicA::default())),
+        ("B-paper", Box::new(HeuristicB::default())),
+    ];
+    for (name, h) in &heuristics {
+        group.bench_with_input(BenchmarkId::from_parameter(name), h, |b, h| {
+            b.iter(|| {
+                analyze_introspective_from(
+                    &program,
+                    &hierarchy,
+                    Flavor::OBJ2H,
+                    h.as_ref(),
+                    &config,
+                    insens.clone(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_constant_sweep(c: &mut Criterion) {
+    let program = dacapo::chart().build();
+    let hierarchy = ClassHierarchy::new(&program);
+    let config = SolverConfig::default();
+    let insens = analyze(&program, &hierarchy, &Insensitive, &config);
+    let mut group = c.benchmark_group("ablation/heuristicA-K-sweep");
+    group.sample_size(10);
+    for k in [50u32, 100, 200, 400] {
+        let h = HeuristicA { k, l: 100, m: 200 };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &h, |b, h| {
+            b.iter(|| {
+                analyze_introspective_from(
+                    &program,
+                    &hierarchy,
+                    Flavor::OBJ2H,
+                    h,
+                    &config,
+                    insens.clone(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_metric_computation(c: &mut Criterion) {
+    let program = dacapo::eclipse().build();
+    let hierarchy = ClassHierarchy::new(&program);
+    let config = SolverConfig::default();
+    let insens = analyze(&program, &hierarchy, &Insensitive, &config);
+    c.bench_function("ablation/metrics-eclipse", |b| {
+        b.iter(|| IntrospectionMetrics::compute(&program, &insens));
+    });
+}
+
+criterion_group!(benches, bench_heuristics, bench_constant_sweep, bench_metric_computation);
+criterion_main!(benches);

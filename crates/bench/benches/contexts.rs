@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks for the context machinery: interning
+//! throughput and policy constructor costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rudoop_core::context::{ContextElem, CtxTables};
+use rudoop_core::policy::{CallSiteSensitive, ContextPolicy, ObjectSensitive};
+use rudoop_core::{CtxId, HCtxId};
+use rudoop_ir::{AllocId, InvokeId, MethodId};
+
+fn bench_interning(c: &mut Criterion) {
+    c.bench_function("context/intern-hit", |b| {
+        let mut tables = CtxTables::new();
+        let elems = [ContextElem::Site(InvokeId(7)), ContextElem::Site(InvokeId(3))];
+        tables.intern_ctx(&elems);
+        b.iter(|| tables.intern_ctx(std::hint::black_box(&elems)));
+    });
+    c.bench_function("context/intern-miss", |b| {
+        let mut tables = CtxTables::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            tables.intern_ctx(&[ContextElem::Site(InvokeId(i))])
+        });
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    c.bench_function("policy/2callH-merge", |b| {
+        let mut tables = CtxTables::new();
+        let policy = CallSiteSensitive::new(2, 1);
+        let caller = policy.merge_static(&mut tables, InvokeId(1), MethodId(0), CtxId::EMPTY);
+        b.iter(|| {
+            policy.merge(
+                &mut tables,
+                AllocId(0),
+                HCtxId::EMPTY,
+                std::hint::black_box(InvokeId(2)),
+                MethodId(0),
+                caller,
+            )
+        });
+    });
+    c.bench_function("policy/2objH-merge", |b| {
+        let mut tables = CtxTables::new();
+        let policy = ObjectSensitive::new(2, 1);
+        let hctx = tables.intern_hctx(&[ContextElem::Heap(AllocId(9))]);
+        b.iter(|| {
+            policy.merge(
+                &mut tables,
+                std::hint::black_box(AllocId(4)),
+                hctx,
+                InvokeId(2),
+                MethodId(0),
+                CtxId::EMPTY,
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_interning, bench_policies);
+criterion_main!(benches);

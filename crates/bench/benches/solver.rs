@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks for the solver core: end-to-end analysis
+//! throughput per context flavor on a fixed mid-size workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rudoop_core::driver::{analyze_flavor, Flavor};
+use rudoop_core::solver::SolverConfig;
+use rudoop_ir::ClassHierarchy;
+use rudoop_workloads::dacapo;
+
+fn bench_flavors(c: &mut Criterion) {
+    let program = dacapo::pmd().build();
+    let hierarchy = ClassHierarchy::new(&program);
+    let config = SolverConfig::default();
+    let mut group = c.benchmark_group("solver/pmd");
+    group.sample_size(10);
+    for (name, flavor) in [
+        ("insens", Flavor::Insensitive),
+        ("2objH", Flavor::OBJ2H),
+        ("2typeH", Flavor::TYPE2H),
+        ("2callH", Flavor::CALL2H),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &flavor, |b, &flavor| {
+            b.iter(|| analyze_flavor(&program, &hierarchy, flavor, &config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_program_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/insens-scaling");
+    group.sample_size(10);
+    for name in ["antlr", "pmd", "chart"] {
+        let program = dacapo::by_name(name).unwrap().build();
+        let hierarchy = ClassHierarchy::new(&program);
+        let config = SolverConfig::default();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| analyze_flavor(&program, &hierarchy, Flavor::Insensitive, &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flavors, bench_program_sizes);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! **Figure 5**: performance and precision for introspective variants of a
+//! 2objH analysis, compared with the 2objH and insensitive baselines, over the
+//! six scalability-challenged benchmarks.
+
+use rudoop_bench::family::{print_family, run_family};
+use rudoop_bench::measure::STANDARD_BUDGET;
+use rudoop_core::driver::Flavor;
+
+fn main() {
+    let results = run_family(Flavor::OBJ2H, STANDARD_BUDGET);
+    print_family("Figure 5", &results);
+}

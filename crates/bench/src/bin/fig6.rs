@@ -1,0 +1,12 @@
+//! **Figure 6**: performance and precision for introspective variants of a
+//! 2typeH analysis, compared with the 2typeH and insensitive baselines, over the
+//! six scalability-challenged benchmarks.
+
+use rudoop_bench::family::{print_family, run_family};
+use rudoop_bench::measure::STANDARD_BUDGET;
+use rudoop_core::driver::Flavor;
+
+fn main() {
+    let results = run_family(Flavor::TYPE2H, STANDARD_BUDGET);
+    print_family("Figure 6", &results);
+}

@@ -1,0 +1,29 @@
+//! # rudoop-bench
+//!
+//! The evaluation harness: regenerates every table and figure of the
+//! PLDI'14 introspective-analysis paper against the synthetic DaCapo-shaped
+//! workloads.
+//!
+//! Binaries (run with `cargo run --release -p rudoop-bench --bin <name>`):
+//!
+//! - `fig1` — context-insensitive vs `2objH` running cost, 9 benchmarks,
+//! - `fig4` — % of call sites / objects *not* refined per heuristic,
+//! - `fig5` / `fig6` / `fig7` — time + 3 precision metrics for the
+//!   `2objH` / `2typeH` / `2callH` families,
+//! - `overhead` — the two-pass overhead accounting of §4's discussion,
+//! - `reproduce` — runs everything and rewrites `EXPERIMENTS.md`.
+//!
+//! Wall-clock numbers vary by machine, so the harness reports a
+//! deterministic cost measure alongside time: solver *derivations* (tuple
+//! insertions), with the budget playing the role of the paper's 90-minute
+//! timeout. Shapes — who completes, who exceeds the budget, ratios — are
+//! what the reproduction asserts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod family;
+pub mod measure;
+pub mod table;
+
+pub use measure::{run_variant, AnalysisVariant, MeasuredRun, STANDARD_BUDGET};

@@ -1,0 +1,110 @@
+//! Plain-text table and CSV rendering for the harness binaries.
+
+use std::fmt::Write as _;
+
+use crate::measure::MeasuredRun;
+
+/// Formats a duration in seconds with two decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Formats derivations in millions with one decimal.
+pub fn mega(n: u64) -> String {
+    format!("{:.1}M", n as f64 / 1e6)
+}
+
+/// The cost cell for a run: the paper renders budget-exhausted analyses as
+/// full bars; we render them as `>BUDGET`.
+pub fn cost_cell(run: &MeasuredRun, budget: u64) -> String {
+    if run.complete() {
+        mega(run.derivations)
+    } else {
+        format!(">{}", mega(budget))
+    }
+}
+
+/// The precision cell: absent for budget-exhausted runs, like the paper's
+/// missing precision bars.
+pub fn precision_cell(run: &MeasuredRun, value: usize) -> String {
+    if run.complete() {
+        value.to_string()
+    } else {
+        "-".to_owned()
+    }
+}
+
+/// Renders rows of `(label, cells…)` as an aligned table.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(line, "{:<width$}  ", h, width = widths[i]);
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total.min(120)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(line, "{:<width$}  ", cell, width = widths[i]);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV (comma-separated, no quoting — cells are simple).
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let rows = vec![
+            vec!["antlr".into(), "1.0M".into()],
+            vec!["hsqldb".into(), ">30.0M".into()],
+        ];
+        let s = render(&["bench", "cost"], &rows);
+        assert!(s.contains("antlr"));
+        assert!(s.lines().count() == 4);
+        let lines: Vec<&str> = s.lines().collect();
+        // The cost column starts at the same offset on both data rows.
+        let off1 = lines[2].find("1.0M").unwrap();
+        let off2 = lines[3].find(">30.0M").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn csv_is_flat() {
+        let rows = vec![vec!["a".into(), "b".into()]];
+        assert_eq!(csv(&["x", "y"], &rows), "x,y\na,b\n");
+    }
+
+    #[test]
+    fn mega_and_secs_format() {
+        assert_eq!(mega(1_500_000), "1.5M");
+        assert_eq!(secs(std::time::Duration::from_millis(2500)), "2.50");
+    }
+}

@@ -1,0 +1,117 @@
+//! A dense bitset indexed by IR ids, used to store refinement sets in
+//! complement form (the paper's footnote 4: the *not*-refined sets are tiny,
+//! but membership is queried on every context construction, so it must be
+//! `O(1)` and cache-friendly).
+
+use std::marker::PhantomData;
+
+use rudoop_ir::Idx;
+
+/// A fixed-capacity bitset over an id domain `I`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdBitSet<I: Idx> {
+    words: Vec<u64>,
+    len: usize,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: Idx> IdBitSet<I> {
+    /// An empty set over a domain of `len` ids.
+    pub fn new(len: usize) -> Self {
+        IdBitSet { words: vec![0; len.div_ceil(64)], len, _marker: PhantomData }
+    }
+
+    /// Domain size this set was created for.
+    pub fn domain_size(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `id`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the domain.
+    pub fn insert(&mut self, id: I) -> bool {
+        let i = id.index();
+        assert!(i < self.len, "id {i} out of bitset domain {}", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Whether `id` is in the set. Ids outside the domain are absent.
+    #[inline]
+    pub fn contains(&self, id: I) -> bool {
+        let i = id.index();
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of ids in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = I> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(I::from_usize(wi * 64 + b))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rudoop_ir::AllocId;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s: IdBitSet<AllocId> = IdBitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(AllocId(0)));
+        assert!(s.insert(AllocId(64)));
+        assert!(s.insert(AllocId(129)));
+        assert!(!s.insert(AllocId(64)));
+        assert!(s.contains(AllocId(129)));
+        assert!(!s.contains(AllocId(1)));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let mut s: IdBitSet<AllocId> = IdBitSet::new(200);
+        for i in [5u32, 63, 64, 199, 0] {
+            s.insert(AllocId(i));
+        }
+        let got: Vec<u32> = s.iter().map(|a| a.0).collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 199]);
+    }
+
+    #[test]
+    fn out_of_domain_contains_is_false() {
+        let s: IdBitSet<AllocId> = IdBitSet::new(10);
+        assert!(!s.contains(AllocId(10_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bitset domain")]
+    fn out_of_domain_insert_panics() {
+        let mut s: IdBitSet<AllocId> = IdBitSet::new(10);
+        s.insert(AllocId(10));
+    }
+}

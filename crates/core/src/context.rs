@@ -1,0 +1,241 @@
+//! Contexts and heap contexts: interned sequences of context elements.
+//!
+//! The paper's domains `C` (calling contexts) and `HC` (heap contexts) are
+//! represented uniformly as short sequences of [`ContextElem`]s — call
+//! sites for call-site-sensitivity, allocation sites for object-sensitivity,
+//! class types for type-sensitivity. Uniform representation is what lets an
+//! *introspective* analysis mix context flavors (and the insensitive empty
+//! context `★`) inside a single run, which is the paper's central mechanism.
+//!
+//! Contexts are interned: equal sequences share one id, so context equality
+//! is `u32` equality and the solver's tuple keys stay small.
+
+use std::fmt;
+
+use rudoop_ir::{AllocId, ClassId, InvokeId, Program};
+
+use crate::hash::FxHashMap;
+
+/// One element of a context string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ContextElem {
+    /// A call site (call-site-sensitivity).
+    Site(InvokeId),
+    /// An allocation site (object-sensitivity).
+    Heap(AllocId),
+    /// An (allocator) class type (type-sensitivity).
+    Type(ClassId),
+}
+
+impl fmt::Display for ContextElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextElem::Site(i) => write!(f, "{i}"),
+            ContextElem::Heap(h) => write!(f, "{h}"),
+            ContextElem::Type(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// An interned calling context (element of domain `C`).
+///
+/// `CtxId::EMPTY` is the paper's `★`: the context of a context-insensitive
+/// analysis, and the context of every entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtxId(pub u32);
+
+impl CtxId {
+    /// The empty (insensitive) context `★`.
+    pub const EMPTY: CtxId = CtxId(0);
+}
+
+impl fmt::Display for CtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// An interned heap context (element of domain `HC`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HCtxId(pub u32);
+
+impl HCtxId {
+    /// The empty (insensitive) heap context.
+    pub const EMPTY: HCtxId = HCtxId(0);
+}
+
+impl fmt::Display for HCtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HC{}", self.0)
+    }
+}
+
+/// Interner for one kind of context sequence.
+#[derive(Debug, Clone, Default)]
+struct Interner {
+    seqs: Vec<Box<[ContextElem]>>,
+    table: FxHashMap<Box<[ContextElem]>, u32>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        let mut interner = Interner::default();
+        let empty: Box<[ContextElem]> = Box::new([]);
+        interner.table.insert(empty.clone(), 0);
+        interner.seqs.push(empty);
+        interner
+    }
+
+    fn intern(&mut self, elems: &[ContextElem]) -> u32 {
+        if elems.is_empty() {
+            return 0;
+        }
+        if let Some(&id) = self.table.get(elems) {
+            return id;
+        }
+        let id = u32::try_from(self.seqs.len()).expect("context table overflow");
+        let boxed: Box<[ContextElem]> = elems.into();
+        self.table.insert(boxed.clone(), id);
+        self.seqs.push(boxed);
+        id
+    }
+
+    fn get(&self, id: u32) -> &[ContextElem] {
+        &self.seqs[id as usize]
+    }
+}
+
+/// The context and heap-context tables of one analysis run.
+///
+/// Owned by the solver; policies receive it mutably to create (or look up)
+/// contexts — the model's constructor functions RECORD and MERGE.
+#[derive(Debug, Clone)]
+pub struct CtxTables {
+    ctx: Interner,
+    hctx: Interner,
+}
+
+impl CtxTables {
+    /// Fresh tables containing only the empty contexts.
+    pub fn new() -> Self {
+        CtxTables { ctx: Interner::new(), hctx: Interner::new() }
+    }
+
+    /// Interns a calling-context sequence.
+    pub fn intern_ctx(&mut self, elems: &[ContextElem]) -> CtxId {
+        CtxId(self.ctx.intern(elems))
+    }
+
+    /// Interns a heap-context sequence.
+    pub fn intern_hctx(&mut self, elems: &[ContextElem]) -> HCtxId {
+        HCtxId(self.hctx.intern(elems))
+    }
+
+    /// The elements of calling context `id`.
+    pub fn ctx_elems(&self, id: CtxId) -> &[ContextElem] {
+        self.ctx.get(id.0)
+    }
+
+    /// The elements of heap context `id`.
+    pub fn hctx_elems(&self, id: HCtxId) -> &[ContextElem] {
+        self.hctx.get(id.0)
+    }
+
+    /// Number of distinct calling contexts created so far.
+    pub fn ctx_count(&self) -> usize {
+        self.ctx.seqs.len()
+    }
+
+    /// Number of distinct heap contexts created so far.
+    pub fn hctx_count(&self) -> usize {
+        self.hctx.seqs.len()
+    }
+
+    /// Renders a calling context like `[I3, I7]` using program names.
+    pub fn display_ctx(&self, id: CtxId, _program: &Program) -> String {
+        let elems: Vec<String> = self.ctx_elems(id).iter().map(|e| e.to_string()).collect();
+        format!("[{}]", elems.join(", "))
+    }
+}
+
+impl Default for CtxTables {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A context-qualified heap object `(heap, hctx)` packed into a `u64` — the
+/// element type of every points-to set in the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CObj(pub u64);
+
+impl CObj {
+    /// Packs an allocation site and heap context.
+    #[inline]
+    pub fn new(heap: AllocId, hctx: HCtxId) -> Self {
+        CObj((u64::from(heap.0) << 32) | u64::from(hctx.0))
+    }
+
+    /// The allocation site.
+    #[inline]
+    pub fn heap(self) -> AllocId {
+        AllocId((self.0 >> 32) as u32)
+    }
+
+    /// The heap context.
+    #[inline]
+    pub fn hctx(self) -> HCtxId {
+        HCtxId(self.0 as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_contexts_are_id_zero() {
+        let mut t = CtxTables::new();
+        assert_eq!(t.intern_ctx(&[]), CtxId::EMPTY);
+        assert_eq!(t.intern_hctx(&[]), HCtxId::EMPTY);
+        assert_eq!(t.ctx_count(), 1);
+        assert_eq!(t.hctx_count(), 1);
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut t = CtxTables::new();
+        let a = t.intern_ctx(&[ContextElem::Site(InvokeId(1)), ContextElem::Site(InvokeId(2))]);
+        let b = t.intern_ctx(&[ContextElem::Site(InvokeId(1)), ContextElem::Site(InvokeId(2))]);
+        let c = t.intern_ctx(&[ContextElem::Site(InvokeId(2))]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.ctx_count(), 3);
+    }
+
+    #[test]
+    fn ctx_and_hctx_tables_are_independent() {
+        let mut t = CtxTables::new();
+        let c = t.intern_ctx(&[ContextElem::Heap(AllocId(5))]);
+        let h = t.intern_hctx(&[ContextElem::Heap(AllocId(5))]);
+        assert_eq!(c.0, 1);
+        assert_eq!(h.0, 1);
+        assert_eq!(t.ctx_elems(c), t.hctx_elems(h));
+    }
+
+    #[test]
+    fn cobj_packs_and_unpacks() {
+        let o = CObj::new(AllocId(0xABCD), HCtxId(0x1234));
+        assert_eq!(o.heap(), AllocId(0xABCD));
+        assert_eq!(o.hctx(), HCtxId(0x1234));
+    }
+
+    #[test]
+    fn elems_round_trip() {
+        let mut t = CtxTables::new();
+        let elems =
+            [ContextElem::Type(ClassId(3)), ContextElem::Heap(AllocId(9))];
+        let id = t.intern_ctx(&elems);
+        assert_eq!(t.ctx_elems(id), &elems);
+    }
+}

@@ -1,0 +1,299 @@
+//! The two-pass introspective driver (§3 of the paper).
+//!
+//! Pass 1 runs the context-insensitive analysis (`SITETOREFINE` and
+//! `OBJECTTOREFINE` empty). The driver then computes the introspection
+//! metrics, applies a heuristic to select refinement sets, and runs pass 2
+//! — the *same* analysis code — with an [`Introspective`] policy that
+//! refines the selected elements with the precise context abstraction and
+//! leaves the rest context-insensitive.
+
+use std::time::{Duration, Instant};
+
+use rudoop_ir::{ClassHierarchy, Program};
+
+use crate::heuristics::{RefinementHeuristic, RefinementStats};
+use crate::introspection::IntrospectionMetrics;
+use crate::policy::{
+    CallSiteSensitive, ContextPolicy, HybridObjectSensitive, Insensitive, Introspective,
+    ObjectSensitive, RefinementSet, TypeSensitive,
+};
+use crate::solver::{analyze, PointsToResult, SolverConfig};
+
+/// A named context-sensitivity flavor, as in the paper's evaluation
+/// (e.g. `Flavor::Object { k: 2, heap_k: 1 }` is `2objH`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// Context-insensitive.
+    Insensitive,
+    /// k-call-site-sensitive with heap depth.
+    CallSite {
+        /// Context depth.
+        k: usize,
+        /// Heap-context depth.
+        heap_k: usize,
+    },
+    /// k-object-sensitive with heap depth.
+    Object {
+        /// Context depth.
+        k: usize,
+        /// Heap-context depth.
+        heap_k: usize,
+    },
+    /// k-type-sensitive with heap depth.
+    Type {
+        /// Context depth.
+        k: usize,
+        /// Heap-context depth.
+        heap_k: usize,
+    },
+    /// k-hybrid-object-sensitive with heap depth (object-sensitivity for
+    /// virtual calls, call-site-sensitivity for static calls).
+    Hybrid {
+        /// Context depth.
+        k: usize,
+        /// Heap-context depth.
+        heap_k: usize,
+    },
+}
+
+impl Flavor {
+    /// The paper's `2objH` baseline.
+    pub const OBJ2H: Flavor = Flavor::Object { k: 2, heap_k: 1 };
+    /// The paper's `2typeH` baseline.
+    pub const TYPE2H: Flavor = Flavor::Type { k: 2, heap_k: 1 };
+    /// The paper's `2callH` baseline.
+    pub const CALL2H: Flavor = Flavor::CallSite { k: 2, heap_k: 1 };
+    /// The related-work hybrid `S2objH` configuration.
+    pub const HYBRID2H: Flavor = Flavor::Hybrid { k: 2, heap_k: 1 };
+
+    /// Instantiates the policy for `program`.
+    pub fn policy(self, program: &Program) -> Box<dyn ContextPolicy> {
+        match self {
+            Flavor::Insensitive => Box::new(Insensitive),
+            Flavor::CallSite { k, heap_k } => Box::new(CallSiteSensitive::new(k, heap_k)),
+            Flavor::Object { k, heap_k } => Box::new(ObjectSensitive::new(k, heap_k)),
+            Flavor::Type { k, heap_k } => Box::new(TypeSensitive::new(k, heap_k, program)),
+            Flavor::Hybrid { k, heap_k } => Box::new(HybridObjectSensitive::new(k, heap_k)),
+        }
+    }
+
+    /// Doop-style name (`insens`, `2objH`, …).
+    pub fn name(self, program: &Program) -> String {
+        self.policy(program).name()
+    }
+}
+
+/// Runs a single (non-introspective) analysis of `program` under `flavor`.
+pub fn analyze_flavor(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    flavor: Flavor,
+    config: &SolverConfig,
+) -> PointsToResult {
+    let policy = flavor.policy(program);
+    analyze(program, hierarchy, policy.as_ref(), config)
+}
+
+/// Everything produced by a two-pass introspective run.
+#[derive(Debug)]
+pub struct IntrospectiveRun {
+    /// The first, context-insensitive pass.
+    pub first_pass: PointsToResult,
+    /// The metrics computed from the first pass.
+    pub metrics: IntrospectionMetrics,
+    /// The selected refinement (complement form).
+    pub refinement: RefinementSet,
+    /// Figure-4-style statistics about the selection.
+    pub refinement_stats: RefinementStats,
+    /// Time spent computing metrics and selecting refinement sets (the
+    /// paper's "other timing overheads").
+    pub selection_time: Duration,
+    /// The second, selectively-refined pass.
+    pub result: PointsToResult,
+}
+
+/// Runs the full two-pass introspective analysis: insensitive pass,
+/// heuristic selection, refined pass.
+///
+/// `flavor` is the *refined* context; the default context of unrefined
+/// elements is insensitive, as in the paper's experimental setting. The
+/// budget in `config` applies to each pass separately.
+pub fn analyze_introspective(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    flavor: Flavor,
+    heuristic: &dyn RefinementHeuristic,
+    config: &SolverConfig,
+) -> IntrospectiveRun {
+    let first_pass = analyze(program, hierarchy, &Insensitive, config);
+    analyze_introspective_from(program, hierarchy, flavor, heuristic, config, first_pass)
+}
+
+/// Like [`analyze_introspective`] but reusing an existing first-pass result
+/// (the paper's §4 note: the insensitive pass can be shared across
+/// introspective variants).
+pub fn analyze_introspective_from(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    flavor: Flavor,
+    heuristic: &dyn RefinementHeuristic,
+    config: &SolverConfig,
+    first_pass: PointsToResult,
+) -> IntrospectiveRun {
+    let select_start = Instant::now();
+    let metrics = IntrospectionMetrics::compute(program, &first_pass);
+    let refinement = heuristic.select(program, &metrics, &first_pass);
+    let refinement_stats = RefinementStats::compute(program, &first_pass, &refinement);
+    let selection_time = select_start.elapsed();
+
+    let result = match flavor {
+        Flavor::Insensitive => analyze(program, hierarchy, &Insensitive, config),
+        Flavor::CallSite { k, heap_k } => {
+            let policy = Introspective::new(
+                Insensitive,
+                CallSiteSensitive::new(k, heap_k),
+                refinement.clone(),
+                heuristic.label(),
+            );
+            analyze(program, hierarchy, &policy, config)
+        }
+        Flavor::Object { k, heap_k } => {
+            let policy = Introspective::new(
+                Insensitive,
+                ObjectSensitive::new(k, heap_k),
+                refinement.clone(),
+                heuristic.label(),
+            );
+            analyze(program, hierarchy, &policy, config)
+        }
+        Flavor::Type { k, heap_k } => {
+            let policy = Introspective::new(
+                Insensitive,
+                TypeSensitive::new(k, heap_k, program),
+                refinement.clone(),
+                heuristic.label(),
+            );
+            analyze(program, hierarchy, &policy, config)
+        }
+        Flavor::Hybrid { k, heap_k } => {
+            let policy = Introspective::new(
+                Insensitive,
+                HybridObjectSensitive::new(k, heap_k),
+                refinement.clone(),
+                heuristic.label(),
+            );
+            analyze(program, hierarchy, &policy, config)
+        }
+    };
+
+    IntrospectiveRun {
+        first_pass,
+        metrics,
+        refinement,
+        refinement_stats,
+        selection_time,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{HeuristicA, HeuristicB};
+    use rudoop_ir::ProgramBuilder;
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let id_m = b.method(obj, "id", &["x"], true);
+        let xp = b.param(id_m, 0);
+        b.ret(id_m, xp);
+        let main = b.method(obj, "main", &[], true);
+        let a = b.var(main, "a");
+        let c = b.var(main, "c");
+        let r1 = b.var(main, "r1");
+        let r2 = b.var(main, "r2");
+        b.alloc(main, a, obj);
+        b.alloc(main, c, obj);
+        b.scall(main, Some(r1), id_m, &[a]);
+        b.scall(main, Some(r2), id_m, &[c]);
+        b.entry(main);
+        b.finish()
+    }
+
+    #[test]
+    fn flavor_names_match_doop_convention() {
+        let p = sample_program();
+        assert_eq!(Flavor::Insensitive.name(&p), "insens");
+        assert_eq!(Flavor::OBJ2H.name(&p), "2objH");
+        assert_eq!(Flavor::TYPE2H.name(&p), "2typeH");
+        assert_eq!(Flavor::CALL2H.name(&p), "2callH");
+        assert_eq!(Flavor::HYBRID2H.name(&p), "S2objH");
+    }
+
+    #[test]
+    fn hybrid_flavor_runs_end_to_end() {
+        let p = sample_program();
+        let h = ClassHierarchy::new(&p);
+        let cfg = SolverConfig::default();
+        let r = analyze_flavor(&p, &h, Flavor::HYBRID2H, &cfg);
+        assert!(r.outcome.is_complete());
+        // Static identity calls are distinguished by call site under the
+        // hybrid policy, unlike plain object-sensitivity.
+        let obj = analyze_flavor(&p, &h, Flavor::OBJ2H, &cfg);
+        let hybrid_total: usize = p.vars.ids().map(|v| r.points_to(v).len()).sum();
+        let obj_total: usize = p.vars.ids().map(|v| obj.points_to(v).len()).sum();
+        assert!(hybrid_total < obj_total, "{hybrid_total} vs {obj_total}");
+    }
+
+    #[test]
+    fn introspective_with_everything_refined_matches_full_analysis() {
+        // With the paper's default constants, a tiny program has no
+        // excluded elements, so the introspective run must be exactly as
+        // precise as the full context-sensitive one.
+        let p = sample_program();
+        let h = ClassHierarchy::new(&p);
+        let cfg = SolverConfig::default();
+        let full = analyze_flavor(&p, &h, Flavor::CALL2H, &cfg);
+        let run = analyze_introspective(&p, &h, Flavor::CALL2H, &HeuristicA::default(), &cfg);
+        assert!(run.refinement.no_refine_objects.is_empty());
+        for (v, pts) in full.var_pts.iter() {
+            assert_eq!(pts, &run.result.var_pts[v], "var {v:?} differs");
+        }
+    }
+
+    #[test]
+    fn introspective_with_everything_excluded_matches_insensitive() {
+        let p = sample_program();
+        let h = ClassHierarchy::new(&p);
+        let cfg = SolverConfig::default();
+        // Cutoffs of zero exclude every element with any points-to volume.
+        let zero = HeuristicB { p: 0, q: 0 };
+        let run = analyze_introspective(&p, &h, Flavor::CALL2H, &zero, &cfg);
+        let insens = analyze_flavor(&p, &h, Flavor::Insensitive, &cfg);
+        // Heuristic B's q=0 only excludes objects with a nonzero cost
+        // product; methods with volume > 0 are all excluded, so contexts
+        // collapse for calls.
+        for (v, pts) in insens.var_pts.iter() {
+            assert_eq!(pts, &run.result.var_pts[v], "var {v:?} differs");
+        }
+        assert!(run.result.stats.contexts <= 2);
+    }
+
+    #[test]
+    fn run_reports_selection_statistics() {
+        let p = sample_program();
+        let h = ClassHierarchy::new(&p);
+        let run = analyze_introspective(
+            &p,
+            &h,
+            Flavor::OBJ2H,
+            &HeuristicA::default(),
+            &SolverConfig::default(),
+        );
+        assert_eq!(run.refinement_stats.objects_total, 2);
+        assert!(run.first_pass.outcome.is_complete());
+        assert!(run.result.outcome.is_complete());
+        assert!(run.result.analysis.contains("IntroA"));
+    }
+}

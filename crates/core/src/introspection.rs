@@ -1,0 +1,217 @@
+//! The introspection metrics of §3 of the paper: cost estimators computed
+//! from a context-insensitive analysis result, used to predict which
+//! program elements would explode under context-sensitivity.
+//!
+//! The six metrics, verbatim from the paper:
+//!
+//! 1. **in-flow** of an invocation site: cumulative size of the points-to
+//!    sets of its actual arguments,
+//! 2. a method's **total points-to volume** (and the max-var variant):
+//!    cumulative (resp. maximum) points-to set size over its locals,
+//! 3. an object's **max field points-to** (and total variant): maximum
+//!    (resp. total) field points-to set size over its fields,
+//! 4. a method's **max var-field points-to**: the maximum metric-3 value
+//!    among objects pointed to by the method's locals,
+//! 5. an object's **pointed-by-vars**: how many variables point to it,
+//! 6. an object's **pointed-by-objs**: how many (object, field) pairs point
+//!    to it.
+//!
+//! All are counting queries over the projected VARPOINTSTO / FLDPOINTSTO /
+//! CALLGRAPH relations — cheap compared to the analysis itself, as the
+//! paper requires.
+
+use rudoop_ir::{AllocId, IdxVec, InvokeId, MethodId, Program};
+
+use crate::solver::PointsToResult;
+
+/// All six metrics, densely indexed. Values saturate at `u32::MAX`.
+#[derive(Debug, Clone)]
+pub struct IntrospectionMetrics {
+    /// Metric #1: per invocation site, the argument in-flow.
+    pub in_flow: IdxVec<InvokeId, u32>,
+    /// Metric #2: per method, total points-to volume over its locals.
+    pub method_total_pts: IdxVec<MethodId, u32>,
+    /// Metric #2 (variant): per method, max var points-to size.
+    pub method_max_var_pts: IdxVec<MethodId, u32>,
+    /// Metric #3: per object, max field points-to over its fields.
+    pub obj_max_field_pts: IdxVec<AllocId, u32>,
+    /// Metric #3 (variant): per object, total field points-to.
+    pub obj_total_field_pts: IdxVec<AllocId, u32>,
+    /// Metric #4: per method, max of metric #3 over objects its vars reach.
+    pub method_max_var_field_pts: IdxVec<MethodId, u32>,
+    /// Metric #5: per object, number of variables pointing to it.
+    pub pointed_by_vars: IdxVec<AllocId, u32>,
+    /// Metric #6: per object, number of (object, field) pairs pointing to it.
+    pub pointed_by_objs: IdxVec<AllocId, u32>,
+}
+
+fn sat_add(a: u32, b: usize) -> u32 {
+    a.saturating_add(u32::try_from(b).unwrap_or(u32::MAX))
+}
+
+impl IntrospectionMetrics {
+    /// Computes every metric from a (context-insensitive) analysis result.
+    ///
+    /// The result may come from any policy — the metrics project contexts
+    /// away — but the paper's methodology (and [`crate::driver`]) uses the
+    /// insensitive first pass.
+    pub fn compute(program: &Program, result: &PointsToResult) -> Self {
+        let n_alloc = program.allocs.len();
+        let n_meth = program.methods.len();
+
+        // Metrics #3 and #6, from field-points-to.
+        let mut obj_max_field_pts: IdxVec<AllocId, u32> = (0..n_alloc).map(|_| 0).collect();
+        let mut obj_total_field_pts: IdxVec<AllocId, u32> = (0..n_alloc).map(|_| 0).collect();
+        let mut pointed_by_objs: IdxVec<AllocId, u32> = (0..n_alloc).map(|_| 0).collect();
+        for (&(base, _field), targets) in &result.field_pts {
+            let size = targets.len();
+            obj_max_field_pts[base] = obj_max_field_pts[base].max(size as u32);
+            obj_total_field_pts[base] = sat_add(obj_total_field_pts[base], size);
+            for &target in targets {
+                pointed_by_objs[target] = sat_add(pointed_by_objs[target], 1);
+            }
+        }
+
+        // Metrics #2, #4, #5, from var-points-to grouped by method.
+        let mut method_total_pts: IdxVec<MethodId, u32> = (0..n_meth).map(|_| 0).collect();
+        let mut method_max_var_pts: IdxVec<MethodId, u32> = (0..n_meth).map(|_| 0).collect();
+        let mut method_max_var_field_pts: IdxVec<MethodId, u32> =
+            (0..n_meth).map(|_| 0).collect();
+        let mut pointed_by_vars: IdxVec<AllocId, u32> = (0..n_alloc).map(|_| 0).collect();
+        for (vid, var) in program.vars.iter() {
+            let pts = &result.var_pts[vid];
+            let m = var.method;
+            method_total_pts[m] = sat_add(method_total_pts[m], pts.len());
+            method_max_var_pts[m] = method_max_var_pts[m].max(pts.len() as u32);
+            for &obj in pts {
+                pointed_by_vars[obj] = sat_add(pointed_by_vars[obj], 1);
+                method_max_var_field_pts[m] =
+                    method_max_var_field_pts[m].max(obj_max_field_pts[obj]);
+            }
+        }
+
+        // Metric #1: in-flow per invocation, counting distinct (arg, heap)
+        // pairs as in the paper's HEAPSPERINVOCATIONPERARG query (duplicate
+        // argument variables contribute once).
+        let mut in_flow: IdxVec<InvokeId, u32> =
+            (0..program.invokes.len()).map(|_| 0).collect();
+        let mut seen_args: Vec<rudoop_ir::VarId> = Vec::new();
+        for (iid, invoke) in program.invokes.iter() {
+            seen_args.clear();
+            let mut total = 0u32;
+            for &arg in &invoke.args {
+                if seen_args.contains(&arg) {
+                    continue;
+                }
+                seen_args.push(arg);
+                total = sat_add(total, result.var_pts[arg].len());
+            }
+            in_flow[iid] = total;
+        }
+
+        IntrospectionMetrics {
+            in_flow,
+            method_total_pts,
+            method_max_var_pts,
+            obj_max_field_pts,
+            obj_total_field_pts,
+            method_max_var_field_pts,
+            pointed_by_vars,
+            pointed_by_objs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Insensitive;
+    use crate::solver::{analyze, SolverConfig};
+    use rudoop_ir::{ClassHierarchy, ProgramBuilder};
+
+    /// Flow-insensitive fixture. Moves are inclusion edges, so:
+    /// x -> {h1, h2}, y -> {h1, h2} (y ⊇ x ⊇ z), z -> {h2};
+    /// the store `y.f = z` writes {h2} into the `f` field of both h1, h2;
+    /// callee params p ⊇ x, q ⊇ y.
+    fn fixture() -> (Program, TestIds) {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let f = b.field(obj, "f");
+        let callee = b.method(obj, "take", &["p", "q"], true);
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        let y = b.var(main, "y");
+        let z = b.var(main, "z");
+        let h1 = b.alloc(main, x, obj);
+        let h2 = b.alloc(main, z, obj);
+        b.mov(main, y, x); // y -> h1; x -> h1
+        b.mov(main, x, z); // x -> {h1, h2}
+        b.store(main, y, f, z); // h1.f -> h2
+        let inv = b.scall(main, None, callee, &[x, y]);
+        b.entry(main);
+        (
+            b.finish(),
+            TestIds { main, callee, inv, h1, h2 },
+        )
+    }
+
+    struct TestIds {
+        main: MethodId,
+        callee: MethodId,
+        inv: InvokeId,
+        h1: AllocId,
+        h2: AllocId,
+    }
+
+    use rudoop_ir::Program;
+
+    fn metrics() -> (IntrospectionMetrics, TestIds) {
+        let (p, ids) = fixture();
+        let h = ClassHierarchy::new(&p);
+        let r = analyze(&p, &h, &Insensitive, &SolverConfig::default());
+        (IntrospectionMetrics::compute(&p, &r), ids)
+    }
+
+    #[test]
+    fn in_flow_sums_argument_points_to() {
+        let (m, ids) = metrics();
+        // x -> {h1,h2} (2), y -> {h1,h2} (2): in-flow = 4.
+        assert_eq!(m.in_flow[ids.inv], 4);
+    }
+
+    #[test]
+    fn method_volumes_count_local_points_to() {
+        let (m, ids) = metrics();
+        // main: x:2, y:2, z:1 = 5 total; callee: p:2 + q:2 = 4.
+        assert_eq!(m.method_total_pts[ids.main], 5);
+        assert_eq!(m.method_max_var_pts[ids.main], 2);
+        assert_eq!(m.method_total_pts[ids.callee], 4);
+    }
+
+    #[test]
+    fn object_field_metrics() {
+        let (m, ids) = metrics();
+        // h1.f -> {h2} and h2.f -> {h2}: max = total = 1 for both.
+        assert_eq!(m.obj_max_field_pts[ids.h1], 1);
+        assert_eq!(m.obj_total_field_pts[ids.h1], 1);
+        assert_eq!(m.obj_max_field_pts[ids.h2], 1);
+        // h2 is pointed to by two (object, field) pairs; h1 by none.
+        assert_eq!(m.pointed_by_objs[ids.h2], 2);
+        assert_eq!(m.pointed_by_objs[ids.h1], 0);
+    }
+
+    #[test]
+    fn pointed_by_vars_counts_pointing_variables() {
+        let (m, ids) = metrics();
+        // h1 <- x, y, p, q: 4. h2 <- x, y, z, p, q: 5.
+        assert_eq!(m.pointed_by_vars[ids.h1], 4);
+        assert_eq!(m.pointed_by_vars[ids.h2], 5);
+    }
+
+    #[test]
+    fn max_var_field_pts_takes_field_metric_through_vars() {
+        let (m, ids) = metrics();
+        // main's vars reach h1 (max field pts 1) and h2 (0): metric = 1.
+        assert_eq!(m.method_max_var_field_pts[ids.main], 1);
+    }
+}

@@ -1,0 +1,650 @@
+//! Semi-naive, stratified Datalog evaluation with external functions.
+//!
+//! The engine stores relations as append-only tuple vectors (with a hash
+//! set for deduplication), so a round's *delta* is simply a range of the
+//! vector. Evaluation is textbook semi-naive: an initialization round
+//! applies every rule to the full database, then each subsequent round
+//! re-evaluates every rule once per body position held to the previous
+//! round's delta. Joins use lazily built hash indexes over the bound
+//! columns. Negation is stratified: relation strata are computed up front
+//! and negative edges inside a recursive component are rejected.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use rudoop_core::hash::{FxHashMap, FxHashSet};
+
+use crate::rule::{Atom, FuncId, Literal, RelId, Rule, RuleError, Term, Value};
+
+/// Run statistics returned by [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Fixpoint rounds executed (across all strata).
+    pub rounds: u64,
+    /// Tuples derived by rules (beyond the initial facts).
+    pub derived: u64,
+}
+
+struct Relation {
+    name: String,
+    arity: usize,
+    tuples: Vec<Box<[Value]>>,
+    set: FxHashSet<Box<[Value]>>,
+    /// Start of the current delta within `tuples`.
+    delta_start: usize,
+    /// End of the current delta.
+    delta_end: usize,
+}
+
+type Index = FxHashMap<Box<[Value]>, Vec<u32>>;
+
+/// A Datalog engine. The lifetime `'a` bounds the external functions
+/// registered with [`Engine::function`].
+pub struct Engine<'a> {
+    rels: Vec<Relation>,
+    funcs: Vec<RefCell<Box<dyn FnMut(&[Value]) -> Value + 'a>>>,
+    func_names: Vec<String>,
+    rules: Vec<Rule>,
+    /// (relation, column mask) → (built_len, index).
+    indexes: RefCell<HashMap<(usize, u64), (usize, Index)>>,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("relations", &self.rels.len())
+            .field("rules", &self.rules.len())
+            .field("functions", &self.func_names)
+            .finish()
+    }
+}
+
+impl Default for Engine<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Engine {
+            rels: Vec::new(),
+            funcs: Vec::new(),
+            func_names: Vec::new(),
+            rules: Vec::new(),
+            indexes: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Declares a relation with the given arity.
+    pub fn relation(&mut self, name: &str, arity: usize) -> RelId {
+        let id = RelId(self.rels.len());
+        self.rels.push(Relation {
+            name: name.to_owned(),
+            arity,
+            tuples: Vec::new(),
+            set: FxHashSet::default(),
+            delta_start: 0,
+            delta_end: 0,
+        });
+        id
+    }
+
+    /// Registers an external function (a context constructor in the
+    /// points-to model).
+    pub fn function<F: FnMut(&[Value]) -> Value + 'a>(&mut self, name: &str, f: F) -> FuncId {
+        let id = FuncId(self.funcs.len());
+        self.funcs.push(RefCell::new(Box::new(f)));
+        self.func_names.push(name.to_owned());
+        id
+    }
+
+    /// Inserts a base fact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple arity does not match the relation.
+    pub fn fact(&mut self, rel: RelId, tuple: &[Value]) {
+        let r = &mut self.rels[rel.0];
+        assert_eq!(tuple.len(), r.arity, "fact arity mismatch for {}", r.name);
+        let boxed: Box<[Value]> = tuple.into();
+        if r.set.insert(boxed.clone()) {
+            r.tuples.push(boxed);
+        }
+    }
+
+    /// Adds a rule after checking relation arities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::ArityMismatch`] on malformed atoms.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<(), RuleError> {
+        for atom in rule.heads.iter().chain(rule.body.iter().filter_map(|l| match l {
+            Literal::Pos(a) | Literal::Neg(a) => Some(a),
+            Literal::Func(_) => None,
+        })) {
+            let r = &self.rels[atom.rel.0];
+            if atom.terms.len() != r.arity {
+                return Err(RuleError::ArityMismatch {
+                    rule: rule.name.clone(),
+                    relation: r.name.clone(),
+                    expected: r.arity,
+                    found: atom.terms.len(),
+                });
+            }
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Number of tuples currently in `rel`.
+    pub fn len(&self, rel: RelId) -> usize {
+        self.rels[rel.0].tuples.len()
+    }
+
+    /// Whether `rel` is empty.
+    pub fn is_empty(&self, rel: RelId) -> bool {
+        self.rels[rel.0].tuples.is_empty()
+    }
+
+    /// Iterates over the tuples of `rel`.
+    pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &[Value]> {
+        self.rels[rel.0].tuples.iter().map(|t| &**t)
+    }
+
+    /// Whether `rel` contains `tuple`.
+    pub fn contains(&self, rel: RelId, tuple: &[Value]) -> bool {
+        self.rels[rel.0].set.contains(tuple)
+    }
+
+    /// Computes relation strata: `stratum(head) ≥ stratum(pos body)` and
+    /// `stratum(head) > stratum(neg body)`.
+    fn stratify(&self) -> Result<Vec<usize>, RuleError> {
+        let n = self.rels.len();
+        let mut stratum = vec![0usize; n];
+        let bound = n + 1;
+        loop {
+            let mut changed = false;
+            for rule in &self.rules {
+                let mut body_req = 0usize;
+                for lit in &rule.body {
+                    match lit {
+                        Literal::Pos(a) => body_req = body_req.max(stratum[a.rel.0]),
+                        Literal::Neg(a) => body_req = body_req.max(stratum[a.rel.0] + 1),
+                        Literal::Func(_) => {}
+                    }
+                }
+                for head in &rule.heads {
+                    if stratum[head.rel.0] < body_req {
+                        stratum[head.rel.0] = body_req;
+                        if body_req > bound {
+                            return Err(RuleError::Unstratifiable {
+                                relation: self.rels[head.rel.0].name.clone(),
+                            });
+                        }
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Ok(stratum);
+            }
+        }
+    }
+
+    /// Runs all rules to fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::Unstratifiable`] if negation occurs in a
+    /// recursive cycle.
+    pub fn run(&mut self) -> Result<RunStats, RuleError> {
+        let stratum = self.stratify()?;
+        let max_stratum = stratum.iter().copied().max().unwrap_or(0);
+        // A rule runs in the stratum of its heads (all heads must agree,
+        // which the stratification equations force for multi-head rules
+        // sharing body requirements; we take the max to be safe).
+        let rule_stratum: Vec<usize> = self
+            .rules
+            .iter()
+            .map(|r| r.heads.iter().map(|h| stratum[h.rel.0]).max().unwrap_or(0))
+            .collect();
+
+        let mut stats = RunStats::default();
+        for s in 0..=max_stratum {
+            let rule_ids: Vec<usize> =
+                (0..self.rules.len()).filter(|&i| rule_stratum[i] == s).collect();
+            if rule_ids.is_empty() {
+                continue;
+            }
+            self.run_stratum(&rule_ids, &mut stats);
+        }
+        Ok(stats)
+    }
+
+    fn run_stratum(&mut self, rule_ids: &[usize], stats: &mut RunStats) {
+        // Initialization round: naive evaluation of every rule.
+        let mut pending: Vec<(RelId, Box<[Value]>)> = Vec::new();
+        for &ri in rule_ids {
+            let rule = &self.rules[ri];
+            let mut env = vec![None; rule.num_vars as usize];
+            self.eval_literal(rule, 0, None, &mut env, &mut pending);
+        }
+        stats.rounds += 1;
+        let mut any = self.absorb(pending, stats);
+
+        while any {
+            let mut pending: Vec<(RelId, Box<[Value]>)> = Vec::new();
+            for &ri in rule_ids {
+                let rule = &self.rules[ri];
+                // One evaluation per positive body atom whose relation has a
+                // nonempty delta.
+                for (li, lit) in rule.body.iter().enumerate() {
+                    if let Literal::Pos(a) = lit {
+                        let r = &self.rels[a.rel.0];
+                        if r.delta_start < r.delta_end {
+                            let mut env = vec![None; rule.num_vars as usize];
+                            self.eval_literal(rule, 0, Some(li), &mut env, &mut pending);
+                        }
+                    }
+                }
+            }
+            stats.rounds += 1;
+            any = self.absorb(pending, stats);
+        }
+    }
+
+    /// Moves pending tuples into their relations; returns whether any were
+    /// new, and advances every delta window.
+    fn absorb(&mut self, pending: Vec<(RelId, Box<[Value]>)>, stats: &mut RunStats) -> bool {
+        for r in &mut self.rels {
+            r.delta_start = r.tuples.len();
+            r.delta_end = r.tuples.len();
+        }
+        let mut any = false;
+        for (rel, tuple) in pending {
+            let r = &mut self.rels[rel.0];
+            if r.set.insert(tuple.clone()) {
+                r.tuples.push(tuple);
+                r.delta_end += 1;
+                stats.derived += 1;
+                any = true;
+            }
+        }
+        // `pending` tuples for different relations interleave, so fix up the
+        // windows: every relation's delta is everything past its start.
+        for r in &mut self.rels {
+            r.delta_end = r.tuples.len();
+        }
+        any
+    }
+
+    /// Recursive left-to-right join. `delta_pos` restricts that body
+    /// position to the relation's delta window.
+    fn eval_literal(
+        &self,
+        rule: &Rule,
+        li: usize,
+        delta_pos: Option<usize>,
+        env: &mut Vec<Option<Value>>,
+        pending: &mut Vec<(RelId, Box<[Value]>)>,
+    ) {
+        if li == rule.body.len() {
+            for head in &rule.heads {
+                let tuple: Box<[Value]> = head
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => *c,
+                        Term::Var(v) => env[*v as usize].expect("checked by safety analysis"),
+                    })
+                    .collect();
+                if !self.rels[head.rel.0].set.contains(&tuple) {
+                    pending.push((head.rel, tuple));
+                }
+            }
+            return;
+        }
+        match &rule.body[li] {
+            Literal::Pos(atom) => {
+                let use_delta = delta_pos == Some(li);
+                self.scan_atom(atom, use_delta, env, &mut |env2| {
+                    self.eval_literal(rule, li + 1, delta_pos, env2, pending);
+                });
+            }
+            Literal::Neg(atom) => {
+                let tuple: Vec<Value> = atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => *c,
+                        Term::Var(v) => env[*v as usize].expect("safety-checked"),
+                    })
+                    .collect();
+                if !self.rels[atom.rel.0].set.contains(tuple.as_slice()) {
+                    self.eval_literal(rule, li + 1, delta_pos, env, pending);
+                }
+            }
+            Literal::Func(app) => {
+                let args: Vec<Value> = app
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => *c,
+                        Term::Var(v) => env[*v as usize].expect("safety-checked"),
+                    })
+                    .collect();
+                let value = (self.funcs[app.func.0].borrow_mut())(&args);
+                match app.result {
+                    Term::Const(c) => {
+                        if c == value {
+                            self.eval_literal(rule, li + 1, delta_pos, env, pending);
+                        }
+                    }
+                    Term::Var(v) => match env[v as usize] {
+                        Some(existing) => {
+                            if existing == value {
+                                self.eval_literal(rule, li + 1, delta_pos, env, pending);
+                            }
+                        }
+                        None => {
+                            env[v as usize] = Some(value);
+                            self.eval_literal(rule, li + 1, delta_pos, env, pending);
+                            env[v as usize] = None;
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    /// Enumerates tuples of `atom`'s relation consistent with `env`,
+    /// binding the atom's free variables for each and invoking `k`.
+    fn scan_atom(
+        &self,
+        atom: &Atom,
+        use_delta: bool,
+        env: &mut Vec<Option<Value>>,
+        k: &mut dyn FnMut(&mut Vec<Option<Value>>),
+    ) {
+        let rel = &self.rels[atom.rel.0];
+        // Determine bound columns under env.
+        let mut mask = 0u64;
+        let mut key: Vec<Value> = Vec::new();
+        for (i, t) in atom.terms.iter().enumerate() {
+            let bound_val = match t {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => env[*v as usize],
+            };
+            if let Some(val) = bound_val {
+                mask |= 1 << i;
+                key.push(val);
+            }
+        }
+
+        let try_tuple = |tuple: &[Value], env: &mut Vec<Option<Value>>, k: &mut dyn FnMut(&mut Vec<Option<Value>>)| {
+            let mut newly_bound: Vec<u32> = Vec::new();
+            let mut ok = true;
+            for (i, t) in atom.terms.iter().enumerate() {
+                match t {
+                    Term::Const(c) => {
+                        if tuple[i] != *c {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match env[*v as usize] {
+                        Some(val) => {
+                            if tuple[i] != val {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            env[*v as usize] = Some(tuple[i]);
+                            newly_bound.push(*v);
+                        }
+                    },
+                }
+            }
+            if ok {
+                k(env);
+            }
+            for v in newly_bound {
+                env[v as usize] = None;
+            }
+        };
+
+        if use_delta {
+            // Delta scans are short; match directly.
+            for idx in rel.delta_start..rel.delta_end {
+                let tuple = rel.tuples[idx].clone();
+                try_tuple(&tuple, env, k);
+            }
+            return;
+        }
+
+        if mask == 0 {
+            for idx in 0..rel.tuples.len() {
+                let tuple = rel.tuples[idx].clone();
+                try_tuple(&tuple, env, k);
+            }
+            return;
+        }
+
+        // Indexed scan on the bound columns.
+        let matches: Vec<u32> = {
+            let mut indexes = self.indexes.borrow_mut();
+            let entry = indexes.entry((atom.rel.0, mask)).or_insert_with(|| (0, Index::default()));
+            if entry.0 != rel.tuples.len() {
+                let mut index = Index::default();
+                for (ti, tuple) in rel.tuples.iter().enumerate() {
+                    let k: Box<[Value]> = (0..atom.terms.len())
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| tuple[i])
+                        .collect();
+                    index.entry(k).or_default().push(ti as u32);
+                }
+                *entry = (rel.tuples.len(), index);
+            }
+            entry.1.get(key.as_slice()).cloned().unwrap_or_default()
+        };
+        for ti in matches {
+            let tuple = rel.tuples[ti as usize].clone();
+            try_tuple(&tuple, env, k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleBuilder;
+
+    #[test]
+    fn transitive_closure() {
+        let mut e = Engine::new();
+        let edge = e.relation("edge", 2);
+        let path = e.relation("path", 2);
+        e.add_rule(
+            RuleBuilder::new("base").head(path, &["x", "y"]).pos(edge, &["x", "y"]).build().unwrap(),
+        )
+        .unwrap();
+        e.add_rule(
+            RuleBuilder::new("step")
+                .head(path, &["x", "z"])
+                .pos(edge, &["x", "y"])
+                .pos(path, &["y", "z"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            e.fact(edge, &[a, b]);
+        }
+        let stats = e.run().unwrap();
+        assert_eq!(e.len(path), 6); // 12 13 14 23 24 34
+        assert!(e.contains(path, &[1, 4]));
+        assert!(!e.contains(path, &[4, 1]));
+        assert!(stats.rounds >= 3, "chain of length 3 needs multiple rounds");
+    }
+
+    #[test]
+    fn negation_on_lower_stratum() {
+        let mut e = Engine::new();
+        let node = e.relation("node", 1);
+        let edge = e.relation("edge", 2);
+        let has_out = e.relation("has_out", 1);
+        let sink = e.relation("sink", 1);
+        e.add_rule(
+            RuleBuilder::new("has_out")
+                .head(has_out, &["x"])
+                .pos(edge, &["x", "_"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        e.add_rule(
+            RuleBuilder::new("sink")
+                .head(sink, &["x"])
+                .pos(node, &["x"])
+                .neg(has_out, &["x"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for n in [1, 2, 3] {
+            e.fact(node, &[n]);
+        }
+        e.fact(edge, &[1, 2]);
+        e.fact(edge, &[2, 3]);
+        e.run().unwrap();
+        assert!(e.contains(sink, &[3]));
+        assert_eq!(e.len(sink), 1);
+    }
+
+    #[test]
+    fn unstratifiable_negation_is_rejected() {
+        let mut e = Engine::new();
+        let p = e.relation("p", 1);
+        let q = e.relation("q", 1);
+        e.add_rule(RuleBuilder::new("pq").head(p, &["x"]).pos(q, &["x"]).neg(p, &["x"]).build().unwrap())
+            .unwrap();
+        e.fact(q, &[1]);
+        assert!(matches!(e.run(), Err(RuleError::Unstratifiable { .. })));
+    }
+
+    #[test]
+    fn external_functions_bind_results() {
+        let mut e = Engine::new();
+        let input = e.relation("input", 1);
+        let output = e.relation("output", 2);
+        let double = e.function("double", |args: &[Value]| args[0] * 2);
+        e.add_rule(
+            RuleBuilder::new("dbl")
+                .head(output, &["x", "y"])
+                .pos(input, &["x"])
+                .func(double, &["x"], "y")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        e.fact(input, &[21]);
+        e.run().unwrap();
+        assert!(e.contains(output, &[21, 42]));
+    }
+
+    #[test]
+    fn function_as_filter_when_result_bound() {
+        let mut e = Engine::new();
+        let pairs = e.relation("pairs", 2);
+        let fixed = e.relation("fixed", 1);
+        let ident = e.function("ident", |args: &[Value]| args[0]);
+        // fixed(x) <- pairs(x, y), ident(x) = y.   (keeps only x == y)
+        e.add_rule(
+            RuleBuilder::new("fix")
+                .head(fixed, &["x"])
+                .pos(pairs, &["x", "y"])
+                .func(ident, &["x"], "y")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        e.fact(pairs, &[1, 1]);
+        e.fact(pairs, &[1, 2]);
+        e.run().unwrap();
+        assert_eq!(e.len(fixed), 1);
+        assert!(e.contains(fixed, &[1]));
+    }
+
+    #[test]
+    fn multi_head_rules_infer_all_heads() {
+        let mut e = Engine::new();
+        let a = e.relation("a", 1);
+        let b = e.relation("b", 1);
+        let c = e.relation("c", 1);
+        e.add_rule(
+            RuleBuilder::new("both")
+                .head(b, &["x"])
+                .head(c, &["x"])
+                .pos(a, &["x"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        e.fact(a, &[7]);
+        e.run().unwrap();
+        assert!(e.contains(b, &[7]));
+        assert!(e.contains(c, &[7]));
+    }
+
+    #[test]
+    fn constants_in_heads_and_bodies() {
+        let mut e = Engine::new();
+        let r = e.relation("r", 2);
+        let s = e.relation("s", 1);
+        // s(99) <- r(1, _).
+        e.add_rule(
+            RuleBuilder::new("k").head(s, &["#99"]).pos(r, &["#1", "_"]).build().unwrap(),
+        )
+        .unwrap();
+        e.fact(r, &[2, 5]);
+        e.run().unwrap();
+        assert!(e.is_empty(s));
+        e.fact(r, &[1, 5]);
+        e.run().unwrap();
+        assert!(e.contains(s, &[99]));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_at_add_time() {
+        let mut e = Engine::new();
+        let r = e.relation("r", 2);
+        let bad = RuleBuilder::new("bad").head(r, &["x"]).pos(r, &["x", "y"]).build().unwrap();
+        assert!(matches!(e.add_rule(bad), Err(RuleError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn rerunning_after_new_facts_reaches_new_fixpoint() {
+        let mut e = Engine::new();
+        let edge = e.relation("edge", 2);
+        let path = e.relation("path", 2);
+        e.add_rule(RuleBuilder::new("b").head(path, &["x", "y"]).pos(edge, &["x", "y"]).build().unwrap()).unwrap();
+        e.add_rule(
+            RuleBuilder::new("s")
+                .head(path, &["x", "z"])
+                .pos(path, &["x", "y"])
+                .pos(edge, &["y", "z"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        e.fact(edge, &[1, 2]);
+        e.run().unwrap();
+        assert_eq!(e.len(path), 1);
+        e.fact(edge, &[2, 3]);
+        e.run().unwrap();
+        assert!(e.contains(path, &[1, 3]));
+    }
+}

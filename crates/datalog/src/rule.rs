@@ -1,0 +1,352 @@
+//! The rule language: atoms, literals, external constructor functions, and
+//! a fluent rule builder with named variables.
+//!
+//! A rule has one or more head atoms and a body of literals, evaluated left
+//! to right:
+//!
+//! - a **positive atom** joins against a relation,
+//! - a **negative atom** filters (all its variables must already be bound —
+//!   the engine checks this safety condition when the rule is added),
+//! - a **function literal** `f(args…) = result` invokes an external Rust
+//!   function on bound arguments; if `result` is unbound it is bound to the
+//!   return value, otherwise the call acts as an equality filter. This is
+//!   how the points-to model's RECORD/MERGE context constructors are
+//!   expressed, exactly as in the paper's Figure 3.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A column value. All data is interned to `u32` by the caller (IR ids and
+/// context ids already are).
+pub type Value = u32;
+
+/// Identifies a relation within an [`crate::engine::Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub(crate) usize);
+
+/// Identifies an external function within an [`crate::engine::Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(pub(crate) usize);
+
+/// A term: a rule-local variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Term {
+    /// Rule-local variable, numbered densely from 0.
+    Var(u32),
+    /// A constant value.
+    Const(Value),
+}
+
+/// A relation applied to terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation.
+    pub rel: RelId,
+    /// One term per column.
+    pub terms: Vec<Term>,
+}
+
+/// An external function application `func(args…) = result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncApp {
+    /// The function.
+    pub func: FuncId,
+    /// Argument terms (must be bound at evaluation time).
+    pub args: Vec<Term>,
+    /// Result term: bound → equality check, unbound variable → binding.
+    pub result: Term,
+}
+
+/// One body literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// Join against a relation.
+    Pos(Atom),
+    /// Stratified negation: succeeds if no matching tuple exists.
+    Neg(Atom),
+    /// External function call.
+    Func(FuncApp),
+}
+
+/// A rule: `head₁, …, headₙ ← body₁, …, bodyₘ.`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Head atoms, all inferred when the body matches.
+    pub heads: Vec<Atom>,
+    /// Body literals, evaluated left to right.
+    pub body: Vec<Literal>,
+    /// Number of distinct variables.
+    pub num_vars: u32,
+    /// Optional name for diagnostics.
+    pub name: String,
+}
+
+/// A rule construction error, reported by [`RuleBuilder::build`] or
+/// [`crate::engine::Engine::add_rule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// A head variable is not bound by any positive atom or function result.
+    UnboundHeadVar {
+        /// Rule name.
+        rule: String,
+        /// Variable name.
+        var: String,
+    },
+    /// A negated atom or function argument uses a variable not bound by an
+    /// earlier positive atom or function result.
+    UnboundAtUse {
+        /// Rule name.
+        rule: String,
+        /// Variable name.
+        var: String,
+    },
+    /// Atom arity differs from the relation's declared arity.
+    ArityMismatch {
+        /// Rule name.
+        rule: String,
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Used arity.
+        found: usize,
+    },
+    /// A rule head targets an EDB (fact-only) relation in a different
+    /// stratum, creating unstratifiable negation.
+    Unstratifiable {
+        /// Relation name involved in the negative cycle.
+        relation: String,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::UnboundHeadVar { rule, var } => {
+                write!(f, "rule {rule}: head variable {var} is not bound by the body")
+            }
+            RuleError::UnboundAtUse { rule, var } => {
+                write!(f, "rule {rule}: variable {var} used in negation/function before binding")
+            }
+            RuleError::ArityMismatch { rule, relation, expected, found } => write!(
+                f,
+                "rule {rule}: relation {relation} has arity {expected}, used with {found}"
+            ),
+            RuleError::Unstratifiable { relation } => {
+                write!(f, "negation through relation {relation} is not stratifiable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// Builds a [`Rule`] with human-readable variable names.
+///
+/// # Examples
+///
+/// ```
+/// use rudoop_datalog::{Engine, RuleBuilder};
+///
+/// let mut engine = Engine::new();
+/// let edge = engine.relation("edge", 2);
+/// let path = engine.relation("path", 2);
+/// let rule = RuleBuilder::new("transitive")
+///     .head(path, &["x", "z"])
+///     .pos(edge, &["x", "y"])
+///     .pos(path, &["y", "z"])
+///     .build()
+///     .unwrap();
+/// engine.add_rule(rule).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct RuleBuilder {
+    name: String,
+    vars: HashMap<String, u32>,
+    var_names: Vec<String>,
+    heads: Vec<Atom>,
+    body: Vec<Literal>,
+}
+
+impl RuleBuilder {
+    /// Starts a rule named `name` (diagnostics only).
+    pub fn new(name: &str) -> Self {
+        RuleBuilder {
+            name: name.to_owned(),
+            vars: HashMap::new(),
+            var_names: Vec::new(),
+            heads: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn term(&mut self, spec: &str) -> Term {
+        // Leading '#' denotes a numeric constant, '_' a fresh wildcard.
+        if let Some(num) = spec.strip_prefix('#') {
+            return Term::Const(num.parse().expect("constant after '#' must be a number"));
+        }
+        if spec == "_" {
+            let id = self.var_names.len() as u32;
+            self.var_names.push(format!("_{id}"));
+            return Term::Var(id);
+        }
+        if let Some(&id) = self.vars.get(spec) {
+            return Term::Var(id);
+        }
+        let id = self.var_names.len() as u32;
+        self.vars.insert(spec.to_owned(), id);
+        self.var_names.push(spec.to_owned());
+        Term::Var(id)
+    }
+
+    fn atom(&mut self, rel: RelId, terms: &[&str]) -> Atom {
+        Atom { rel, terms: terms.iter().map(|t| self.term(t)).collect() }
+    }
+
+    /// Adds a head atom.
+    pub fn head(mut self, rel: RelId, terms: &[&str]) -> Self {
+        let atom = self.atom(rel, terms);
+        self.heads.push(atom);
+        self
+    }
+
+    /// Adds a positive body atom.
+    pub fn pos(mut self, rel: RelId, terms: &[&str]) -> Self {
+        let atom = self.atom(rel, terms);
+        self.body.push(Literal::Pos(atom));
+        self
+    }
+
+    /// Adds a negated body atom.
+    pub fn neg(mut self, rel: RelId, terms: &[&str]) -> Self {
+        let atom = self.atom(rel, terms);
+        self.body.push(Literal::Neg(atom));
+        self
+    }
+
+    /// Adds a function literal `func(args…) = result`.
+    pub fn func(mut self, func: FuncId, args: &[&str], result: &str) -> Self {
+        let args = args.iter().map(|t| self.term(t)).collect();
+        let result = self.term(result);
+        self.body.push(Literal::Func(FuncApp { func, args, result }));
+        self
+    }
+
+    /// Finishes the rule, checking the safety conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::UnboundHeadVar`] or [`RuleError::UnboundAtUse`]
+    /// when a variable is used before any positive binding.
+    pub fn build(self) -> Result<Rule, RuleError> {
+        let n = self.var_names.len();
+        let mut bound = vec![false; n];
+        for lit in &self.body {
+            match lit {
+                Literal::Pos(atom) => {
+                    for t in &atom.terms {
+                        if let Term::Var(v) = t {
+                            bound[*v as usize] = true;
+                        }
+                    }
+                }
+                Literal::Neg(atom) => {
+                    for t in &atom.terms {
+                        if let Term::Var(v) = t {
+                            if !bound[*v as usize] {
+                                return Err(RuleError::UnboundAtUse {
+                                    rule: self.name,
+                                    var: self.var_names[*v as usize].clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+                Literal::Func(app) => {
+                    for t in &app.args {
+                        if let Term::Var(v) = t {
+                            if !bound[*v as usize] {
+                                return Err(RuleError::UnboundAtUse {
+                                    rule: self.name,
+                                    var: self.var_names[*v as usize].clone(),
+                                });
+                            }
+                        }
+                    }
+                    if let Term::Var(v) = app.result {
+                        bound[v as usize] = true;
+                    }
+                }
+            }
+        }
+        for head in &self.heads {
+            for t in &head.terms {
+                if let Term::Var(v) = t {
+                    if !bound[*v as usize] {
+                        return Err(RuleError::UnboundHeadVar {
+                            rule: self.name,
+                            var: self.var_names[*v as usize].clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Rule { heads: self.heads, body: self.body, num_vars: n as u32, name: self.name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_are_interned_per_rule() {
+        let mut b = RuleBuilder::new("t");
+        let t1 = b.term("x");
+        let t2 = b.term("x");
+        let t3 = b.term("y");
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn constants_and_wildcards() {
+        let mut b = RuleBuilder::new("t");
+        assert_eq!(b.term("#42"), Term::Const(42));
+        let w1 = b.term("_");
+        let w2 = b.term("_");
+        assert_ne!(w1, w2, "wildcards are fresh each time");
+    }
+
+    #[test]
+    fn unbound_head_var_is_rejected() {
+        let rel = RelId(0);
+        let err = RuleBuilder::new("bad").head(rel, &["x"]).build().unwrap_err();
+        assert!(matches!(err, RuleError::UnboundHeadVar { .. }));
+    }
+
+    #[test]
+    fn unbound_negation_var_is_rejected() {
+        let rel = RelId(0);
+        let err = RuleBuilder::new("bad")
+            .head(rel, &["x"])
+            .neg(rel, &["x"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RuleError::UnboundAtUse { .. }));
+    }
+
+    #[test]
+    fn function_results_bind() {
+        let rel = RelId(0);
+        let f = FuncId(0);
+        let rule = RuleBuilder::new("ok")
+            .head(rel, &["y"])
+            .pos(rel, &["x"])
+            .func(f, &["x"], "y")
+            .build()
+            .unwrap();
+        assert_eq!(rule.heads.len(), 1);
+        assert_eq!(rule.body.len(), 2);
+    }
+}

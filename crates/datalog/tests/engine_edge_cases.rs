@@ -1,0 +1,163 @@
+//! Edge-case tests for the Datalog engine beyond the happy paths in the
+//! unit suite: deep strata, self-joins, functions in recursive rules,
+//! empty relations, and wide tuples.
+
+use rudoop_datalog::{Engine, RuleBuilder, RuleError};
+
+#[test]
+fn three_strata_evaluate_in_order() {
+    let mut e = Engine::new();
+    let base = e.relation("base", 1);
+    let a = e.relation("a", 1);
+    let b = e.relation("b", 1);
+    let c = e.relation("c", 1);
+    // a(x) <- base(x). b(x) <- base(x), !a(x)... empty.
+    // c(x) <- base(x), !b(x): everything (b empty).
+    e.add_rule(RuleBuilder::new("a").head(a, &["x"]).pos(base, &["x"]).build().unwrap()).unwrap();
+    e.add_rule(
+        RuleBuilder::new("b").head(b, &["x"]).pos(base, &["x"]).neg(a, &["x"]).build().unwrap(),
+    )
+    .unwrap();
+    e.add_rule(
+        RuleBuilder::new("c").head(c, &["x"]).pos(base, &["x"]).neg(b, &["x"]).build().unwrap(),
+    )
+    .unwrap();
+    e.fact(base, &[1]);
+    e.fact(base, &[2]);
+    e.run().unwrap();
+    assert_eq!(e.len(a), 2);
+    assert_eq!(e.len(b), 0);
+    assert_eq!(e.len(c), 2);
+}
+
+#[test]
+fn self_join_same_relation_twice() {
+    let mut e = Engine::new();
+    let edge = e.relation("edge", 2);
+    let tri = e.relation("two_step", 2);
+    e.add_rule(
+        RuleBuilder::new("two")
+            .head(tri, &["x", "z"])
+            .pos(edge, &["x", "y"])
+            .pos(edge, &["y", "z"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for (a, b) in [(1, 2), (2, 3), (3, 1)] {
+        e.fact(edge, &[a, b]);
+    }
+    e.run().unwrap();
+    assert_eq!(e.len(tri), 3);
+    assert!(e.contains(tri, &[1, 3]));
+    assert!(e.contains(tri, &[3, 2]));
+}
+
+#[test]
+fn functions_inside_recursion_reach_fixpoint() {
+    // count-up: n(x) and x < 5 derives n(x+1) via an external successor
+    // function plus a guard relation of allowed values.
+    let mut e = Engine::new();
+    let allowed = e.relation("allowed", 1);
+    let n = e.relation("n", 1);
+    let succ = e.function("succ", |a: &[u32]| a[0] + 1);
+    e.add_rule(
+        RuleBuilder::new("step")
+            .head(n, &["y"])
+            .pos(n, &["x"])
+            .func(succ, &["x"], "y")
+            .pos(allowed, &["y"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for v in 1..=5 {
+        e.fact(allowed, &[v]);
+    }
+    e.fact(n, &[0]);
+    e.run().unwrap();
+    assert_eq!(e.len(n), 6); // 0..=5
+    assert!(e.contains(n, &[5]));
+    assert!(!e.contains(n, &[6]));
+}
+
+#[test]
+fn empty_body_relations_derive_nothing() {
+    let mut e = Engine::new();
+    let a = e.relation("a", 1);
+    let b = e.relation("b", 1);
+    e.add_rule(RuleBuilder::new("r").head(b, &["x"]).pos(a, &["x"]).build().unwrap()).unwrap();
+    let stats = e.run().unwrap();
+    assert!(e.is_empty(b));
+    assert_eq!(stats.derived, 0);
+}
+
+#[test]
+fn wide_tuples_round_trip() {
+    let mut e = Engine::new();
+    let wide = e.relation("wide", 6);
+    let narrow = e.relation("narrow", 2);
+    e.add_rule(
+        RuleBuilder::new("proj")
+            .head(narrow, &["a", "f"])
+            .pos(wide, &["a", "b", "c", "d", "e", "f"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    e.fact(wide, &[1, 2, 3, 4, 5, 6]);
+    e.fact(wide, &[1, 9, 9, 9, 9, 6]);
+    e.run().unwrap();
+    assert_eq!(e.len(narrow), 1, "projection deduplicates");
+    assert!(e.contains(narrow, &[1, 6]));
+}
+
+#[test]
+fn duplicate_facts_are_deduplicated() {
+    let mut e = Engine::new();
+    let r = e.relation("r", 1);
+    e.fact(r, &[7]);
+    e.fact(r, &[7]);
+    assert_eq!(e.len(r), 1);
+}
+
+#[test]
+fn constants_bind_in_function_results() {
+    // head fires only when f(x) == 10.
+    let mut e = Engine::new();
+    let input = e.relation("in", 1);
+    let out = e.relation("out", 1);
+    let double = e.function("double", |a: &[u32]| a[0] * 2);
+    e.add_rule(
+        RuleBuilder::new("eq")
+            .head(out, &["x"])
+            .pos(input, &["x"])
+            .func(double, &["x"], "#10")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    e.fact(input, &[5]);
+    e.fact(input, &[6]);
+    e.run().unwrap();
+    assert_eq!(e.len(out), 1);
+    assert!(e.contains(out, &[5]));
+}
+
+#[test]
+fn unstratifiable_cycle_through_two_relations() {
+    let mut e = Engine::new();
+    let p = e.relation("p", 1);
+    let q = e.relation("q", 1);
+    let seed = e.relation("seed", 1);
+    e.add_rule(
+        RuleBuilder::new("pq").head(p, &["x"]).pos(seed, &["x"]).neg(q, &["x"]).build().unwrap(),
+    )
+    .unwrap();
+    e.add_rule(
+        RuleBuilder::new("qp").head(q, &["x"]).pos(seed, &["x"]).neg(p, &["x"]).build().unwrap(),
+    )
+    .unwrap();
+    e.fact(seed, &[1]);
+    assert!(matches!(e.run(), Err(RuleError::Unstratifiable { .. })));
+}

@@ -1,0 +1,355 @@
+//! A fluent builder for [`Program`]s, used by workload generators, tests and
+//! the textual-format parser.
+//!
+//! The builder interns signatures, checks name uniqueness lazily (full
+//! checking lives in [`mod@crate::validate`]) and keeps ids consistent: every
+//! `var`/`alloc`/call helper takes the method it belongs to, so the
+//! `inMeth` invariants of the paper's input relations hold by construction.
+
+use std::collections::HashMap;
+
+use crate::ids::{AllocId, ClassId, FieldId, GlobalId, InvokeId, MethodId, SigId, VarId};
+use crate::program::{
+    AllocSite, Class, Field, Global, Instruction, Invoke, InvokeKind, Method, Program, Signature,
+    Var,
+};
+
+/// Incrementally constructs a [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use rudoop_ir::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// let object = b.class("Object", None);
+/// let list = b.class("List", Some(object));
+/// let main = b.method(object, "main", &[], true);
+/// let l = b.var(main, "l");
+/// b.alloc(main, l, list);
+/// b.entry(main);
+/// let program = b.finish();
+/// assert_eq!(program.instruction_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    sig_intern: HashMap<(String, usize), SigId>,
+    class_names: HashMap<String, ClassId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a class. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class with the same name already exists.
+    pub fn class(&mut self, name: &str, superclass: Option<ClassId>) -> ClassId {
+        self.class_with(name, superclass, false)
+    }
+
+    /// Declares an abstract class (no allocation sites may use it).
+    pub fn abstract_class(&mut self, name: &str, superclass: Option<ClassId>) -> ClassId {
+        self.class_with(name, superclass, true)
+    }
+
+    fn class_with(&mut self, name: &str, superclass: Option<ClassId>, is_abstract: bool) -> ClassId {
+        assert!(
+            !self.class_names.contains_key(name),
+            "duplicate class name {name:?}"
+        );
+        let id = self.program.classes.push(Class {
+            name: name.to_owned(),
+            superclass,
+            methods: Vec::new(),
+            is_abstract,
+        });
+        self.class_names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a class declared earlier by name.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.class_names.get(name).copied()
+    }
+
+    /// Interns the signature `name/arity`.
+    pub fn sig(&mut self, name: &str, arity: usize) -> SigId {
+        if let Some(&id) = self.sig_intern.get(&(name.to_owned(), arity)) {
+            return id;
+        }
+        let id = self.program.sigs.push(Signature { name: name.to_owned(), arity });
+        self.sig_intern.insert((name.to_owned(), arity), id);
+        id
+    }
+
+    /// Declares a method on `class` with the given parameter names.
+    ///
+    /// Instance methods get a fresh `this` variable; parameters get fresh
+    /// variables. The signature `name/params.len()` is interned so that
+    /// same-named same-arity methods in related classes override each other.
+    pub fn method(&mut self, class: ClassId, name: &str, params: &[&str], is_static: bool) -> MethodId {
+        let sig = self.sig(name, params.len());
+        let id = self.program.methods.push(Method {
+            name: name.to_owned(),
+            sig,
+            class,
+            this: None,
+            params: Vec::new(),
+            ret: None,
+            body: Vec::new(),
+            is_static,
+        });
+        self.program.classes[class].methods.push(id);
+        if !is_static {
+            let this = self.var(id, "this");
+            self.program.methods[id].this = Some(this);
+        }
+        let param_vars: Vec<VarId> = params.iter().map(|p| self.var(id, p)).collect();
+        self.program.methods[id].params = param_vars;
+        id
+    }
+
+    /// Declares a fresh local variable in `method`.
+    pub fn var(&mut self, method: MethodId, name: &str) -> VarId {
+        self.program.vars.push(Var { name: name.to_owned(), method })
+    }
+
+    /// Declares an instance field on `class`.
+    pub fn field(&mut self, class: ClassId, name: &str) -> FieldId {
+        self.program.fields.push(Field { name: name.to_owned(), class })
+    }
+
+    /// Declares a static (global) field on `class`.
+    pub fn global(&mut self, class: ClassId, name: &str) -> GlobalId {
+        self.program.globals.push(Global { name: name.to_owned(), class })
+    }
+
+    /// The `this` variable of `method`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` is static.
+    pub fn this(&self, method: MethodId) -> VarId {
+        self.program.methods[method].this.expect("static method has no `this`")
+    }
+
+    /// The `i`-th formal parameter of `method`.
+    pub fn param(&self, method: MethodId, i: usize) -> VarId {
+        self.program.methods[method].params[i]
+    }
+
+    /// Ensures `method` has a formal return variable and returns it.
+    pub fn ret_var(&mut self, method: MethodId) -> VarId {
+        if let Some(r) = self.program.methods[method].ret {
+            return r;
+        }
+        let r = self.var(method, "$ret");
+        self.program.methods[method].ret = Some(r);
+        r
+    }
+
+    /// Emits `var = new C` in `method` and returns the allocation site.
+    pub fn alloc(&mut self, method: MethodId, var: VarId, class: ClassId) -> AllocId {
+        let alloc = self.program.allocs.push(AllocSite { class, method });
+        self.program.methods[method].body.push(Instruction::Alloc { var, alloc });
+        alloc
+    }
+
+    /// Emits `to = from` in `method`.
+    pub fn mov(&mut self, method: MethodId, to: VarId, from: VarId) {
+        self.program.methods[method].body.push(Instruction::Move { to, from });
+    }
+
+    /// Emits `to = (C) from` in `method`.
+    pub fn cast(&mut self, method: MethodId, to: VarId, from: VarId, class: ClassId) {
+        self.program.methods[method].body.push(Instruction::Cast { to, from, class });
+    }
+
+    /// Emits `to = base.field` in `method`.
+    pub fn load(&mut self, method: MethodId, to: VarId, base: VarId, field: FieldId) {
+        self.program.methods[method].body.push(Instruction::Load { to, base, field });
+    }
+
+    /// Emits `base.field = from` in `method`.
+    pub fn store(&mut self, method: MethodId, base: VarId, field: FieldId, from: VarId) {
+        self.program.methods[method].body.push(Instruction::Store { base, field, from });
+    }
+
+    /// Emits `to = global` in `method`.
+    pub fn load_global(&mut self, method: MethodId, to: VarId, global: GlobalId) {
+        self.program.methods[method].body.push(Instruction::LoadGlobal { to, global });
+    }
+
+    /// Emits `global = from` in `method`.
+    pub fn store_global(&mut self, method: MethodId, global: GlobalId, from: VarId) {
+        self.program.methods[method].body.push(Instruction::StoreGlobal { global, from });
+    }
+
+    /// Emits `result = base.sig(args…)` — a virtual call dispatching on
+    /// `base`'s dynamic type via the interned signature `sig_name/args.len()`.
+    pub fn vcall(
+        &mut self,
+        method: MethodId,
+        result: Option<VarId>,
+        base: VarId,
+        sig_name: &str,
+        args: &[VarId],
+    ) -> InvokeId {
+        let sig = self.sig(sig_name, args.len());
+        let invoke = self.program.invokes.push(Invoke {
+            kind: InvokeKind::Virtual { base, sig },
+            args: args.to_vec(),
+            result,
+            method,
+        });
+        self.program.methods[method].body.push(Instruction::Call { invoke });
+        invoke
+    }
+
+    /// Emits a special (statically-bound instance) call, e.g. a constructor.
+    pub fn specialcall(
+        &mut self,
+        method: MethodId,
+        result: Option<VarId>,
+        base: VarId,
+        target: MethodId,
+        args: &[VarId],
+    ) -> InvokeId {
+        let invoke = self.program.invokes.push(Invoke {
+            kind: InvokeKind::Special { base, target },
+            args: args.to_vec(),
+            result,
+            method,
+        });
+        self.program.methods[method].body.push(Instruction::Call { invoke });
+        invoke
+    }
+
+    /// Emits a static call.
+    pub fn scall(
+        &mut self,
+        method: MethodId,
+        result: Option<VarId>,
+        target: MethodId,
+        args: &[VarId],
+    ) -> InvokeId {
+        let invoke = self.program.invokes.push(Invoke {
+            kind: InvokeKind::Static { target },
+            args: args.to_vec(),
+            result,
+            method,
+        });
+        self.program.methods[method].body.push(Instruction::Call { invoke });
+        invoke
+    }
+
+    /// Emits `return var` in `method` (creating the formal return variable
+    /// on first use).
+    pub fn ret(&mut self, method: MethodId, var: VarId) {
+        self.ret_var(method);
+        self.program.methods[method].body.push(Instruction::Return { var });
+    }
+
+    /// Marks `method` as an entry point (seed of REACHABLE).
+    pub fn entry(&mut self, method: MethodId) {
+        self.program.entry_points.push(method);
+    }
+
+    /// Finishes construction and returns the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+
+    /// Read-only view of the program built so far.
+    pub fn peek(&self) -> &Program {
+        &self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_get_this_and_params() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("C", None);
+        let m = b.method(c, "f", &["x", "y"], false);
+        let p = b.peek();
+        assert!(p.methods[m].this.is_some());
+        assert_eq!(p.methods[m].params.len(), 2);
+        assert_eq!(p.vars[p.methods[m].params[0]].name, "x");
+        assert_eq!(p.vars[b.this(m)].name, "this");
+    }
+
+    #[test]
+    fn static_methods_have_no_this() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("C", None);
+        let m = b.method(c, "f", &[], true);
+        assert!(b.peek().methods[m].this.is_none());
+    }
+
+    #[test]
+    fn signatures_are_interned_by_name_and_arity() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("C", None);
+        let d = b.class("D", Some(c));
+        let m1 = b.method(c, "f", &["a"], false);
+        let m2 = b.method(d, "f", &["b"], false);
+        let m3 = b.method(d, "f", &["a", "b"], false);
+        let p = b.peek();
+        assert_eq!(p.methods[m1].sig, p.methods[m2].sig);
+        assert_ne!(p.methods[m1].sig, p.methods[m3].sig);
+    }
+
+    #[test]
+    fn ret_creates_formal_return_once() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("C", None);
+        let m = b.method(c, "f", &[], false);
+        let x = b.var(m, "x");
+        b.ret(m, x);
+        b.ret(m, x);
+        let p = b.peek();
+        let ret = p.methods[m].ret.unwrap();
+        assert_eq!(p.vars[ret].name, "$ret");
+        // Only one $ret variable despite two returns.
+        assert_eq!(p.vars.values().filter(|v| v.name == "$ret").count(), 1);
+    }
+
+    #[test]
+    fn duplicate_class_name_panics() {
+        let mut b = ProgramBuilder::new();
+        b.class("C", None);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.class("C", None);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn calls_record_invoke_sites() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("C", None);
+        let m = b.method(c, "main", &[], true);
+        let callee = b.method(c, "f", &["x"], false);
+        let recv = b.var(m, "recv");
+        let arg = b.var(m, "arg");
+        let out = b.var(m, "out");
+        b.alloc(m, recv, c);
+        let i1 = b.vcall(m, Some(out), recv, "f", &[arg]);
+        let i2 = b.scall(m, None, callee, &[arg]);
+        let p = b.peek();
+        assert_eq!(p.invokes.len(), 2);
+        assert!(matches!(p.invokes[i1].kind, InvokeKind::Virtual { .. }));
+        assert!(matches!(p.invokes[i2].kind, InvokeKind::Static { .. }));
+        assert_eq!(p.invokes[i1].result, Some(out));
+    }
+}

@@ -1,0 +1,206 @@
+//! Class hierarchy queries: subtype tests and virtual dispatch — the
+//! paper's HEAPTYPE/LOOKUP machinery.
+//!
+//! Built once from a [`Program`] and then queried heavily by the solver, so
+//! everything is precomputed into dense tables: subtyping uses an Euler-tour
+//! interval encoding (`O(1)` per query) and dispatch uses copied-down
+//! per-class signature maps (`O(1)` hash lookup per query).
+
+use std::collections::HashMap;
+
+use crate::ids::{ClassId, IdxVec, MethodId, SigId};
+use crate::program::Program;
+
+/// Precomputed hierarchy queries for one [`Program`].
+#[derive(Debug, Clone)]
+pub struct ClassHierarchy {
+    /// Euler-tour entry time per class.
+    begin: IdxVec<ClassId, u32>,
+    /// Euler-tour exit time per class.
+    end: IdxVec<ClassId, u32>,
+    /// Copy-down dispatch table: for each class, every signature it can
+    /// answer, mapped to the most-derived implementation.
+    dispatch: IdxVec<ClassId, HashMap<SigId, MethodId>>,
+    /// Direct subclasses, for iteration.
+    children: IdxVec<ClassId, Vec<ClassId>>,
+}
+
+impl ClassHierarchy {
+    /// Builds the hierarchy tables for `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the superclass graph is cyclic — run
+    /// [`validate`](crate::validate::validate) first for a proper error.
+    pub fn new(program: &Program) -> Self {
+        let n = program.classes.len();
+        let mut children: IdxVec<ClassId, Vec<ClassId>> =
+            (0..n).map(|_| Vec::new()).collect();
+        let mut roots = Vec::new();
+        for (cid, class) in program.classes.iter() {
+            match class.superclass {
+                Some(sup) => children[sup].push(cid),
+                None => roots.push(cid),
+            }
+        }
+
+        // Euler tour for interval subtype encoding.
+        let mut begin: IdxVec<ClassId, u32> = (0..n).map(|_| 0).collect();
+        let mut end: IdxVec<ClassId, u32> = (0..n).map(|_| 0).collect();
+        let mut clock = 0u32;
+        let mut visited = 0usize;
+        // Iterative DFS: (class, child cursor).
+        let mut stack: Vec<(ClassId, usize)> = Vec::new();
+        for &root in &roots {
+            stack.push((root, 0));
+            begin[root] = clock;
+            clock += 1;
+            visited += 1;
+            while let Some(&mut (cls, ref mut cursor)) = stack.last_mut() {
+                if *cursor < children[cls].len() {
+                    let child = children[cls][*cursor];
+                    *cursor += 1;
+                    begin[child] = clock;
+                    clock += 1;
+                    visited += 1;
+                    stack.push((child, 0));
+                } else {
+                    end[cls] = clock;
+                    clock += 1;
+                    stack.pop();
+                }
+            }
+        }
+        assert_eq!(visited, n, "superclass graph is cyclic or disconnected from roots");
+
+        // Copy-down dispatch tables, parents before children (DFS order).
+        let mut dispatch: IdxVec<ClassId, HashMap<SigId, MethodId>> =
+            (0..n).map(|_| HashMap::new()).collect();
+        let mut order: Vec<ClassId> = Vec::with_capacity(n);
+        let mut work: Vec<ClassId> = roots.clone();
+        while let Some(cls) = work.pop() {
+            order.push(cls);
+            work.extend(children[cls].iter().copied());
+        }
+        for cls in order {
+            if let Some(sup) = program.classes[cls].superclass {
+                let inherited = dispatch[sup].clone();
+                dispatch[cls] = inherited;
+            }
+            for &m in &program.classes[cls].methods {
+                if !program.methods[m].is_static {
+                    dispatch[cls].insert(program.methods[m].sig, m);
+                }
+            }
+        }
+
+        ClassHierarchy { begin, end, dispatch, children }
+    }
+
+    /// Whether `sub` is `sup` or a (transitive) subclass of it.
+    #[inline]
+    pub fn is_subtype(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.begin[sup] <= self.begin[sub] && self.end[sub] <= self.end[sup]
+    }
+
+    /// Virtual dispatch: the paper's `LOOKUP(type, sig) = meth`.
+    ///
+    /// Returns the most-derived non-static method implementing `sig` in
+    /// `class` or an ancestor, or `None` when the class does not understand
+    /// the signature.
+    #[inline]
+    pub fn lookup(&self, class: ClassId, sig: SigId) -> Option<MethodId> {
+        self.dispatch[class].get(&sig).copied()
+    }
+
+    /// Direct subclasses of `class`.
+    pub fn subclasses(&self, class: ClassId) -> &[ClassId] {
+        &self.children[class]
+    }
+
+    /// All signatures `class` can dispatch, with their targets.
+    pub fn dispatch_table(&self, class: ClassId) -> &HashMap<SigId, MethodId> {
+        &self.dispatch[class]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn diamond_free_fixture() -> (Program, ClassId, ClassId, ClassId, ClassId) {
+        // Object <- A <- B, Object <- C
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let a = b.class("A", Some(obj));
+        let bb = b.class("B", Some(a));
+        let c = b.class("C", Some(obj));
+        (b.finish(), obj, a, bb, c)
+    }
+
+    #[test]
+    fn subtype_is_reflexive_and_transitive() {
+        let (p, obj, a, bb, c) = diamond_free_fixture();
+        let h = ClassHierarchy::new(&p);
+        assert!(h.is_subtype(a, a));
+        assert!(h.is_subtype(bb, a));
+        assert!(h.is_subtype(bb, obj));
+        assert!(h.is_subtype(c, obj));
+        assert!(!h.is_subtype(a, bb));
+        assert!(!h.is_subtype(c, a));
+        assert!(!h.is_subtype(obj, c));
+    }
+
+    #[test]
+    fn lookup_finds_most_derived_override() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let a = b.class("A", Some(obj));
+        let bb = b.class("B", Some(a));
+        let m_a = b.method(a, "f", &[], false);
+        let m_b = b.method(bb, "f", &[], false);
+        let p = b.finish();
+        let h = ClassHierarchy::new(&p);
+        let sig = p.methods[m_a].sig;
+        assert_eq!(p.methods[m_b].sig, sig, "overrides share a signature");
+        assert_eq!(h.lookup(a, sig), Some(m_a));
+        assert_eq!(h.lookup(bb, sig), Some(m_b));
+        assert_eq!(h.lookup(obj, sig), None);
+    }
+
+    #[test]
+    fn lookup_inherits_from_ancestors() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let a = b.class("A", Some(obj));
+        let bb = b.class("B", Some(a));
+        let m_a = b.method(a, "g", &[], false);
+        let p = b.finish();
+        let h = ClassHierarchy::new(&p);
+        let sig = p.methods[m_a].sig;
+        assert_eq!(h.lookup(bb, sig), Some(m_a));
+    }
+
+    #[test]
+    fn static_methods_do_not_enter_dispatch() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let a = b.class("A", Some(obj));
+        let m = b.method(a, "s", &[], true);
+        let p = b.finish();
+        let h = ClassHierarchy::new(&p);
+        assert_eq!(h.lookup(a, p.methods[m].sig), None);
+    }
+
+    #[test]
+    fn subclasses_lists_direct_children_only() {
+        let (p, obj, a, bb, c) = diamond_free_fixture();
+        let h = ClassHierarchy::new(&p);
+        let mut kids = h.subclasses(obj).to_vec();
+        kids.sort();
+        assert_eq!(kids, vec![a, c]);
+        assert_eq!(h.subclasses(a), &[bb]);
+        assert!(h.subclasses(bb).is_empty());
+    }
+}

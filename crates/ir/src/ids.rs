@@ -1,0 +1,268 @@
+//! Compact, type-safe identifiers for every program entity.
+//!
+//! All analysis data structures are arrays indexed by these ids, so ids are
+//! thin `u32` newtypes (the paper's domains `V`, `H`, `M`, `S`, `F`, `I`,
+//! `T` from Figure 2). Each id type implements [`Idx`] so generic arenas and
+//! dense maps can be written once.
+
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// A dense index type: convertible to and from `usize` without loss.
+///
+/// Implemented by every id newtype in this module. The conversion is a plain
+/// cast; ids are only ever produced by the arenas that own the entities, so
+/// an id is always in bounds for the tables of the [`crate::Program`] that
+/// created it.
+pub trait Idx: Copy + Eq + Hash + Ord + fmt::Debug + 'static {
+    /// Creates an id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` does not fit in `u32`.
+    fn from_usize(idx: usize) -> Self;
+    /// Returns the raw index.
+    fn index(self) -> usize;
+}
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl Idx for $name {
+            #[inline]
+            fn from_usize(idx: usize) -> Self {
+                assert!(idx <= u32::MAX as usize, "id overflow for {}", $tag);
+                $name(idx as u32)
+            }
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> $name {
+                $name(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A class type (domain `T`).
+    ClassId,
+    "T"
+);
+define_id!(
+    /// A method definition (domain `M`).
+    MethodId,
+    "M"
+);
+define_id!(
+    /// A local variable, unique program-wide (domain `V`).
+    ///
+    /// Every variable belongs to exactly one method, as in the paper's
+    /// `inMeth` convention.
+    VarId,
+    "V"
+);
+define_id!(
+    /// An instance field (domain `F`).
+    FieldId,
+    "F"
+);
+define_id!(
+    /// An allocation site, the heap abstraction (domain `H`).
+    AllocId,
+    "H"
+);
+define_id!(
+    /// A method invocation site (domain `I`).
+    InvokeId,
+    "I"
+);
+define_id!(
+    /// A method signature: name plus arity, the dispatch key (domain `S`).
+    SigId,
+    "S"
+);
+define_id!(
+    /// A static (global) field, context-insensitive by nature.
+    GlobalId,
+    "G"
+);
+
+/// A dense, growable map from an id type to values, backed by a `Vec`.
+///
+/// This is the workhorse table type of the whole framework: `O(1)` access,
+/// cache-friendly iteration, no hashing.
+#[derive(Clone, PartialEq, Eq)]
+pub struct IdxVec<I: Idx, T> {
+    raw: Vec<T>,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: Idx, T> IdxVec<I, T> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        IdxVec { raw: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates an empty map with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        IdxVec { raw: Vec::with_capacity(cap), _marker: PhantomData }
+    }
+
+    /// Appends a value, returning the id it was stored under.
+    pub fn push(&mut self, value: T) -> I {
+        let id = I::from_usize(self.raw.len());
+        self.raw.push(value);
+        id
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Borrow the entry for `id`, or `None` if out of bounds.
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.raw.get(id.index())
+    }
+
+    /// Iterate over `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.raw.iter().enumerate().map(|(i, v)| (I::from_usize(i), v))
+    }
+
+    /// Iterate over values in id order.
+    pub fn values(&self) -> std::slice::Iter<'_, T> {
+        self.raw.iter()
+    }
+
+    /// Iterate over values mutably in id order.
+    pub fn values_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.raw.iter_mut()
+    }
+
+    /// Iterate over all ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
+        (0..self.raw.len()).map(I::from_usize)
+    }
+}
+
+impl<I: Idx, T> Default for IdxVec<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Idx, T> std::ops::Index<I> for IdxVec<I, T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: I) -> &T {
+        &self.raw[id.index()]
+    }
+}
+
+impl<I: Idx, T> std::ops::IndexMut<I> for IdxVec<I, T> {
+    #[inline]
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.raw[id.index()]
+    }
+}
+
+impl<I: Idx, T: fmt::Debug> fmt::Debug for IdxVec<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter().map(|(i, v)| (i, v))).finish()
+    }
+}
+
+impl<I: Idx, T> FromIterator<T> for IdxVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        IdxVec { raw: Vec::from_iter(iter), _marker: PhantomData }
+    }
+}
+
+impl<I: Idx, T> Extend<T> for IdxVec<I, T> {
+    fn extend<It: IntoIterator<Item = T>>(&mut self, iter: It) {
+        self.raw.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        let v = VarId::from_usize(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(VarId::from(42u32), v);
+    }
+
+    #[test]
+    fn ids_display_with_domain_tag() {
+        assert_eq!(VarId(3).to_string(), "V3");
+        assert_eq!(AllocId(7).to_string(), "H7");
+        assert_eq!(MethodId(0).to_string(), "M0");
+        assert_eq!(format!("{:?}", ClassId(9)), "T9");
+    }
+
+    #[test]
+    fn idxvec_push_returns_sequential_ids() {
+        let mut map: IdxVec<VarId, &str> = IdxVec::new();
+        assert!(map.is_empty());
+        let a = map.push("a");
+        let b = map.push("b");
+        assert_eq!(a, VarId(0));
+        assert_eq!(b, VarId(1));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[b], "b");
+    }
+
+    #[test]
+    fn idxvec_iteration_is_in_id_order() {
+        let map: IdxVec<FieldId, i32> = [10, 20, 30].into_iter().collect();
+        let pairs: Vec<_> = map.iter().map(|(i, v)| (i.index(), *v)).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30)]);
+        assert_eq!(map.ids().collect::<Vec<_>>(), vec![FieldId(0), FieldId(1), FieldId(2)]);
+    }
+
+    #[test]
+    fn idxvec_get_is_checked() {
+        let map: IdxVec<SigId, u8> = [1u8].into_iter().collect();
+        assert_eq!(map.get(SigId(0)), Some(&1));
+        assert_eq!(map.get(SigId(1)), None);
+    }
+}

@@ -1,0 +1,367 @@
+//! Well-formedness checking for [`Program`]s.
+//!
+//! The analyses assume structural invariants (acyclic hierarchy, variables
+//! used in the method that declares them, arities matching). Workload
+//! generators and the parser funnel through [`validate`] in tests so a
+//! malformed program is rejected with a precise error instead of producing
+//! nonsense analysis results.
+
+use std::fmt;
+
+use crate::ids::{ClassId, Idx, MethodId, VarId};
+use crate::program::{Instruction, InvokeKind, Program};
+
+/// A well-formedness violation found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The superclass chain of the class revisits itself.
+    CyclicHierarchy(ClassId),
+    /// A variable is used by an instruction of a method other than its own.
+    ForeignVariable {
+        /// The method containing the offending instruction.
+        method: MethodId,
+        /// The variable that belongs elsewhere.
+        var: VarId,
+    },
+    /// A call site passes a number of arguments different from the callee's
+    /// (or signature's) arity.
+    ArityMismatch {
+        /// The offending invocation's enclosing method.
+        method: MethodId,
+        /// Expected arity.
+        expected: usize,
+        /// Passed arguments.
+        found: usize,
+    },
+    /// A `Special` or `Static` call targets a method of the wrong kind.
+    WrongCallKind {
+        /// The offending invocation's enclosing method.
+        method: MethodId,
+        /// The miscalled target.
+        target: MethodId,
+    },
+    /// An allocation site instantiates an abstract class.
+    AbstractAllocation(ClassId),
+    /// An entry-point method is an instance method (entry points are seeded
+    /// without a receiver, so they must be static).
+    InstanceEntryPoint(MethodId),
+    /// A `Return` occurs in a method without a formal return variable.
+    ReturnWithoutFormal(MethodId),
+    /// An id stored in a table points past the end of its target table.
+    DanglingId {
+        /// Which table the bad reference was found in.
+        table: &'static str,
+        /// Raw value of the dangling id.
+        raw: u32,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::CyclicHierarchy(c) => {
+                write!(f, "class {c} participates in a superclass cycle")
+            }
+            ValidateError::ForeignVariable { method, var } => {
+                write!(f, "method {method} uses variable {var} belonging to another method")
+            }
+            ValidateError::ArityMismatch { method, expected, found } => {
+                write!(f, "call in {method} passes {found} arguments, callee expects {expected}")
+            }
+            ValidateError::WrongCallKind { method, target } => {
+                write!(f, "call in {method} targets {target} with the wrong call kind")
+            }
+            ValidateError::AbstractAllocation(c) => {
+                write!(f, "allocation of abstract class {c}")
+            }
+            ValidateError::InstanceEntryPoint(m) => {
+                write!(f, "entry point {m} is an instance method")
+            }
+            ValidateError::ReturnWithoutFormal(m) => {
+                write!(f, "method {m} returns a value but has no formal return variable")
+            }
+            ValidateError::DanglingId { table, raw } => {
+                write!(f, "dangling id {raw} in table {table}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks every structural invariant the analyses rely on.
+///
+/// # Errors
+///
+/// Returns the list of all violations found (empty ≠ returned: a well-formed
+/// program yields `Ok(())`).
+pub fn validate(program: &Program) -> Result<(), Vec<ValidateError>> {
+    let mut errors = Vec::new();
+
+    check_hierarchy(program, &mut errors);
+    check_ids(program, &mut errors);
+    if !errors.is_empty() {
+        // Id integrity failed: the per-instruction checks below index tables.
+        return Err(errors);
+    }
+    check_bodies(program, &mut errors);
+    check_invokes(program, &mut errors);
+    check_allocs(program, &mut errors);
+    check_entries(program, &mut errors);
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn check_hierarchy(program: &Program, errors: &mut Vec<ValidateError>) {
+    for (cid, _) in program.classes.iter() {
+        // Floyd-free simple walk with a step bound.
+        let mut cur = Some(cid);
+        let mut steps = 0usize;
+        while let Some(c) = cur {
+            if steps > program.classes.len() {
+                errors.push(ValidateError::CyclicHierarchy(cid));
+                break;
+            }
+            steps += 1;
+            cur = program.classes.get(c).and_then(|cl| cl.superclass);
+        }
+    }
+}
+
+fn check_ids(program: &Program, errors: &mut Vec<ValidateError>) {
+    let nc = program.classes.len();
+    let nm = program.methods.len();
+    let nv = program.vars.len();
+    for class in program.classes.values() {
+        if let Some(sup) = class.superclass {
+            if sup.index() >= nc {
+                errors.push(ValidateError::DanglingId { table: "classes.superclass", raw: sup.0 });
+            }
+        }
+        for &m in &class.methods {
+            if m.index() >= nm {
+                errors.push(ValidateError::DanglingId { table: "classes.methods", raw: m.0 });
+            }
+        }
+    }
+    for method in program.methods.values() {
+        for v in method.this.iter().chain(method.params.iter()).chain(method.ret.iter()) {
+            if v.index() >= nv {
+                errors.push(ValidateError::DanglingId { table: "methods.vars", raw: v.0 });
+            }
+        }
+    }
+}
+
+fn check_bodies(program: &Program, errors: &mut Vec<ValidateError>) {
+    let check_var = |mid: MethodId, var: VarId, errors: &mut Vec<ValidateError>| {
+        if program.vars[var].method != mid {
+            errors.push(ValidateError::ForeignVariable { method: mid, var });
+        }
+    };
+    for (mid, method) in program.methods.iter() {
+        for instr in &method.body {
+            match *instr {
+                Instruction::Alloc { var, .. } => check_var(mid, var, errors),
+                Instruction::Move { to, from } | Instruction::Cast { to, from, .. } => {
+                    check_var(mid, to, errors);
+                    check_var(mid, from, errors);
+                }
+                Instruction::Load { to, base, .. } => {
+                    check_var(mid, to, errors);
+                    check_var(mid, base, errors);
+                }
+                Instruction::Store { base, from, .. } => {
+                    check_var(mid, base, errors);
+                    check_var(mid, from, errors);
+                }
+                Instruction::LoadGlobal { to, global } => {
+                    check_var(mid, to, errors);
+                    if global.index() >= program.globals.len() {
+                        errors.push(ValidateError::DanglingId {
+                            table: "body.globals",
+                            raw: global.0,
+                        });
+                    }
+                }
+                Instruction::StoreGlobal { global, from } => {
+                    check_var(mid, from, errors);
+                    if global.index() >= program.globals.len() {
+                        errors.push(ValidateError::DanglingId {
+                            table: "body.globals",
+                            raw: global.0,
+                        });
+                    }
+                }
+                Instruction::Call { invoke } => {
+                    let inv = &program.invokes[invoke];
+                    for &a in &inv.args {
+                        check_var(mid, a, errors);
+                    }
+                    if let Some(r) = inv.result {
+                        check_var(mid, r, errors);
+                    }
+                    match inv.kind {
+                        InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => {
+                            check_var(mid, base, errors)
+                        }
+                        InvokeKind::Static { .. } => {}
+                    }
+                }
+                Instruction::Return { var } => {
+                    check_var(mid, var, errors);
+                    if method.ret.is_none() {
+                        errors.push(ValidateError::ReturnWithoutFormal(mid));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_invokes(program: &Program, errors: &mut Vec<ValidateError>) {
+    for invoke in program.invokes.values() {
+        match invoke.kind {
+            InvokeKind::Virtual { sig, .. } => {
+                let arity = program.sigs[sig].arity;
+                if invoke.args.len() != arity {
+                    errors.push(ValidateError::ArityMismatch {
+                        method: invoke.method,
+                        expected: arity,
+                        found: invoke.args.len(),
+                    });
+                }
+            }
+            InvokeKind::Special { target, .. } => {
+                let callee = &program.methods[target];
+                if callee.is_static {
+                    errors.push(ValidateError::WrongCallKind { method: invoke.method, target });
+                }
+                if invoke.args.len() != callee.params.len() {
+                    errors.push(ValidateError::ArityMismatch {
+                        method: invoke.method,
+                        expected: callee.params.len(),
+                        found: invoke.args.len(),
+                    });
+                }
+            }
+            InvokeKind::Static { target } => {
+                let callee = &program.methods[target];
+                if !callee.is_static {
+                    errors.push(ValidateError::WrongCallKind { method: invoke.method, target });
+                }
+                if invoke.args.len() != callee.params.len() {
+                    errors.push(ValidateError::ArityMismatch {
+                        method: invoke.method,
+                        expected: callee.params.len(),
+                        found: invoke.args.len(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_allocs(program: &Program, errors: &mut Vec<ValidateError>) {
+    for alloc in program.allocs.values() {
+        if program.classes[alloc.class].is_abstract {
+            errors.push(ValidateError::AbstractAllocation(alloc.class));
+        }
+    }
+}
+
+fn check_entries(program: &Program, errors: &mut Vec<ValidateError>) {
+    for &m in &program.entry_points {
+        if !program.methods[m].is_static {
+            errors.push(ValidateError::InstanceEntryPoint(m));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn well_formed_program_validates() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        b.alloc(main, x, obj);
+        b.entry(main);
+        assert_eq!(validate(&b.finish()), Ok(()));
+    }
+
+    #[test]
+    fn cyclic_hierarchy_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let a = b.class("A", None);
+        let c = b.class("B", Some(a));
+        let mut p = b.finish();
+        p.classes[a].superclass = Some(c);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::CyclicHierarchy(_))));
+    }
+
+    #[test]
+    fn foreign_variable_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let m1 = b.method(obj, "f", &[], true);
+        let m2 = b.method(obj, "g", &[], true);
+        let x1 = b.var(m1, "x");
+        let x2 = b.var(m2, "x");
+        b.mov(m1, x1, x2);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::ForeignVariable { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let callee = b.method(obj, "f", &["a"], true);
+        b.scall(main, None, callee, &[]);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn static_call_to_instance_method_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let callee = b.method(obj, "f", &[], false);
+        b.scall(main, None, callee, &[]);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::WrongCallKind { .. })));
+    }
+
+    #[test]
+    fn abstract_allocation_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.abstract_class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        b.alloc(main, x, obj);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::AbstractAllocation(_))));
+    }
+
+    #[test]
+    fn instance_entry_point_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let m = b.method(obj, "run", &[], false);
+        b.entry(m);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::InstanceEntryPoint(_))));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the class hierarchy: the interval-encoded subtype
+//! test and the copy-down dispatch tables must agree with naive walks.
+
+use proptest::prelude::*;
+use rudoop_ir::arbitrary::{arb_program, ProgramShape};
+use rudoop_ir::{ClassHierarchy, ClassId, Program};
+
+fn naive_is_subtype(p: &Program, mut sub: ClassId, sup: ClassId) -> bool {
+    loop {
+        if sub == sup {
+            return true;
+        }
+        match p.classes[sub].superclass {
+            Some(next) => sub = next,
+            None => return false,
+        }
+    }
+}
+
+fn naive_lookup(p: &Program, class: ClassId, sig: rudoop_ir::SigId) -> Option<rudoop_ir::MethodId> {
+    let mut cur = Some(class);
+    while let Some(c) = cur {
+        // Most-derived first: the declaring class itself, then ancestors.
+        if let Some(&m) = p.classes[c]
+            .methods
+            .iter()
+            .find(|&&m| p.methods[m].sig == sig && !p.methods[m].is_static)
+        {
+            return Some(m);
+        }
+        cur = p.classes[c].superclass;
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interval_subtype_agrees_with_naive_walk(p in arb_program(ProgramShape::default())) {
+        let h = ClassHierarchy::new(&p);
+        for a in p.classes.ids() {
+            for b in p.classes.ids() {
+                prop_assert_eq!(
+                    h.is_subtype(a, b),
+                    naive_is_subtype(&p, a, b),
+                    "subtype disagreement at {:?},{:?}", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_agrees_with_naive_walk(p in arb_program(ProgramShape::default())) {
+        let h = ClassHierarchy::new(&p);
+        for c in p.classes.ids() {
+            for s in p.sigs.ids() {
+                prop_assert_eq!(
+                    h.lookup(c, s),
+                    naive_lookup(&p, c, s),
+                    "lookup disagreement at {:?},{:?}", c, s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subclasses_partition_the_hierarchy(p in arb_program(ProgramShape::default())) {
+        let h = ClassHierarchy::new(&p);
+        let mut child_count = 0usize;
+        let mut roots = 0usize;
+        for c in p.classes.ids() {
+            child_count += h.subclasses(c).len();
+            if p.classes[c].superclass.is_none() {
+                roots += 1;
+            }
+            for &k in h.subclasses(c) {
+                prop_assert_eq!(p.classes[k].superclass, Some(c));
+            }
+        }
+        prop_assert_eq!(child_count + roots, p.classes.len());
+    }
+}

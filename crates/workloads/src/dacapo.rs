@@ -1,0 +1,343 @@
+//! The nine DaCapo-2006-shaped benchmark specs used throughout the
+//! evaluation harness.
+//!
+//! Each spec is tuned so that, under the harness's standard derivation
+//! budget, the relative behavior of the analyses matches the paper:
+//!
+//! - `antlr`, `lusearch`, `pmd`: well-behaved — every analysis completes
+//!   quickly (the paper's "benchmarks that are already certain to scale"),
+//! - `bloat`, `chart`, `eclipse`, `xalan`: heavy — `2objH` completes but
+//!   slowly; `2callH` exceeds the budget on `bloat` and `xalan`,
+//! - `hsqldb`: `2objH` and `2callH` exceed the budget; `2typeH` completes
+//!   (slowest of the set); Heuristic B rescues everything (its hot methods
+//!   have huge, concentrated points-to volumes),
+//! - `jython`: every deep analysis exceeds the budget, and the cost is
+//!   *diffuse* (many medium-volume methods below Heuristic B's cutoffs), so
+//!   introspective Heuristic B still fails on it while Heuristic A scales —
+//!   exactly the paper's Figure 5/6/7 story.
+
+use crate::spec::WorkloadSpec;
+
+/// The names of the six scalability-challenged benchmarks of Figures 5–7.
+pub const HARD_SIX: [&str; 6] = ["bloat", "chart", "eclipse", "hsqldb", "jython", "xalan"];
+
+/// All nine benchmark names of Figure 1, in the paper's order.
+pub const ALL_NINE: [&str; 9] =
+    ["antlr", "bloat", "chart", "eclipse", "hsqldb", "jython", "lusearch", "pmd", "xalan"];
+
+fn base(name: &str, seed: u64) -> WorkloadSpec {
+    WorkloadSpec { name: name.to_owned(), seed, ..WorkloadSpec::default() }
+}
+
+/// `antlr`: parser generator — modest, well-behaved.
+pub fn antlr() -> WorkloadSpec {
+    WorkloadSpec {
+        pool_values: 250,
+        pool_value_classes: 5,
+        wrapper_classes: 2,
+        creator_classes: 3,
+        creator_instances: 12,
+        allocator_classes: 0,
+        wrapper_sites_per_class: 4,
+        process_steps: 4,
+        util_consumers: 8,
+        util_dists: 4,
+        util_chain: 3,
+        util_moves: 3,
+        medium_pool: 0,
+        probes_clean: 12,
+        probes_type_friendly: 8,
+        probes_medium: 0,
+        listeners: 8,
+        app_classes: 120,
+        app_casts: 8,
+        ..base("antlr", 1)
+    }
+}
+
+/// `lusearch`: text search — small and flat.
+pub fn lusearch() -> WorkloadSpec {
+    WorkloadSpec {
+        pool_values: 220,
+        pool_value_classes: 4,
+        wrapper_classes: 2,
+        creator_classes: 2,
+        creator_instances: 10,
+        allocator_classes: 0,
+        wrapper_sites_per_class: 4,
+        process_steps: 3,
+        util_consumers: 6,
+        util_dists: 4,
+        util_chain: 2,
+        util_moves: 2,
+        medium_pool: 0,
+        probes_clean: 10,
+        probes_type_friendly: 7,
+        probes_medium: 0,
+        listeners: 6,
+        app_classes: 100,
+        app_casts: 6,
+        ..base("lusearch", 2)
+    }
+}
+
+/// `pmd`: source analyzer — mid-size, still well-behaved.
+pub fn pmd() -> WorkloadSpec {
+    WorkloadSpec {
+        pool_values: 350,
+        pool_value_classes: 6,
+        wrapper_classes: 3,
+        creator_classes: 4,
+        creator_instances: 20,
+        allocator_classes: 0,
+        wrapper_sites_per_class: 6,
+        process_steps: 5,
+        util_consumers: 40,
+        util_dists: 8,
+        util_chain: 3,
+        util_moves: 4,
+        medium_pool: 130,
+        probes_clean: 14,
+        probes_type_friendly: 9,
+        probes_medium: 4,
+        listeners: 10,
+        app_classes: 160,
+        app_casts: 10,
+        ..base("pmd", 3)
+    }
+}
+
+/// `bloat`: bytecode optimizer — heavy 2objH, unscalable 2callH.
+pub fn bloat() -> WorkloadSpec {
+    WorkloadSpec {
+        pool_values: 500,
+        pool_value_classes: 8,
+        wrapper_classes: 3,
+        creator_classes: 4,
+        creator_instances: 48,
+        allocator_classes: 6,
+        wrapper_sites_per_class: 18,
+        process_steps: 15,
+        util_consumers: 80,
+        util_dists: 42,
+        util_chain: 3,
+        util_moves: 14,
+        medium_pool: 150,
+        probes_clean: 16,
+        probes_type_friendly: 10,
+        probes_medium: 6,
+        listeners: 12,
+        app_classes: 260,
+        app_casts: 12,
+        ..base("bloat", 4)
+    }
+}
+
+/// `chart`: plotting — heavy but completing everywhere except the paper's
+/// budget-level slowdowns.
+pub fn chart() -> WorkloadSpec {
+    WorkloadSpec {
+        pool_values: 450,
+        pool_value_classes: 7,
+        wrapper_classes: 3,
+        creator_classes: 4,
+        creator_instances: 40,
+        allocator_classes: 6,
+        wrapper_sites_per_class: 12,
+        process_steps: 6,
+        util_consumers: 48,
+        util_dists: 32,
+        util_chain: 3,
+        util_moves: 5,
+        medium_pool: 140,
+        probes_clean: 14,
+        probes_type_friendly: 9,
+        probes_medium: 5,
+        listeners: 12,
+        app_classes: 240,
+        app_casts: 10,
+        ..base("chart", 5)
+    }
+}
+
+/// `eclipse`: IDE core — like `chart` with a heavier call-site profile
+/// (completing, but close to the wall).
+pub fn eclipse() -> WorkloadSpec {
+    WorkloadSpec {
+        pool_values: 480,
+        pool_value_classes: 8,
+        wrapper_classes: 3,
+        creator_classes: 5,
+        creator_instances: 40,
+        allocator_classes: 8,
+        wrapper_sites_per_class: 10,
+        process_steps: 7,
+        util_consumers: 60,
+        util_dists: 38,
+        util_chain: 3,
+        util_moves: 5,
+        medium_pool: 150,
+        probes_clean: 15,
+        probes_type_friendly: 10,
+        probes_medium: 5,
+        listeners: 14,
+        app_classes: 280,
+        app_casts: 12,
+        ..base("eclipse", 6)
+    }
+}
+
+/// `xalan`: XSLT — heavy 2objH, unscalable 2callH.
+pub fn xalan() -> WorkloadSpec {
+    WorkloadSpec {
+        pool_values: 550,
+        pool_value_classes: 8,
+        wrapper_classes: 3,
+        creator_classes: 4,
+        creator_instances: 44,
+        allocator_classes: 6,
+        wrapper_sites_per_class: 16,
+        process_steps: 14,
+        util_consumers: 80,
+        util_dists: 42,
+        util_chain: 3,
+        util_moves: 13,
+        medium_pool: 150,
+        probes_clean: 14,
+        probes_type_friendly: 9,
+        probes_medium: 5,
+        listeners: 12,
+        app_classes: 260,
+        app_casts: 10,
+        ..base("xalan", 7)
+    }
+}
+
+/// `hsqldb`: database — concentrated blowup: few classes, huge methods.
+/// `2objH`/`2callH` exceed any budget; Heuristic B's volume cutoffs catch
+/// the hot methods, so IntroB completes.
+pub fn hsqldb() -> WorkloadSpec {
+    WorkloadSpec {
+        pool_values: 600,
+        pool_value_classes: 6,
+        wrapper_classes: 2,
+        creator_classes: 3,
+        creator_instances: 150,
+        allocator_classes: 12,
+        wrapper_sites_per_class: 40,
+        process_steps: 14,
+        util_consumers: 80,
+        util_dists: 50,
+        util_chain: 3,
+        util_moves: 12,
+        medium_pool: 150,
+        probes_clean: 16,
+        probes_type_friendly: 10,
+        probes_medium: 6,
+        listeners: 12,
+        app_classes: 500,
+        app_casts: 12,
+        ..base("hsqldb", 8)
+    }
+}
+
+/// `jython`: interpreter — diffuse blowup: many medium classes and methods,
+/// none crossing Heuristic B's cutoffs, so even IntroB fails; only
+/// Heuristic A (metric-4 / in-flow signals) scales. Also the only
+/// benchmark where `2typeH` explodes (opcode handler classes make type
+/// contexts plentiful).
+pub fn jython() -> WorkloadSpec {
+    WorkloadSpec {
+        pool_values: 420,
+        pool_value_classes: 12,
+        wrapper_classes: 4,
+        creator_classes: 80,
+        creator_instances: 2500,
+        allocator_classes: 4,
+        wrapper_sites_per_class: 4,
+        process_steps: 3,
+        stateful_wrappers: false,
+        deep_pool_values: 900,
+        deep_creator_classes: 70,
+        deep_allocator_classes: 50,
+        deep_instances: 3500,
+        deep_sites_per_class: 1,
+        deep_steps: 14,
+        util_consumers: 200,
+        util_dists: 70,
+        util_chain: 3,
+        util_moves: 3,
+        medium_pool: 140,
+        probes_clean: 16,
+        probes_type_friendly: 10,
+        probes_medium: 6,
+        listeners: 14,
+        app_classes: 200,
+        app_casts: 10,
+        ..base("jython", 9)
+    }
+}
+
+/// Looks up a benchmark spec by DaCapo name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    match name {
+        "antlr" => Some(antlr()),
+        "bloat" => Some(bloat()),
+        "chart" => Some(chart()),
+        "eclipse" => Some(eclipse()),
+        "hsqldb" => Some(hsqldb()),
+        "jython" => Some(jython()),
+        "lusearch" => Some(lusearch()),
+        "pmd" => Some(pmd()),
+        "xalan" => Some(xalan()),
+        _ => None,
+    }
+}
+
+/// The nine Figure-1 benchmarks, in order.
+pub fn all_nine() -> Vec<WorkloadSpec> {
+    ALL_NINE.iter().map(|n| by_name(n).expect("known name")).collect()
+}
+
+/// The six scalability-challenged benchmarks of Figures 5–7, in order.
+pub fn hard_six() -> Vec<WorkloadSpec> {
+    HARD_SIX.iter().map(|n| by_name(n).expect("known name")).collect()
+}
+
+/// The seven benchmarks of the Figure-4 table (the hard six plus `pmd`).
+pub fn figure4_seven() -> Vec<WorkloadSpec> {
+    ["bloat", "chart", "eclipse", "hsqldb", "jython", "pmd", "xalan"]
+        .iter()
+        .map(|n| by_name(n).expect("known name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rudoop_ir::validate;
+
+    #[test]
+    fn every_benchmark_builds_and_validates() {
+        for spec in all_nine() {
+            let p = spec.build();
+            assert_eq!(validate(&p), Ok(()), "benchmark {}", spec.name);
+            assert!(p.instruction_count() > 500, "benchmark {} too small", spec.name);
+        }
+    }
+
+    #[test]
+    fn by_name_covers_exactly_the_nine() {
+        for n in ALL_NINE {
+            assert!(by_name(n).is_some());
+        }
+        assert!(by_name("fop").is_none());
+    }
+
+    #[test]
+    fn hard_six_is_a_subset_of_all_nine() {
+        for n in HARD_SIX {
+            assert!(ALL_NINE.contains(&n));
+        }
+    }
+}

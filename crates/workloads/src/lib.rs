@@ -1,0 +1,33 @@
+//! # rudoop-workloads
+//!
+//! Synthetic, deterministic benchmark programs shaped like the DaCapo 2006
+//! suite, for evaluating introspective context-sensitivity.
+//!
+//! The paper analyzes DaCapo through a Java bytecode frontend; this
+//! workspace has no such frontend (see DESIGN.md's substitution table), so
+//! this crate generates programs in the IL that reproduce what the
+//! evaluation actually needs from DaCapo: a mostly well-behaved program
+//! mass plus a small set of program elements whose context-sensitive cost
+//! is disproportionate — conflated receiver populations for
+//! object-sensitivity, deep call fan-in for call-site-sensitivity, class
+//! populations for type-sensitivity.
+//!
+//! # Examples
+//!
+//! ```
+//! use rudoop_workloads::dacapo;
+//!
+//! let program = dacapo::antlr().build();
+//! assert!(program.instruction_count() > 500);
+//! assert_eq!(rudoop_ir::validate(&program), Ok(()));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dacapo;
+pub mod patterns;
+pub mod spec;
+pub mod stdlib;
+
+pub use spec::WorkloadSpec;

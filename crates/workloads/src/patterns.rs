@@ -1,0 +1,1034 @@
+//! Reusable IL generator components ("patterns"), each reproducing one
+//! analysis-shape ingredient of the DaCapo benchmarks:
+//!
+//! - [`Pool`]: a registry/hub holding a large, cross-linked object
+//!   population behind weak types — the reflective/configuration shape
+//!   whose imprecision the paper's §1 cost model multiplies,
+//! - [`wrapper_amplifier`]: conflated receiver populations created by
+//!   conflated creator populations — the *object-sensitivity* cost
+//!   amplifier (contexts ≈ wrapper sites × creator instances),
+//! - [`util_chain`]: static utility methods with two-level call fan-in —
+//!   the *call-site-sensitivity* cost amplifier (contexts ≈ consumers ×
+//!   distributors),
+//! - [`probes`]: controlled precision probes (a polymorphic call + a cast
+//!   each) that context-sensitivity resolves, in three difficulty tiers:
+//!   clean (every context flavor wins), medium (Heuristic A's thresholds
+//!   exclude them, Heuristic B keeps them), heavy (routed through the hub:
+//!   only the full analysis wins),
+//! - [`event_bus`]: genuinely megamorphic dispatch (precision floor),
+//! - [`app_mass`]: well-behaved application bulk.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rudoop_ir::{ClassId, MethodId, ProgramBuilder, VarId};
+
+use crate::stdlib::Std;
+
+/// Handles to a built pool (registry hub).
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    /// The `Registry` class.
+    pub registry: ClassId,
+    /// `Registry.load() -> Object`: returns the full value population.
+    pub load: MethodId,
+    /// The registry instance variable in `main`.
+    pub reg_var: VarId,
+    /// Number of values stored.
+    pub values: usize,
+}
+
+/// Builds a registry hub holding `values` objects spread over
+/// `value_classes` classes, stored through `List` (so the population
+/// conflates insensitively).
+///
+/// With `cross_link`, every value's `payload` field is made to point to the
+/// whole population — giving each value a *max field points-to* of ≈
+/// `values`, the signal metric #4 (and Heuristic A) keys on.
+#[allow(clippy::too_many_arguments)]
+pub fn pool(
+    b: &mut ProgramBuilder,
+    std: &Std,
+    main: MethodId,
+    prefix: &str,
+    values: usize,
+    value_classes: usize,
+    cross_link: bool,
+    readers: usize,
+    rng: &mut SmallRng,
+) -> Pool {
+    let registry = b.class(&format!("{prefix}Registry"), Some(std.object));
+    let store = b.field(registry, "store");
+    let load = b.method(registry, "load", &[], false);
+    {
+        let this = b.this(load);
+        let s = b.var(load, "s");
+        let r = b.var(load, "r");
+        b.load(load, s, this, store);
+        b.vcall(load, Some(r), s, "get", &[]);
+        b.ret(load, r);
+    }
+    let set_store = b.method(registry, "set_store", &["l"], false);
+    {
+        let this = b.this(set_store);
+        let l = b.param(set_store, 0);
+        b.store(set_store, this, store, l);
+    }
+
+    // Value classes, each with a payload slot.
+    let value_classes = value_classes.max(1);
+    let payload_base = b.class(&format!("{prefix}Value"), Some(std.object));
+    let payload = b.field(payload_base, "payload");
+    let mut classes = Vec::with_capacity(value_classes);
+    for i in 0..value_classes {
+        classes.push(b.class(&format!("{prefix}Value{i}"), Some(payload_base)));
+    }
+
+    // Fillers: static methods (spread over a few source classes) that
+    // allocate chunks of values into the shared list.
+    let chunk = 25usize;
+    let mut fillers = Vec::new();
+    let n_fillers = values.div_ceil(chunk);
+    let sources: Vec<ClassId> = (0..(n_fillers.div_ceil(8)).max(1))
+        .map(|i| b.class(&format!("{prefix}Source{i}"), Some(std.object)))
+        .collect();
+    let mut remaining = values;
+    for fi in 0..n_fillers {
+        let src = sources[fi % sources.len()];
+        let fill = b.method(src, &format!("fill{fi}"), &["l"], true);
+        let l = b.param(fill, 0);
+        let n = chunk.min(remaining);
+        remaining -= n;
+        // One representative `add` call plus one `get` per filler keeps the
+        // collection API exercised; the bulk of the population goes in by
+        // direct element stores. (One fat call site per ~25 values keeps
+        // the *fraction* of cost-heavy call sites realistic — cf. the
+        // paper's Figure 4, where the not-refined elements are a small
+        // minority of the program.)
+        let all = if cross_link {
+            let all = b.var(fill, "all");
+            b.vcall(fill, Some(all), l, "get", &[]);
+            Some(all)
+        } else {
+            None
+        };
+        for j in 0..n {
+            let v = b.var(fill, &format!("v{j}"));
+            let class = classes[rng.gen_range(0..classes.len())];
+            b.alloc(fill, v, class);
+            if j == 0 {
+                b.vcall(fill, None, l, "add", &[v]);
+            } else {
+                b.store(fill, l, std.list_elem, v);
+            }
+            // Cross-link ~60% of the values: Heuristic A's object metric
+            // (pointed-by-vars) is uniform across the conflated population,
+            // but Heuristic B's cost-product only fires on values with fat
+            // fields — partial linking reproduces the paper's Figure-4
+            // pattern of B excluding fewer objects than A.
+            if let Some(all) = all {
+                if j % 5 < 3 {
+                    b.store(fill, v, payload, all);
+                }
+            }
+        }
+        fillers.push(fill);
+    }
+
+    // Reader population: static methods holding `readers` variables that
+    // each carry the whole population. Hubs in real programs are *popular*
+    // — read by hundreds of variables — and Heuristic A's pointed-by-vars
+    // cutoff (K = 100) is calibrated against exactly that popularity.
+    let mut reader_methods = Vec::new();
+    if readers > 0 {
+        let reader_cls = b.class(&format!("{prefix}Readers"), Some(std.object));
+        let per = 30usize;
+        let mut left = readers;
+        let mut mi = 0usize;
+        while left > 0 {
+            let m = b.method(reader_cls, &format!("scan{mi}"), &["l"], true);
+            let l = b.param(m, 0);
+            let first = b.var(m, "r0");
+            b.vcall(m, Some(first), l, "get", &[]);
+            let n = per.min(left);
+            for k in 1..n {
+                let r = b.var(m, &format!("r{k}"));
+                b.mov(m, r, first);
+            }
+            left -= n;
+            mi += 1;
+            reader_methods.push(m);
+        }
+    }
+
+    // Wire up in main.
+    let reg_var = b.var(main, &format!("{prefix}_reg"));
+    let list_var = b.var(main, &format!("{prefix}_pool_list"));
+    b.alloc(main, reg_var, registry);
+    b.alloc(main, list_var, std.list);
+    b.vcall(main, None, reg_var, "set_store", &[list_var]);
+    for fill in fillers {
+        b.scall(main, None, fill, &[list_var]);
+    }
+    for reader in reader_methods {
+        b.scall(main, None, reader, &[list_var]);
+    }
+
+    Pool { registry, load, reg_var, values }
+}
+
+/// The object-sensitivity cost amplifier.
+///
+/// `creator_instances` creator objects (spread over `creator_classes`
+/// classes) are conflated through a `List`; one megamorphic `make()` call
+/// produces wrappers from `sites_per_class` allocation sites per creator
+/// class; the wrappers are conflated again, and their `process(reg)` method
+/// pulls the pool population through `steps` chained helper calls.
+///
+/// Under `2objH` the number of `process` contexts is ≈ (wrapper sites) ×
+/// (creator instances per class), each carrying ≈ `steps × pool.values`
+/// tuples; insensitively the cost is just `steps × pool.values`. Under
+/// `2typeH` contexts collapse to (creator class, allocator class) *pairs*,
+/// so the type-sensitivity knobs are `creator_classes` and
+/// `allocator_classes` (the classes whose static methods allocate the
+/// creator instances; `0` allocates them directly in `main`).
+#[allow(clippy::too_many_arguments)]
+pub fn wrapper_amplifier(
+    b: &mut ProgramBuilder,
+    std: &Std,
+    main: MethodId,
+    prefix: &str,
+    pool: &Pool,
+    wrapper_classes: usize,
+    creator_classes: usize,
+    creator_instances: usize,
+    allocator_classes: usize,
+    sites_per_class: usize,
+    steps: usize,
+    stateful: bool,
+    rng: &mut SmallRng,
+) {
+    // A dedicated collection class for this amplifier. Using the shared
+    // `List` here would let the hub's cross-linking variables point at the
+    // wrappers too (every `List.get` result conflates insensitively),
+    // inflating the wrappers' pointed-by-vars/cost-product metrics and
+    // letting Heuristic B neutralize the amplifier wholesale; a private
+    // Bag keeps the wrappers' per-object metrics small and *diffuse*, which
+    // is exactly the jython-style shape that defeats Heuristic B.
+    let bag = b.class(&format!("{prefix}Bag"), Some(std.object));
+    let bag_elem = b.field(bag, "bag_elem");
+    let bag_add = b.method(bag, "add", &["x"], false);
+    {
+        let this = b.this(bag_add);
+        let x = b.param(bag_add, 0);
+        b.store(bag_add, this, bag_elem, x);
+    }
+    let bag_get = b.method(bag, "get", &[], false);
+    {
+        let this = b.this(bag_get);
+        let r = b.var(bag_get, "r");
+        b.load(bag_get, r, this, bag_elem);
+        b.ret(bag_get, r);
+    }
+
+    // Wrapper classes: field state, method step (helper), method process.
+    let wrapper_base = b.class(&format!("{prefix}Wrapper"), Some(std.object));
+    let state = b.field(wrapper_base, "state");
+    let mut wrappers = Vec::new();
+    for i in 0..wrapper_classes.max(1) {
+        let w = b.class(&format!("{prefix}Wrapper{i}"), Some(wrapper_base));
+        let step = b.method(w, "step", &["a"], false);
+        {
+            let a = b.param(step, 0);
+            let t = b.var(step, "t");
+            if stateful {
+                // Round-trip through the wrapper's state field: gives the
+                // wrapper a fat field (total-field-points-to ≈ hub size),
+                // which Heuristic B's object cost-product keys on.
+                let this = b.this(step);
+                b.store(step, this, state, a);
+                b.load(step, t, this, state);
+            } else {
+                // Stateless: the wrapper's per-object metrics stay at zero,
+                // so no heuristic can neutralize the amplifier through
+                // object exclusion — the diffuse, jython-style shape.
+                b.mov(step, t, a);
+            }
+            b.ret(step, t);
+        }
+        let process = b.method(w, "process", &["reg"], false);
+        {
+            let this = b.this(process);
+            let reg = b.param(process, 0);
+            let mut cur = b.var(process, "x0");
+            b.vcall(process, Some(cur), reg, "load", &[]);
+            for s in 1..=steps {
+                let next = b.var(process, &format!("x{s}"));
+                b.vcall(process, Some(next), this, "step", &[cur]);
+                cur = next;
+            }
+            b.ret(process, cur);
+        }
+        wrappers.push(w);
+    }
+
+    // Creator classes with `make()` methods containing the wrapper sites.
+    let mut creators = Vec::new();
+    for c in 0..creator_classes.max(1) {
+        let cc = b.class(&format!("{prefix}Creator{c}"), Some(std.object));
+        let make = b.method(cc, "make", &[], false);
+        let l = b.var(make, "l");
+        b.alloc(make, l, bag);
+        for s in 0..sites_per_class {
+            let w = b.var(make, &format!("w{s}"));
+            let class = wrappers[rng.gen_range(0..wrappers.len())];
+            b.alloc(make, w, class);
+            if s == 0 {
+                b.vcall(make, None, l, "add", &[w]);
+            } else {
+                b.store(make, l, bag_elem, w);
+            }
+        }
+        b.ret(make, l);
+        creators.push(cc);
+    }
+
+    // Wiring: conflate creators, megamorphic make, conflate wrappers,
+    // drive process.
+    let clist = b.var(main, &format!("{prefix}_creators"));
+    b.alloc(main, clist, bag);
+    if allocator_classes == 0 {
+        for i in 0..creator_instances {
+            let cv = b.var(main, &format!("{prefix}_c{i}"));
+            b.alloc(main, cv, creators[i % creators.len()]);
+            if i == 0 {
+                b.vcall(main, None, clist, "add", &[cv]);
+            } else {
+                b.store(main, clist, bag_elem, cv);
+            }
+        }
+    } else {
+        // Creator instances are allocated in static methods of distinct
+        // allocator classes: under type-sensitivity the creator's context
+        // element becomes the allocator class, multiplying type contexts.
+        let per = creator_instances.div_ceil(allocator_classes);
+        let mut i = 0usize;
+        for a in 0..allocator_classes {
+            if i >= creator_instances {
+                break;
+            }
+            let alloc_cls = b.class(&format!("{prefix}Allocator{a}"), Some(std.object));
+            let batch = b.method(alloc_cls, "alloc_batch", &["cl"], true);
+            let cl = b.param(batch, 0);
+            for j in 0..per.min(creator_instances - i) {
+                let cv = b.var(batch, &format!("c{j}"));
+                b.alloc(batch, cv, creators[i % creators.len()]);
+                if j == 0 {
+                    b.vcall(batch, None, cl, "add", &[cv]);
+                } else {
+                    b.store(batch, cl, bag_elem, cv);
+                }
+                i += 1;
+            }
+            b.scall(main, None, batch, &[clist]);
+        }
+    }
+    let gl = b.var(main, &format!("{prefix}_wrappers"));
+    b.alloc(main, gl, bag);
+    let cvx = b.var(main, &format!("{prefix}_cv"));
+    b.vcall(main, Some(cvx), clist, "get", &[]);
+    let wl = b.var(main, &format!("{prefix}_wl"));
+    b.vcall(main, Some(wl), cvx, "make", &[]);
+    let wtmp = b.var(main, &format!("{prefix}_wtmp"));
+    b.vcall(main, Some(wtmp), wl, "get", &[]);
+    b.vcall(main, None, gl, "add", &[wtmp]);
+    let wv = b.var(main, &format!("{prefix}_wv"));
+    b.vcall(main, Some(wv), gl, "get", &[]);
+    b.vcall(main, None, wv, "process", &[pool.reg_var]);
+}
+
+/// The call-site-sensitivity cost amplifier.
+///
+/// `consumers` static methods each call a shared utility chain (depth
+/// `chain`, `moves` locals per level) with the pool population as argument;
+/// `dists` distributor methods each call every consumer. Under `2callH`
+/// the head of the chain is analyzed in ≈ consumers × dists contexts, each
+/// carrying the whole pool population; object- and type-sensitive analyses
+/// leave static calls in the caller's (empty) context, so the pattern only
+/// costs them the insensitive price.
+#[allow(clippy::too_many_arguments)]
+pub fn util_chain(
+    b: &mut ProgramBuilder,
+    std: &Std,
+    main: MethodId,
+    prefix: &str,
+    pool: &Pool,
+    consumers: usize,
+    dists: usize,
+    chain: usize,
+    moves: usize,
+) {
+    let utils = b.class(&format!("{prefix}Utils"), Some(std.object));
+    // Build the chain bottom-up so calls resolve to already-declared ids.
+    // Deeper levels (`u1`…) take the value and copy it through `moves`
+    // locals; the *head* (`u0`) takes the registry and pulls the whole hub
+    // population before flowing it down. Loading inside the head keeps the
+    // consumers thin: under 2callH the head is re-analyzed once per
+    // (consumer call site, distributor call site) pair, each context
+    // re-deriving the full population — while the head's insensitive
+    // points-to *volume* is `(moves + 2) × population`, the exact quantity
+    // Heuristic B thresholds on.
+    let mut next: Option<MethodId> = None;
+    for level in (1..chain.max(2)).rev() {
+        let u = b.method(utils, &format!("u{level}"), &["a"], true);
+        let a = b.param(u, 0);
+        let mut cur = a;
+        for m in 0..moves {
+            let t = b.var(u, &format!("t{m}"));
+            b.mov(u, t, cur);
+            cur = t;
+        }
+        match next {
+            Some(callee) => {
+                let r = b.var(u, "r");
+                b.scall(u, Some(r), callee, &[cur]);
+                b.ret(u, r);
+            }
+            None => {
+                b.ret(u, cur);
+            }
+        }
+        next = Some(u);
+    }
+    let head = {
+        let u = b.method(utils, "u0", &["reg"], true);
+        let reg = b.param(u, 0);
+        let mut cur = b.var(u, "x");
+        b.vcall(u, Some(cur), reg, "load", &[]);
+        for m in 0..moves {
+            let t = b.var(u, &format!("t{m}"));
+            b.mov(u, t, cur);
+            cur = t;
+        }
+        match next {
+            Some(callee) => {
+                let r = b.var(u, "r");
+                b.scall(u, Some(r), callee, &[cur]);
+                b.ret(u, r);
+            }
+            None => {
+                b.ret(u, cur);
+            }
+        }
+        u
+    };
+
+    let consumer_cls = b.class(&format!("{prefix}Consumers"), Some(std.object));
+    let mut consumer_methods = Vec::new();
+    for j in 0..consumers {
+        let cons = b.method(consumer_cls, &format!("cons{j}"), &["reg"], true);
+        let reg = b.param(cons, 0);
+        // ~40% of consumers retain the (hub-fat) result: those methods
+        // acquire a fat metric #4, so Heuristic A stops refining their
+        // call sites — the Figure-4 "call sites not refined" population.
+        // The rest stay thin and remain refined.
+        if j % 5 < 2 {
+            let r = b.var(cons, "r");
+            b.scall(cons, Some(r), head, &[reg]);
+        } else {
+            b.scall(cons, None, head, &[reg]);
+        }
+        consumer_methods.push(cons);
+    }
+
+    let dist_cls = b.class(&format!("{prefix}Dist"), Some(std.object));
+    for d in 0..dists {
+        let dist = b.method(dist_cls, &format!("dist{d}"), &["reg"], true);
+        let reg = b.param(dist, 0);
+        for &cons in &consumer_methods {
+            b.scall(dist, None, cons, &[reg]);
+        }
+        b.scall(main, None, dist, &[pool.reg_var]);
+    }
+}
+
+/// Tallies of the probes a builder emitted, for asserting chart shapes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCounts {
+    /// Probes every context-sensitive flavor should resolve.
+    pub clean: usize,
+    /// Probes Heuristic A abandons (fat in-flow) but Heuristic B keeps.
+    pub medium: usize,
+    /// Probes allocated in per-probe classes so even type-sensitivity
+    /// separates them (a subset of `clean`).
+    pub type_friendly: usize,
+}
+
+/// Emits precision probes. Each probe is one *pair* of identity-routed
+/// values: insensitively the identity method's formal conflates the pair
+/// (and every other probe's values), producing one spuriously polymorphic
+/// `describe()` call and one spuriously failing cast per probe; a context-
+/// sensitive analysis separates the pair per receiver (object-sensitivity),
+/// per call site (call-site-sensitivity) and — for the `type_friendly`
+/// probes, whose identity receivers are allocated in per-probe classes —
+/// per allocator type.
+///
+/// `medium > 0` requires a medium-sized pool whose population size sits
+/// between Heuristic A's in-flow cutoff and Heuristic B's volume cutoff.
+#[allow(clippy::too_many_arguments)]
+pub fn probes(
+    b: &mut ProgramBuilder,
+    std: &Std,
+    main: MethodId,
+    prefix: &str,
+    clean: usize,
+    type_friendly: usize,
+    medium: usize,
+    medium_pool: Option<&Pool>,
+) -> ProbeCounts {
+    let shape = b.class(&format!("{prefix}Shape"), Some(std.object));
+    b.method(shape, "describe", &[], false);
+    // A variant class whose `describe` drags two private helper methods
+    // along: when an imprecise analysis spuriously dispatches to it, the
+    // reachable-method count inflates by three — giving the evaluation's
+    // second precision metric (reachable methods) a measurable delta.
+    let variant = |b: &mut ProgramBuilder, name: String| -> ClassId {
+        let cls = b.class(&name, Some(shape));
+        let h1 = b.method(cls, "assemble", &[], false);
+        {
+            let t = b.var(h1, "t");
+            b.alloc(h1, t, cls);
+            b.ret(h1, t);
+        }
+        let h2 = b.method(cls, "finish", &["x"], false);
+        {
+            let x = b.param(h2, 0);
+            b.ret(h2, x);
+        }
+        let d = b.method(cls, "describe", &[], false);
+        {
+            let this = b.this(d);
+            let t = b.var(d, "t");
+            b.vcall(d, Some(t), this, "assemble", &[]);
+            let u = b.var(d, "u");
+            b.vcall(d, Some(u), this, "finish", &[t]);
+            b.ret(d, u);
+        }
+        cls
+    };
+
+    // Shared identity classes: one instance method (for object-sensitivity)
+    // and one fat-armed variant (for the medium tier).
+    let ident = b.class(&format!("{prefix}Ident"), Some(std.object));
+    let make = b.method(ident, "make", &["p"], false);
+    {
+        let p = b.param(make, 0);
+        b.ret(make, p);
+    }
+    let ident2 = b.class(&format!("{prefix}Ident2"), Some(std.object));
+    let make2 = b.method(ident2, "make2", &["p", "noise"], false);
+    {
+        let p = b.param(make2, 0);
+        b.ret(make2, p);
+    }
+
+    // One probe: two values of fresh variant classes routed through the
+    // shared identity. Only the "a" side is observed (describe + cast);
+    // the "b" side merely flows through the identity, so its variant
+    // methods are reachable *only* through imprecision — which is exactly
+    // what context-sensitivity removes.
+    let emit_pair = |b: &mut ProgramBuilder,
+                         i: usize,
+                         tier: &str,
+                         ident_class: ClassId,
+                         fat: Option<VarId>| {
+        let va_class = variant(b, format!("{prefix}{tier}A{i}"));
+        let vb_class = variant(b, format!("{prefix}{tier}B{i}"));
+        for (suffix, val_class, observed) in
+            [("a", va_class, true), ("b", vb_class, false)]
+        {
+            let f = b.var(main, &format!("{prefix}{tier}_f{i}{suffix}"));
+            b.alloc(main, f, ident_class);
+            let v = b.var(main, &format!("{prefix}{tier}_v{i}{suffix}"));
+            b.alloc(main, v, val_class);
+            let r = b.var(main, &format!("{prefix}{tier}_r{i}{suffix}"));
+            match fat {
+                None => {
+                    b.vcall(main, Some(r), f, "make", &[v]);
+                }
+                Some(noise) => {
+                    b.vcall(main, Some(r), f, "make2", &[v, noise]);
+                }
+            }
+            if observed {
+                b.vcall(main, None, r, "describe", &[]);
+                let c = b.var(main, &format!("{prefix}{tier}_c{i}{suffix}"));
+                b.cast(main, c, r, val_class);
+            }
+        }
+    };
+
+    for i in 0..clean {
+        if i < type_friendly {
+            // Per-(probe, side) allocator classes: each identity receiver
+            // is allocated inside a method of its own class, so the two
+            // sides differ in allocation site (object-sensitivity), call
+            // site (call-site-sensitivity) *and* allocator class
+            // (type-sensitivity).
+            let va_class = variant(b, format!("{prefix}TclA{i}"));
+            let vb_class = variant(b, format!("{prefix}TclB{i}"));
+            for (suffix, val_class, observed) in
+                [("a", va_class, true), ("b", vb_class, false)]
+            {
+                let alloc_cls =
+                    b.class(&format!("{prefix}TAlloc{i}{suffix}"), Some(std.object));
+                let mk = b.method(alloc_cls, &format!("mk{i}{suffix}"), &[], true);
+                let fv = b.var(mk, "fv");
+                b.alloc(mk, fv, ident);
+                b.ret(mk, fv);
+                let f = b.var(main, &format!("{prefix}T_f{i}{suffix}"));
+                b.scall(main, Some(f), mk, &[]);
+                let v = b.var(main, &format!("{prefix}T_v{i}{suffix}"));
+                b.alloc(main, v, val_class);
+                let r = b.var(main, &format!("{prefix}T_r{i}{suffix}"));
+                b.vcall(main, Some(r), f, "make", &[v]);
+                if observed {
+                    b.vcall(main, None, r, "describe", &[]);
+                    let c = b.var(main, &format!("{prefix}T_c{i}{suffix}"));
+                    b.cast(main, c, r, val_class);
+                }
+            }
+        } else {
+            emit_pair(b, i, "Cl", ident, None);
+        }
+    }
+
+    if medium > 0 {
+        let pool = medium_pool.expect("medium probes need a medium pool");
+        let noise = b.var(main, &format!("{prefix}_noise"));
+        b.vcall(main, Some(noise), pool.reg_var, "load", &[]);
+        for i in 0..medium {
+            emit_pair(b, i, "Md", ident2, Some(noise));
+        }
+    }
+
+    ProbeCounts { clean, medium, type_friendly }
+}
+
+/// A genuinely megamorphic event bus: `listeners` listener classes all
+/// registered in one list, one dispatch call site. No context abstraction
+/// can (or should) devirtualize it — it keeps the precision floor of every
+/// analysis realistic.
+pub fn event_bus(
+    b: &mut ProgramBuilder,
+    std: &Std,
+    main: MethodId,
+    prefix: &str,
+    listeners: usize,
+) {
+    let listener = b.class(&format!("{prefix}Listener"), Some(std.object));
+    b.method(listener, "handle", &["e"], false);
+    let event = b.class(&format!("{prefix}Event"), Some(std.object));
+
+    let ll = b.var(main, &format!("{prefix}_listeners"));
+    b.alloc(main, ll, std.list);
+    for i in 0..listeners {
+        let cls = b.class(&format!("{prefix}Listener{i}"), Some(listener));
+        b.method(cls, "handle", &["e"], false);
+        let lv = b.var(main, &format!("{prefix}_l{i}"));
+        b.alloc(main, lv, cls);
+        b.vcall(main, None, ll, "add", &[lv]);
+    }
+    let ev = b.var(main, &format!("{prefix}_event"));
+    b.alloc(main, ev, event);
+    let cur = b.var(main, &format!("{prefix}_cur"));
+    b.vcall(main, Some(cur), ll, "get", &[]);
+    b.vcall(main, None, cur, "handle", &[ev]);
+}
+
+/// A visitor-pattern fragment (the pmd/bloat AST-walking shape): `nodes`
+/// node classes each implementing `accept(v)` by double dispatch into one
+/// of `kinds` visitor classes. The `accept` site is genuinely megamorphic
+/// over node classes; the `visit` sites are megamorphic over visitors.
+pub fn visitor(
+    b: &mut ProgramBuilder,
+    std: &Std,
+    main: MethodId,
+    prefix: &str,
+    nodes: usize,
+    kinds: usize,
+) {
+    let node_base = b.class(&format!("{prefix}Node"), Some(std.object));
+    b.method(node_base, "accept", &["v"], false);
+    let visitor_base = b.class(&format!("{prefix}Visitor"), Some(std.object));
+    b.method(visitor_base, "visit", &["n"], false);
+
+    let mut node_classes = Vec::new();
+    for i in 0..nodes.max(1) {
+        let cls = b.class(&format!("{prefix}Node{i}"), Some(node_base));
+        let accept = b.method(cls, "accept", &["v"], false);
+        let this = b.this(accept);
+        let v = b.param(accept, 0);
+        b.vcall(accept, None, v, "visit", &[this]);
+        node_classes.push(cls);
+    }
+    for i in 0..kinds.max(1) {
+        let cls = b.class(&format!("{prefix}Visitor{i}"), Some(visitor_base));
+        let visit = b.method(cls, "visit", &["n"], false);
+        let n = b.param(visit, 0);
+        let echo = b.var(visit, "echo");
+        b.mov(visit, echo, n);
+    }
+
+    // Drive: all nodes in a list, all visitors in a list, one dispatch.
+    let nl = b.var(main, &format!("{prefix}_nodes"));
+    b.alloc(main, nl, std.list);
+    for (i, &cls) in node_classes.iter().enumerate() {
+        let nv = b.var(main, &format!("{prefix}_n{i}"));
+        b.alloc(main, nv, cls);
+        if i == 0 {
+            b.vcall(main, None, nl, "add", &[nv]);
+        } else {
+            b.store(main, nl, std.list_elem, nv);
+        }
+    }
+    let vl = b.var(main, &format!("{prefix}_visitors"));
+    b.alloc(main, vl, std.list);
+    for i in 0..kinds.max(1) {
+        let vv = b.var(main, &format!("{prefix}_v{i}"));
+        // Reuse the class ids by index: visitors were declared after nodes.
+        let cls = b.class_id(&format!("{prefix}Visitor{i}")).expect("declared above");
+        b.alloc(main, vv, cls);
+        b.store(main, vl, std.list_elem, vv);
+    }
+    let cn = b.var(main, &format!("{prefix}_cn"));
+    b.vcall(main, Some(cn), nl, "get", &[]);
+    let cv = b.var(main, &format!("{prefix}_cv"));
+    b.vcall(main, Some(cv), vl, "get", &[]);
+    b.vcall(main, None, cn, "accept", &[cv]);
+}
+
+/// A decorator/stream chain (the java.io shape): `depth` wrapper objects
+/// each holding the next stream in a field, with `read()` delegating
+/// inward. Under object-sensitivity the inner `read` is analyzed once per
+/// wrapper chain suffix — deep `this`-carried context chains.
+pub fn streams(
+    b: &mut ProgramBuilder,
+    std: &Std,
+    main: MethodId,
+    prefix: &str,
+    depth: usize,
+) {
+    let stream = b.class(&format!("{prefix}Stream"), Some(std.object));
+    b.method(stream, "read", &[], false);
+    let inner_f = b.field(stream, "inner");
+    let chunk = b.class(&format!("{prefix}Chunk"), Some(std.object));
+
+    let source = b.class(&format!("{prefix}Source"), Some(stream));
+    let src_read = b.method(source, "read", &[], false);
+    {
+        let r = b.var(src_read, "r");
+        b.alloc(src_read, r, chunk);
+        b.ret(src_read, r);
+    }
+    let filter = b.class(&format!("{prefix}Filter"), Some(stream));
+    let f_read = b.method(filter, "read", &[], false);
+    {
+        let this = b.this(f_read);
+        let inner = b.var(f_read, "inner");
+        b.load(f_read, inner, this, inner_f);
+        let r = b.var(f_read, "r");
+        b.vcall(f_read, Some(r), inner, "read", &[]);
+        b.ret(f_read, r);
+    }
+
+    let mut cur = b.var(main, &format!("{prefix}_s0"));
+    b.alloc(main, cur, source);
+    for d in 1..=depth {
+        let w = b.var(main, &format!("{prefix}_s{d}"));
+        b.alloc(main, w, filter);
+        b.store(main, w, inner_f, cur);
+        cur = w;
+    }
+    let out = b.var(main, &format!("{prefix}_out"));
+    b.vcall(main, Some(out), cur, "read", &[]);
+}
+
+/// Well-behaved application bulk: `classes` task classes, each with a
+/// small object graph of its own (per-class Worker and Record helpers),
+/// a `run()` that calls three helper methods, and a provably safe cast —
+/// wired through a conflating task list (one megamorphic `run()` site)
+/// plus `casts` always-failing casts to keep the cast metric's floor
+/// realistic.
+///
+/// This bulk dominates the program's allocation-site and call-site counts,
+/// so the cost-heavy hub/amplifier elements stay a small *fraction* of the
+/// program — the precondition for Figure-4-like refinement percentages.
+pub fn app_mass(
+    b: &mut ProgramBuilder,
+    std: &Std,
+    main: MethodId,
+    prefix: &str,
+    classes: usize,
+    casts: usize,
+) {
+    let task = b.class(&format!("{prefix}Task"), Some(std.object));
+    b.method(task, "run", &[], false);
+    let out = b.field(task, "out");
+    let worker_base = b.class(&format!("{prefix}Worker"), Some(std.object));
+    let item = b.field(worker_base, "item");
+    // A shared configuration object published through a static field —
+    // the idiomatic Java singleton, exercising the global-flow rules.
+    let config_cls = b.class(&format!("{prefix}Config"), Some(std.object));
+    b.method(config_cls, "touch", &[], false);
+    let config_global = b.global(config_cls, "instance");
+    // Private task collection: the application bulk must not join the
+    // hub's conflated population, or its (many) objects would inherit the
+    // hub's popularity and blur the Figure-4 object percentages.
+    let tasklist = b.class(&format!("{prefix}TaskList"), Some(std.object));
+    let tl_elem = b.field(tasklist, "tl_elem");
+    let tl_add = b.method(tasklist, "add", &["x"], false);
+    {
+        let this = b.this(tl_add);
+        let x = b.param(tl_add, 0);
+        b.store(tl_add, this, tl_elem, x);
+    }
+    let tl_get = b.method(tasklist, "get", &[], false);
+    {
+        let this = b.this(tl_get);
+        let r = b.var(tl_get, "r");
+        b.load(tl_get, r, this, tl_elem);
+        b.ret(tl_get, r);
+    }
+
+    let cfg_var = b.var(main, &format!("{prefix}_config"));
+    b.alloc(main, cfg_var, config_cls);
+    b.store_global(main, config_global, cfg_var);
+    let tl = b.var(main, &format!("{prefix}_tasks"));
+    b.alloc(main, tl, tasklist);
+    for i in 0..classes {
+        let cls = b.class(&format!("{prefix}Task{i}"), Some(task));
+        let worker_cls = b.class(&format!("{prefix}Worker{i}"), Some(worker_base));
+        let record_cls = b.class(&format!("{prefix}Record{i}"), Some(std.object));
+
+        // Worker.prepare(): allocate and stash a private record.
+        let prepare = b.method(worker_cls, "prepare", &[], false);
+        {
+            let this = b.this(prepare);
+            let rec = b.var(prepare, "rec");
+            b.alloc(prepare, rec, record_cls);
+            b.store(prepare, this, item, rec);
+            b.ret(prepare, rec);
+        }
+        // Worker.fetch(): read it back, provably of the record class.
+        let fetch = b.method(worker_cls, "fetch", &[], false);
+        {
+            let this = b.this(fetch);
+            let got = b.var(fetch, "got");
+            b.load(fetch, got, this, item);
+            let cast = b.var(fetch, "cast");
+            b.cast(fetch, cast, got, record_cls);
+            b.ret(fetch, cast);
+        }
+        // Task.run(): read the shared config through its static field,
+        // drive two private workers; stash a private String.
+        // (No shared StringBuilder here: its `buf` field conflates across
+        // every user insensitively, which would push metric #4 past
+        // Heuristic A's cutoff for every task class — real analyses treat
+        // string builders with special-case heuristics for this reason.)
+        let run = b.method(cls, "run", &[], false);
+        {
+            let this = b.this(run);
+            let cfg = b.var(run, "cfg");
+            b.load_global(run, cfg, config_global);
+            b.vcall(run, None, cfg, "touch", &[]);
+            let w1 = b.var(run, "w1");
+            b.alloc(run, w1, worker_cls);
+            let w2 = b.var(run, "w2");
+            b.alloc(run, w2, worker_cls);
+            b.vcall(run, None, w1, "prepare", &[]);
+            b.vcall(run, None, w2, "prepare", &[]);
+            let got = b.var(run, "got");
+            b.vcall(run, Some(got), w1, "fetch", &[]);
+            let g2 = b.var(run, "g2");
+            b.vcall(run, Some(g2), w2, "fetch", &[]);
+            let s = b.var(run, "s");
+            b.alloc(run, s, std.string);
+            b.store(run, this, out, s);
+            let r = b.var(run, "r");
+            b.load(run, r, this, out);
+            let c = b.var(run, "c");
+            b.cast(run, c, r, std.string);
+        }
+        let tv = b.var(main, &format!("{prefix}_t{i}"));
+        b.alloc(main, tv, cls);
+        if i % 8 == 0 {
+            b.vcall(main, None, tl, "add", &[tv]);
+        } else {
+            b.store(main, tl, tl_elem, tv);
+        }
+        // Most tasks are also driven directly (monomorphic, well-behaved
+        // call sites), not only through the conflated list.
+        b.vcall(main, None, tv, "run", &[]);
+    }
+    let cur = b.var(main, &format!("{prefix}_cur"));
+    b.vcall(main, Some(cur), tl, "get", &[]);
+    b.vcall(main, None, cur, "run", &[]);
+    // Always-failing casts: task-list elements cast to String.
+    for i in 0..casts {
+        let c = b.var(main, &format!("{prefix}_cast{i}"));
+        b.cast(main, c, cur, std.string);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rudoop_core::policy::{Insensitive, ObjectSensitive};
+    use rudoop_core::solver::{analyze, SolverConfig};
+    use rudoop_core::PrecisionMetrics;
+    use rudoop_ir::{validate, ClassHierarchy};
+
+    fn fresh() -> (ProgramBuilder, Std, MethodId, SmallRng) {
+        let mut b = ProgramBuilder::new();
+        let std = crate::stdlib::build(&mut b);
+        let main_cls = b.class("Main", Some(std.object));
+        let main = b.method(main_cls, "main", &[], true);
+        b.entry(main);
+        (b, std, main, SmallRng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn pool_population_flows_through_load() {
+        let (mut b, std, main, mut rng) = fresh();
+        let p = pool(&mut b, &std, main, "P", 30, 3, true, 0, &mut rng);
+        // Call load once from main to observe the population.
+        let out = b.var(main, "out");
+        b.vcall(main, Some(out), p.reg_var, "load", &[]);
+        let program = b.finish();
+        assert_eq!(validate(&program), Ok(()));
+        let hier = ClassHierarchy::new(&program);
+        let r = analyze(&program, &hier, &Insensitive, &SolverConfig::default());
+        // `out` sees at least the 30 values.
+        assert!(r.points_to(out).len() >= 30, "got {}", r.points_to(out).len());
+    }
+
+    #[test]
+    fn wrapper_amplifier_is_cheap_insensitively_and_costly_contextually() {
+        let (mut b, std, main, mut rng) = fresh();
+        let p = pool(&mut b, &std, main, "P", 60, 3, true, 0, &mut rng);
+        wrapper_amplifier(&mut b, &std, main, "W", &p, 2, 2, 12, 0, 6, 8, true, &mut rng);
+        let program = b.finish();
+        assert_eq!(validate(&program), Ok(()));
+        let hier = ClassHierarchy::new(&program);
+        let insens = analyze(&program, &hier, &Insensitive, &SolverConfig::default());
+        let objs = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        assert!(insens.outcome.is_complete());
+        assert!(objs.outcome.is_complete());
+        assert!(
+            objs.stats.derivations > 3 * insens.stats.derivations,
+            "2objH {} vs insens {}",
+            objs.stats.derivations,
+            insens.stats.derivations
+        );
+    }
+
+    #[test]
+    fn probes_are_resolved_by_context_sensitivity() {
+        let (mut b, std, main, _rng) = fresh();
+        let counts = probes(&mut b, &std, main, "Pr", 5, 2, 0, None);
+        assert_eq!(counts.clean, 5);
+        let program = b.finish();
+        assert_eq!(validate(&program), Ok(()));
+        let hier = ClassHierarchy::new(&program);
+        let insens = analyze(&program, &hier, &Insensitive, &SolverConfig::default());
+        let objs = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        let pm_i = PrecisionMetrics::compute(&program, &hier, &insens);
+        let pm_o = PrecisionMetrics::compute(&program, &hier, &objs);
+        // Each probe contributes one polymorphic describe site and one
+        // failing cast insensitively; object-sensitivity resolves all of
+        // them, and the silent sides' variant methods become unreachable.
+        assert!(pm_i.polymorphic_call_sites >= 5, "{pm_i:?}");
+        assert_eq!(pm_o.polymorphic_call_sites, 0, "{pm_o:?}");
+        assert!(pm_i.casts_may_fail >= 5);
+        assert_eq!(pm_o.casts_may_fail, 0);
+        assert!(
+            pm_o.reachable_methods + 3 * 5 <= pm_i.reachable_methods,
+            "silent variants stay reachable: {} vs {}",
+            pm_o.reachable_methods,
+            pm_i.reachable_methods
+        );
+    }
+
+    #[test]
+    fn event_bus_is_megamorphic_under_any_context() {
+        let (mut b, std, main, _rng) = fresh();
+        event_bus(&mut b, &std, main, "E", 6, );
+        let program = b.finish();
+        assert_eq!(validate(&program), Ok(()));
+        let hier = ClassHierarchy::new(&program);
+        let objs = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        let pm = PrecisionMetrics::compute(&program, &hier, &objs);
+        assert_eq!(pm.polymorphic_call_sites, 1);
+    }
+
+    #[test]
+    fn app_mass_keeps_cast_floor() {
+        let (mut b, std, main, _rng) = fresh();
+        app_mass(&mut b, &std, main, "A", 8, 5);
+        let program = b.finish();
+        assert_eq!(validate(&program), Ok(()));
+        let hier = ClassHierarchy::new(&program);
+        let objs = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        let pm = PrecisionMetrics::compute(&program, &hier, &objs);
+        // The in-run cast succeeds (builder strings are Strings); the 5
+        // always-fail casts and at least the megamorphic run() remain.
+        assert!(pm.casts_may_fail >= 5, "{pm:?}");
+        assert!(pm.polymorphic_call_sites >= 1);
+    }
+
+    #[test]
+    fn visitor_pattern_is_megamorphic() {
+        let (mut b, std, main, _rng) = fresh();
+        visitor(&mut b, &std, main, "V", 5, 3);
+        let program = b.finish();
+        assert_eq!(validate(&program), Ok(()));
+        let hier = ClassHierarchy::new(&program);
+        let r = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        let pm = PrecisionMetrics::compute(&program, &hier, &r);
+        // accept (over 5 node classes) and visit (over 3 visitors) stay
+        // polymorphic under any context.
+        assert!(pm.polymorphic_call_sites >= 2, "{pm:?}");
+    }
+
+    #[test]
+    fn stream_chain_delegates_to_the_source() {
+        let (mut b, std, main, _rng) = fresh();
+        streams(&mut b, &std, main, "S", 4);
+        let program = b.finish();
+        assert_eq!(validate(&program), Ok(()));
+        let hier = ClassHierarchy::new(&program);
+        let r = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        // The outermost read() returns the source's chunk.
+        let out = program
+            .vars
+            .iter()
+            .find(|(_, v)| v.name == "S_out")
+            .map(|(id, _)| id)
+            .expect("out var");
+        assert_eq!(r.points_to(out).len(), 1);
+        assert!(r.outcome.is_complete());
+    }
+
+    #[test]
+    fn util_chain_validates_and_runs() {
+        let (mut b, std, main, mut rng) = fresh();
+        let p = pool(&mut b, &std, main, "P", 40, 2, false, 0, &mut rng);
+        util_chain(&mut b, &std, main, "U", &p, 4, 3, 3, 2);
+        let program = b.finish();
+        assert_eq!(validate(&program), Ok(()));
+        let hier = ClassHierarchy::new(&program);
+        let r = analyze(&program, &hier, &Insensitive, &SolverConfig::default());
+        assert!(r.outcome.is_complete());
+    }
+}

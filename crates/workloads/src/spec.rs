@@ -1,0 +1,316 @@
+//! [`WorkloadSpec`]: a declarative recipe composing the pattern generators
+//! into one benchmark program.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rudoop_ir::{Program, ProgramBuilder};
+
+use crate::patterns::{self, ProbeCounts};
+use crate::stdlib;
+
+/// A benchmark recipe. All counts are knobs of the pattern generators; see
+/// [`crate::patterns`] for what each one amplifies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Benchmark name (DaCapo-style).
+    pub name: String,
+    /// RNG seed (workloads are fully deterministic given the spec).
+    pub seed: u64,
+
+    /// Hub population size (the paper's fat-points-to source). 0 disables
+    /// the hub and both amplifiers.
+    pub pool_values: usize,
+    /// Classes the hub population is spread over.
+    pub pool_value_classes: usize,
+    /// Cross-link hub values (gives them fat fields — metric #4 signal).
+    pub cross_link: bool,
+    /// Reader variables carrying the hub population (hub "popularity",
+    /// the metric-#5 signal; Heuristic A's K cutoff is 100).
+    pub pool_readers: usize,
+
+    /// Wrapper classes of the object-sensitivity amplifier.
+    pub wrapper_classes: usize,
+    /// Creator classes (the type-sensitivity knob).
+    pub creator_classes: usize,
+    /// Creator instances (the object-sensitivity context multiplier).
+    pub creator_instances: usize,
+    /// Classes whose static methods allocate the creator instances (the
+    /// second type-sensitivity multiplier; 0 = allocate in `main`).
+    pub allocator_classes: usize,
+    /// Wrapper allocation sites per creator class.
+    pub wrapper_sites_per_class: usize,
+    /// Chained helper calls in `process` (volume per context).
+    pub process_steps: usize,
+    /// Whether the primary amplifier's wrappers round-trip values through a
+    /// state field (fat per-object metrics, catchable by Heuristic B's
+    /// cost-product) or stay stateless (diffuse, B-proof).
+    pub stateful_wrappers: bool,
+
+    /// Second "deep" amplifier: hub size (0 = disabled). This one is
+    /// *concentrated*: its hot methods have points-to volumes above
+    /// Heuristic B's cutoff, so IntroB neutralizes it — used to give a
+    /// benchmark a type-sensitivity explosion that IntroB still rescues
+    /// (the jython 2typeH story) independent of the diffuse amplifier.
+    pub deep_pool_values: usize,
+    /// Deep amplifier: creator classes (type multiplier 1).
+    pub deep_creator_classes: usize,
+    /// Deep amplifier: allocator classes (type multiplier 2).
+    pub deep_allocator_classes: usize,
+    /// Deep amplifier: creator instances.
+    pub deep_instances: usize,
+    /// Deep amplifier: wrapper sites per creator class.
+    pub deep_sites_per_class: usize,
+    /// Deep amplifier: chained helper calls (drives volume above B's P).
+    pub deep_steps: usize,
+
+    /// Consumers of the static utility chain (call-site amplifier).
+    pub util_consumers: usize,
+    /// Distributor methods fanning into the consumers.
+    pub util_dists: usize,
+    /// Utility chain depth.
+    pub util_chain: usize,
+    /// Local copies per utility level.
+    pub util_moves: usize,
+
+    /// Medium hub population (sized between Heuristic A's and B's
+    /// thresholds); 0 disables medium probes.
+    pub medium_pool: usize,
+    /// Precision probes every context flavor resolves.
+    pub probes_clean: usize,
+    /// Clean probes whose factories live in per-probe classes
+    /// (type-sensitivity resolves these too).
+    pub probes_type_friendly: usize,
+    /// Probes Heuristic A abandons but Heuristic B keeps.
+    pub probes_medium: usize,
+
+    /// Listener classes on the megamorphic event bus.
+    pub listeners: usize,
+    /// Node classes in the visitor-pattern fragment (0 disables).
+    pub visitor_nodes: usize,
+    /// Visitor classes in the visitor-pattern fragment.
+    pub visitor_kinds: usize,
+    /// Depth of the decorator/stream chain (0 disables).
+    pub stream_depth: usize,
+    /// Well-behaved application classes.
+    pub app_classes: usize,
+    /// Always-failing casts in the application bulk.
+    pub app_casts: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            name: "custom".to_owned(),
+            seed: 42,
+            pool_values: 100,
+            pool_value_classes: 4,
+            cross_link: true,
+            pool_readers: 120,
+            wrapper_classes: 2,
+            creator_classes: 2,
+            creator_instances: 8,
+            allocator_classes: 0,
+            wrapper_sites_per_class: 8,
+            process_steps: 6,
+            stateful_wrappers: true,
+            deep_pool_values: 0,
+            deep_creator_classes: 0,
+            deep_allocator_classes: 0,
+            deep_instances: 0,
+            deep_sites_per_class: 0,
+            deep_steps: 0,
+            util_consumers: 8,
+            util_dists: 4,
+            util_chain: 3,
+            util_moves: 3,
+            medium_pool: 0,
+            probes_clean: 10,
+            probes_type_friendly: 3,
+            probes_medium: 0,
+            listeners: 6,
+            visitor_nodes: 6,
+            visitor_kinds: 3,
+            stream_depth: 5,
+            app_classes: 20,
+            app_casts: 6,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Builds the benchmark program described by this spec.
+    pub fn build(&self) -> Program {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut b = ProgramBuilder::new();
+        let std = stdlib::build(&mut b);
+        let main_cls = b.class("Main", Some(std.object));
+        let main = b.method(main_cls, "main", &[], true);
+        b.entry(main);
+
+        if self.pool_values > 0 {
+            let pool = patterns::pool(
+                &mut b,
+                &std,
+                main,
+                "Hub",
+                self.pool_values,
+                self.pool_value_classes,
+                self.cross_link,
+                self.pool_readers,
+                &mut rng,
+            );
+            if self.creator_instances > 0 && self.wrapper_sites_per_class > 0 {
+                patterns::wrapper_amplifier(
+                    &mut b,
+                    &std,
+                    main,
+                    "Amp",
+                    &pool,
+                    self.wrapper_classes,
+                    self.creator_classes,
+                    self.creator_instances,
+                    self.allocator_classes,
+                    self.wrapper_sites_per_class,
+                    self.process_steps,
+                    self.stateful_wrappers,
+                    &mut rng,
+                );
+            }
+            if self.util_consumers > 0 && self.util_dists > 0 {
+                patterns::util_chain(
+                    &mut b,
+                    &std,
+                    main,
+                    "Call",
+                    &pool,
+                    self.util_consumers,
+                    self.util_dists,
+                    self.util_chain,
+                    self.util_moves,
+                );
+            }
+        }
+
+        if self.deep_pool_values > 0 {
+            let deep_pool = patterns::pool(
+                &mut b,
+                &std,
+                main,
+                "Deep",
+                self.deep_pool_values,
+                4,
+                self.cross_link,
+                self.pool_readers,
+                &mut rng,
+            );
+            patterns::wrapper_amplifier(
+                &mut b,
+                &std,
+                main,
+                "Deep",
+                &deep_pool,
+                2,
+                self.deep_creator_classes,
+                self.deep_instances,
+                self.deep_allocator_classes,
+                self.deep_sites_per_class,
+                self.deep_steps,
+                true,
+                &mut rng,
+            );
+        }
+
+        let medium = if self.medium_pool > 0 {
+            Some(patterns::pool(
+                &mut b,
+                &std,
+                main,
+                "Med",
+                self.medium_pool,
+                2,
+                false, // no cross-linking: must stay under metric-4 cutoffs
+                0,
+                &mut rng,
+            ))
+        } else {
+            None
+        };
+
+        patterns::probes(
+            &mut b,
+            &std,
+            main,
+            "Pr",
+            self.probes_clean,
+            self.probes_type_friendly,
+            self.probes_medium,
+            medium.as_ref(),
+        );
+
+        if self.listeners > 0 {
+            patterns::event_bus(&mut b, &std, main, "Ev", self.listeners);
+        }
+        if self.visitor_nodes > 0 {
+            patterns::visitor(&mut b, &std, main, "Vis", self.visitor_nodes, self.visitor_kinds);
+        }
+        if self.stream_depth > 0 {
+            patterns::streams(&mut b, &std, main, "St", self.stream_depth);
+        }
+        if self.app_classes > 0 {
+            patterns::app_mass(&mut b, &std, main, "App", self.app_classes, self.app_casts);
+        }
+
+        b.finish()
+    }
+
+    /// The probe tallies this spec emits (for asserting chart shapes).
+    pub fn probe_counts(&self) -> ProbeCounts {
+        ProbeCounts {
+            clean: self.probes_clean,
+            medium: self.probes_medium,
+            type_friendly: self.probes_type_friendly,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rudoop_ir::validate;
+
+    #[test]
+    fn default_spec_builds_a_valid_program() {
+        let p = WorkloadSpec::default().build();
+        assert_eq!(validate(&p), Ok(()));
+        assert!(p.instruction_count() > 300);
+        assert_eq!(p.entry_points.len(), 1);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        let p1 = spec.build();
+        let p2 = spec.build();
+        assert_eq!(rudoop_ir::print_program(&p1), rudoop_ir::print_program(&p2));
+    }
+
+    #[test]
+    fn zero_pool_disables_amplifiers() {
+        let spec = WorkloadSpec { pool_values: 0, ..WorkloadSpec::default() };
+        let p = spec.build();
+        assert_eq!(validate(&p), Ok(()));
+        assert!(!p.classes.values().any(|c| c.name.starts_with("Amp")));
+    }
+
+    #[test]
+    fn medium_pool_enables_medium_probes() {
+        let spec = WorkloadSpec {
+            medium_pool: 40,
+            probes_medium: 3,
+            ..WorkloadSpec::default()
+        };
+        let p = spec.build();
+        assert_eq!(validate(&p), Ok(()));
+        assert!(p.classes.values().any(|c| c.name.starts_with("Med")));
+    }
+}

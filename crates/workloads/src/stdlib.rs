@@ -1,0 +1,237 @@
+//! A miniature "standard library" in the IL: `Object`, `String`,
+//! `StringBuilder`, `List`, `Map`, and `Iter`.
+//!
+//! These classes reproduce the analysis behavior of their Java namesakes
+//! that matters for points-to workloads: collections store elements in
+//! `Object`-typed fields (the classic source of imprecision), `Map.put`
+//! allocates one node per call site (so context-sensitivity can split
+//! nodes), and `StringBuilder.toString` has a single shared allocation site
+//! (so strings conflate, as they famously do in real analyses).
+
+use rudoop_ir::{ClassId, FieldId, MethodId, ProgramBuilder};
+
+/// Handles to the mini standard library inside a program under
+/// construction.
+#[derive(Debug, Clone, Copy)]
+pub struct Std {
+    /// Root class.
+    pub object: ClassId,
+    /// `String`.
+    pub string: ClassId,
+    /// `StringBuilder`, with `append`/`to_string`.
+    pub string_builder: ClassId,
+    /// `StringBuilder.append(s) -> StringBuilder` (returns `this`).
+    pub sb_append: MethodId,
+    /// `StringBuilder.to_string() -> String` (shared allocation site).
+    pub sb_to_string: MethodId,
+    /// `List`, with an `Object`-typed element slot.
+    pub list: ClassId,
+    /// `List.elem` field.
+    pub list_elem: FieldId,
+    /// `List.add(x)`.
+    pub list_add: MethodId,
+    /// `List.get() -> Object`.
+    pub list_get: MethodId,
+    /// `List.iter() -> Iter`.
+    pub list_iter: MethodId,
+    /// `Iter`, a list iterator.
+    pub iter: ClassId,
+    /// `Iter.next() -> Object`.
+    pub iter_next: MethodId,
+    /// `Map`, a key→value store.
+    pub map: ClassId,
+    /// `Map.put(k, v)` — allocates a `Node` per call.
+    pub map_put: MethodId,
+    /// `Map.get(k) -> Object`.
+    pub map_get: MethodId,
+    /// `Node`, the map's internal entry class.
+    pub node: ClassId,
+}
+
+/// Builds the standard library into `b`. Call this first: it creates the
+/// root `Object` class.
+pub fn build(b: &mut ProgramBuilder) -> Std {
+    let object = b.class("Object", None);
+    let string = b.class("String", Some(object));
+    let string_builder = b.class("StringBuilder", Some(object));
+    let list = b.class("List", Some(object));
+    let iter = b.class("Iter", Some(object));
+    let map = b.class("Map", Some(object));
+    let node = b.class("Node", Some(object));
+
+    // StringBuilder: append returns this; to_string allocates one shared
+    // String (all builders conflate their output — faithful to practice).
+    let sb_buf = b.field(string_builder, "buf");
+    let sb_append = b.method(string_builder, "append", &["s"], false);
+    {
+        let this = b.this(sb_append);
+        let s = b.param(sb_append, 0);
+        b.store(sb_append, this, sb_buf, s);
+        b.ret(sb_append, this);
+    }
+    let sb_to_string = b.method(string_builder, "to_string", &[], false);
+    {
+        let r = b.var(sb_to_string, "r");
+        b.alloc(sb_to_string, r, string);
+        b.ret(sb_to_string, r);
+    }
+
+    // List: a one-slot set abstraction of a growable list.
+    let list_elem = b.field(list, "elem");
+    let list_add = b.method(list, "add", &["x"], false);
+    {
+        let this = b.this(list_add);
+        let x = b.param(list_add, 0);
+        b.store(list_add, this, list_elem, x);
+    }
+    let list_get = b.method(list, "get", &[], false);
+    {
+        let this = b.this(list_get);
+        let r = b.var(list_get, "r");
+        b.load(list_get, r, this, list_elem);
+        b.ret(list_get, r);
+    }
+    let iter_src = b.field(iter, "src");
+    let list_iter = b.method(list, "iter", &[], false);
+    {
+        let this = b.this(list_iter);
+        let it = b.var(list_iter, "it");
+        b.alloc(list_iter, it, iter);
+        b.store(list_iter, it, iter_src, this);
+        b.ret(list_iter, it);
+    }
+    let iter_next = b.method(iter, "next", &[], false);
+    {
+        let this = b.this(iter_next);
+        let src = b.var(iter_next, "src");
+        let r = b.var(iter_next, "r");
+        b.load(iter_next, src, this, iter_src);
+        let elem_field = list_elem;
+        b.load(iter_next, r, src, elem_field);
+        b.ret(iter_next, r);
+    }
+
+    // Map: `put` allocates a Node per call (context can split nodes); the
+    // single `entries` slot merges them (bucket-array abstraction).
+    let map_entries = b.field(map, "entries");
+    let node_key = b.field(node, "key");
+    let node_val = b.field(node, "val");
+    let map_put = b.method(map, "put", &["k", "v"], false);
+    {
+        let this = b.this(map_put);
+        let k = b.param(map_put, 0);
+        let v = b.param(map_put, 1);
+        let n = b.var(map_put, "n");
+        b.alloc(map_put, n, node);
+        b.store(map_put, n, node_key, k);
+        b.store(map_put, n, node_val, v);
+        b.store(map_put, this, map_entries, n);
+    }
+    let map_get = b.method(map, "get", &["k"], false);
+    {
+        let this = b.this(map_get);
+        let n = b.var(map_get, "n");
+        let r = b.var(map_get, "r");
+        b.load(map_get, n, this, map_entries);
+        b.load(map_get, r, n, node_val);
+        b.ret(map_get, r);
+    }
+
+    Std {
+        object,
+        string,
+        string_builder,
+        sb_append,
+        sb_to_string,
+        list,
+        list_elem,
+        list_add,
+        list_get,
+        list_iter,
+        iter,
+        iter_next,
+        map,
+        map_put,
+        map_get,
+        node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rudoop_core::policy::Insensitive;
+    use rudoop_core::solver::{analyze, SolverConfig};
+    use rudoop_ir::{validate, ClassHierarchy};
+
+    #[test]
+    fn stdlib_validates_on_its_own() {
+        let mut b = ProgramBuilder::new();
+        let std = build(&mut b);
+        let main = b.method(std.object, "main", &[], true);
+        b.entry(main);
+        let p = b.finish();
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn list_round_trips_elements() {
+        let mut b = ProgramBuilder::new();
+        let std = build(&mut b);
+        let main = b.method(std.object, "main", &[], true);
+        let l = b.var(main, "l");
+        let x = b.var(main, "x");
+        let out = b.var(main, "out");
+        b.alloc(main, l, std.list);
+        let h = b.alloc(main, x, std.string);
+        b.vcall(main, None, l, "add", &[x]);
+        b.vcall(main, Some(out), l, "get", &[]);
+        b.entry(main);
+        let p = b.finish();
+        let hier = ClassHierarchy::new(&p);
+        let r = analyze(&p, &hier, &Insensitive, &SolverConfig::default());
+        assert_eq!(r.points_to(out), &[h]);
+    }
+
+    #[test]
+    fn map_round_trips_values_through_nodes() {
+        let mut b = ProgramBuilder::new();
+        let std = build(&mut b);
+        let main = b.method(std.object, "main", &[], true);
+        let m = b.var(main, "m");
+        let k = b.var(main, "k");
+        let v = b.var(main, "v");
+        let out = b.var(main, "out");
+        b.alloc(main, m, std.map);
+        b.alloc(main, k, std.string);
+        let hv = b.alloc(main, v, std.string);
+        b.vcall(main, None, m, "put", &[k, v]);
+        b.vcall(main, Some(out), m, "get", &[k]);
+        b.entry(main);
+        let p = b.finish();
+        let hier = ClassHierarchy::new(&p);
+        let r = analyze(&p, &hier, &Insensitive, &SolverConfig::default());
+        assert!(r.points_to(out).contains(&hv));
+    }
+
+    #[test]
+    fn iterator_yields_list_contents() {
+        let mut b = ProgramBuilder::new();
+        let std = build(&mut b);
+        let main = b.method(std.object, "main", &[], true);
+        let l = b.var(main, "l");
+        let x = b.var(main, "x");
+        let it = b.var(main, "it");
+        let out = b.var(main, "out");
+        b.alloc(main, l, std.list);
+        let h = b.alloc(main, x, std.string);
+        b.vcall(main, None, l, "add", &[x]);
+        b.vcall(main, Some(it), l, "iter", &[]);
+        b.vcall(main, Some(out), it, "next", &[]);
+        b.entry(main);
+        let p = b.finish();
+        let hier = ClassHierarchy::new(&p);
+        let r = analyze(&p, &hier, &Insensitive, &SolverConfig::default());
+        assert_eq!(r.points_to(out), &[h]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Calibration guards: the evaluation figures depend on the benchmark
+//! specs keeping specific relationships to the heuristics' paper
+//! constants. These tests pin the load-bearing invariants so a future spec
+//! edit cannot silently break the reproduced shapes.
+
+use rudoop_core::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
+use rudoop_core::solver::SolverConfig;
+use rudoop_core::{analyze, Insensitive, IntrospectionMetrics};
+use rudoop_ir::ClassHierarchy;
+use rudoop_workloads::dacapo;
+
+/// hsqldb's blowup is *concentrated*: its amplifier `process` methods must
+/// cross Heuristic B's volume cutoff (P = 10000) so IntroB rescues it, and
+/// its hub must cross Heuristic A's metric-4 cutoff (M = 200) so IntroA
+/// does too.
+#[test]
+fn hsqldb_heuristic_relationships() {
+    let program = dacapo::hsqldb().build();
+    let hierarchy = ClassHierarchy::new(&program);
+    let insens = analyze(&program, &hierarchy, &Insensitive, &SolverConfig::default());
+    assert!(insens.outcome.is_complete());
+    let metrics = IntrospectionMetrics::compute(&program, &insens);
+
+    let mut process_volumes = Vec::new();
+    for (mid, m) in program.methods.iter() {
+        if m.name == "process" && program.classes[m.class].name.starts_with("AmpWrapper") {
+            process_volumes.push(metrics.method_total_pts[mid]);
+        }
+    }
+    assert!(!process_volumes.is_empty());
+    for v in &process_volumes {
+        assert!(
+            *v > 10_000,
+            "hsqldb amplifier volume {v} must cross Heuristic B's P cutoff"
+        );
+        assert!(*v < 100_000, "volume {v} looks unhinged; spec drifted");
+    }
+
+    // Heuristic A must fire on the amplifier methods...
+    let a = HeuristicA::default().select(&program, &metrics, &insens);
+    let b = HeuristicB::default().select(&program, &metrics, &insens);
+    for (mid, m) in program.methods.iter() {
+        if m.name == "process" && program.classes[m.class].name.starts_with("AmpWrapper") {
+            assert!(a.no_refine_methods.contains(mid), "A must exclude {}", m.name);
+            assert!(b.no_refine_methods.contains(mid), "B must exclude {}", m.name);
+        }
+    }
+
+    // ...and the not-refined sets must stay small minorities.
+    let stats_a = rudoop_core::RefinementStats::compute(&program, &insens, &a);
+    let stats_b = rudoop_core::RefinementStats::compute(&program, &insens, &b);
+    assert!(stats_a.call_site_pct() < 50.0, "{stats_a:?}");
+    assert!(stats_b.call_site_pct() < 5.0, "{stats_b:?}");
+    assert!(stats_b.object_pct() <= stats_a.object_pct(), "B is more selective than A");
+}
+
+/// The diffuse (jython-style) profile is realized by the default spec's
+/// mini cousin quickly: stateless wrappers must have zero cost-product so
+/// Heuristic B cannot neutralize them through object exclusion.
+#[test]
+fn stateless_wrappers_evade_heuristic_b_object_exclusion() {
+    let spec = rudoop_workloads::WorkloadSpec {
+        name: "mini-diffuse".into(),
+        pool_values: 260,
+        stateful_wrappers: false,
+        creator_classes: 6,
+        creator_instances: 40,
+        wrapper_sites_per_class: 3,
+        process_steps: 3,
+        util_consumers: 0,
+        util_dists: 0,
+        medium_pool: 0,
+        app_classes: 10,
+        ..rudoop_workloads::WorkloadSpec::default()
+    };
+    let program = spec.build();
+    let hierarchy = ClassHierarchy::new(&program);
+    let insens = analyze(&program, &hierarchy, &Insensitive, &SolverConfig::default());
+    let metrics = IntrospectionMetrics::compute(&program, &insens);
+    let b = HeuristicB::default().select(&program, &metrics, &insens);
+    for (aid, alloc) in program.allocs.iter() {
+        let class = &program.classes[alloc.class].name;
+        if class.starts_with("AmpWrapper") {
+            assert!(
+                !b.no_refine_objects.contains(aid),
+                "stateless wrapper {class} must stay refined under B"
+            );
+        }
+    }
+}
+
+/// Every benchmark spec builds deterministically to the same instruction
+/// count (pin the sizes so accidental generator changes are visible).
+#[test]
+fn benchmark_sizes_are_pinned() {
+    for spec in dacapo::all_nine() {
+        let p1 = spec.build();
+        let p2 = spec.build();
+        assert_eq!(
+            p1.instruction_count(),
+            p2.instruction_count(),
+            "{} must build deterministically",
+            spec.name
+        );
+        assert!(
+            p1.instruction_count() > 1_000,
+            "{} suspiciously small: {}",
+            spec.name,
+            p1.instruction_count()
+        );
+    }
+}

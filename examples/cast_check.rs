@@ -1,0 +1,65 @@
+//! Cast-safety client: list the downcasts that an analysis cannot prove
+//! safe — the paper's third precision metric ("reachable casts that may
+//! fail"), here with per-cast reporting.
+//!
+//! Run with: `cargo run --example cast_check`
+
+use rudoop::analysis::driver::{analyze_flavor, Flavor};
+use rudoop::analysis::solver::SolverConfig;
+use rudoop::ir::{parse_program, ClassHierarchy};
+
+const SOURCE: &str = r#"
+class Object
+class Shape extends Object
+class Circle extends Shape
+class Square extends Shape
+
+method Object.pick(a, b) static {
+  return a
+}
+
+method Object.main() static {
+  c = new Circle
+  s = new Square
+  # The analysis only sees that pick returns one of its arguments.
+  x = static Object.pick(c, s)
+  y = static Object.pick(s, c)
+  cc = cast Circle x     # dynamically fine, statically: depends on precision
+  ss = cast Square y
+  sh = cast Shape x      # upcast: always provable
+}
+
+entry Object.main
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_program(SOURCE)?;
+    let hierarchy = ClassHierarchy::new(&program);
+
+    for flavor in [Flavor::Insensitive, Flavor::CALL2H] {
+        let result = analyze_flavor(&program, &hierarchy, flavor, &SolverConfig::default());
+        println!("=== {} ===", result.analysis);
+        for (site, from, class) in program.cast_sites() {
+            if !result.reachable_methods.contains(site.method) {
+                continue;
+            }
+            let may_fail = result
+                .points_to(from)
+                .iter()
+                .any(|&h| !hierarchy.is_subtype(program.allocs[h].class, class));
+            let target = &program.classes[class].name;
+            println!(
+                "  cast to {:<7} at {}[{}]: {}",
+                target,
+                program.method_display(site.method),
+                site.index,
+                if may_fail { "MAY FAIL" } else { "proved safe" }
+            );
+        }
+    }
+    println!();
+    println!("`pick` conflates both arguments insensitively, so even the upcast's");
+    println!("siblings look dangerous; 2callH separates the two call sites and");
+    println!("proves every cast (note: both analyses prove the upcast).");
+    Ok(())
+}

@@ -1,0 +1,228 @@
+//! `rudoop` — command-line driver for the points-to analysis framework.
+//!
+//! ```text
+//! rudoop <program.rdp | @benchmark> [options]
+//!
+//!   <program.rdp>        a program in the textual IL format
+//!   @<name>              a built-in DaCapo-shaped benchmark (e.g. @pmd)
+//!
+//! options:
+//!   --analysis <name>    insens | 1call | 2callH | 1objH | 2objH |
+//!                        2typeH | S2objH            (default: 2objH)
+//!   --introspective <h>  A | B — run the two-pass introspective variant
+//!   --budget <n>         derivation budget (default: unlimited)
+//!   --filter-casts       enable assign-cast filtering
+//!   --stats              print the points-to distribution dashboard
+//!   --pts <var>          print the points-to set of Class.method::var
+//!   --dump               print projected var-points-to for all variables
+//! ```
+
+use std::process::ExitCode;
+
+use rudoop::analysis::driver::{analyze_flavor, analyze_introspective, Flavor};
+use rudoop::analysis::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
+use rudoop::analysis::solver::{Budget, SolverConfig};
+use rudoop::analysis::{PrecisionMetrics, ResultStats};
+use rudoop::ir::{parse_program, validate, ClassHierarchy, Program};
+use rudoop::workloads::dacapo;
+
+struct Options {
+    input: String,
+    flavor: Flavor,
+    introspective: Option<char>,
+    budget: Option<u64>,
+    filter_casts: bool,
+    stats: bool,
+    pts: Vec<String>,
+    dump: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rudoop <program.rdp | @benchmark> [--analysis NAME] \
+         [--introspective A|B] [--budget N] [--filter-casts] [--stats] \
+         [--pts Class.method::var] [--dump]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flavor(name: &str) -> Option<Flavor> {
+    match name {
+        "insens" => Some(Flavor::Insensitive),
+        "1call" => Some(Flavor::CallSite { k: 1, heap_k: 0 }),
+        "1callH" => Some(Flavor::CallSite { k: 1, heap_k: 1 }),
+        "2callH" => Some(Flavor::CALL2H),
+        "1obj" => Some(Flavor::Object { k: 1, heap_k: 0 }),
+        "1objH" => Some(Flavor::Object { k: 1, heap_k: 1 }),
+        "2objH" => Some(Flavor::OBJ2H),
+        "1typeH" => Some(Flavor::Type { k: 1, heap_k: 1 }),
+        "2typeH" => Some(Flavor::TYPE2H),
+        "S2objH" => Some(Flavor::HYBRID2H),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        input: String::new(),
+        flavor: Flavor::OBJ2H,
+        introspective: None,
+        budget: None,
+        filter_casts: false,
+        stats: false,
+        pts: Vec::new(),
+        dump: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--analysis" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                opts.flavor = parse_flavor(&name).unwrap_or_else(|| {
+                    eprintln!("unknown analysis {name:?}");
+                    usage()
+                });
+            }
+            "--introspective" => {
+                let h = args.next().unwrap_or_else(|| usage());
+                match h.as_str() {
+                    "A" => opts.introspective = Some('A'),
+                    "B" => opts.introspective = Some('B'),
+                    _ => usage(),
+                }
+            }
+            "--budget" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.budget = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--filter-casts" => opts.filter_casts = true,
+            "--stats" => opts.stats = true,
+            "--pts" => opts.pts.push(args.next().unwrap_or_else(|| usage())),
+            "--dump" => opts.dump = true,
+            "--help" | "-h" => usage(),
+            other if opts.input.is_empty() && !other.starts_with('-') => {
+                opts.input = other.to_owned();
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if opts.input.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn load_program(input: &str) -> Result<Program, String> {
+    if let Some(name) = input.strip_prefix('@') {
+        return dacapo::by_name(name)
+            .map(|spec| spec.build())
+            .ok_or_else(|| format!("unknown benchmark {name:?} (try @pmd, @hsqldb, …)"));
+    }
+    let source = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    parse_program(&source).map_err(|e| format!("{input}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let program = match load_program(&opts.input) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(errs) = validate(&program) {
+        eprintln!("error: invalid program:");
+        for e in errs {
+            eprintln!("  {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let hierarchy = ClassHierarchy::new(&program);
+    let config = SolverConfig {
+        budget: opts.budget.map(Budget::derivations).unwrap_or_default(),
+        filter_casts: opts.filter_casts,
+        ..SolverConfig::default()
+    };
+
+    let result = match opts.introspective {
+        None => analyze_flavor(&program, &hierarchy, opts.flavor, &config),
+        Some(which) => {
+            let heuristic: Box<dyn RefinementHeuristic> = if which == 'A' {
+                Box::new(HeuristicA::default())
+            } else {
+                Box::new(HeuristicB::default())
+            };
+            let run = analyze_introspective(
+                &program,
+                &hierarchy,
+                opts.flavor,
+                heuristic.as_ref(),
+                &config,
+            );
+            println!(
+                "selection: {:.1}% of call sites, {:.1}% of objects not refined",
+                run.refinement_stats.call_site_pct(),
+                run.refinement_stats.object_pct()
+            );
+            run.result
+        }
+    };
+
+    println!(
+        "analysis {}: {} in {:.2}s, {} derivations, {} contexts",
+        result.analysis,
+        if result.outcome.is_complete() { "completed" } else { "BUDGET EXHAUSTED" },
+        result.stats.duration.as_secs_f64(),
+        result.stats.derivations,
+        result.stats.contexts,
+    );
+    let pm = PrecisionMetrics::compute(&program, &hierarchy, &result);
+    println!(
+        "precision: {} polymorphic virtual call sites, {} reachable methods, {} casts may fail",
+        pm.polymorphic_call_sites, pm.reachable_methods, pm.casts_may_fail
+    );
+
+    if opts.stats {
+        println!();
+        print!("{}", ResultStats::compute(&program, &result, 10).render(&program));
+    }
+
+    for query in &opts.pts {
+        let matched: Vec<_> = program
+            .vars
+            .iter()
+            .filter(|&(v, _)| program.var_display(v) == *query || program.vars[v].name == *query)
+            .collect();
+        if matched.is_empty() {
+            eprintln!("no variable matches {query:?}");
+            continue;
+        }
+        for (v, _) in matched {
+            let names: Vec<String> = result
+                .points_to(v)
+                .iter()
+                .map(|&h| {
+                    format!("{}@{}", program.classes[program.allocs[h].class].name, h)
+                })
+                .collect();
+            println!("{} -> {{{}}}", program.var_display(v), names.join(", "));
+        }
+    }
+
+    if opts.dump {
+        for (v, pts) in result.var_pts.iter() {
+            if pts.is_empty() {
+                continue;
+            }
+            let names: Vec<String> =
+                pts.iter().map(|&h| program.classes[program.allocs[h].class].name.clone()).collect();
+            println!("{} -> {{{}}}", program.var_display(v), names.join(", "));
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,57 @@
+//! # rudoop
+//!
+//! A from-scratch Rust reproduction of *"Introspective Analysis:
+//! Context-Sensitivity, Across the Board"* (Smaragdakis, Kastrinis,
+//! Balatsouras; PLDI 2014): a Doop-style context-sensitive points-to
+//! analysis framework whose headline feature is **introspective
+//! context-sensitivity** — run a cheap context-insensitive pass, measure
+//! where context would explode, and re-run with context-sensitivity
+//! everywhere *except* those program elements.
+//!
+//! This crate is the facade: it re-exports the workspace members.
+//!
+//! - [`ir`] — the simplified Jimple-like intermediate language, builder,
+//!   parser and printer (`rudoop-ir`),
+//! - [`analysis`] — context policies, the solver, introspection metrics,
+//!   heuristics, the two-pass driver and precision clients (`rudoop-core`),
+//! - [`datalog`] — the semi-naive Datalog engine and the executable model
+//!   of the paper's Figures 2–3 (`rudoop-datalog`),
+//! - [`workloads`] — deterministic DaCapo-shaped benchmark generators
+//!   (`rudoop-workloads`).
+//!
+//! # Examples
+//!
+//! The paper's pitch, end to end: a benchmark where full `2objH` is orders
+//! of magnitude costlier than the insensitive analysis, rescued by
+//! introspection:
+//!
+//! ```no_run
+//! use rudoop::analysis::driver::{analyze_flavor, analyze_introspective, Flavor};
+//! use rudoop::analysis::heuristics::HeuristicA;
+//! use rudoop::analysis::solver::SolverConfig;
+//! use rudoop::ir::ClassHierarchy;
+//! use rudoop::workloads::dacapo;
+//!
+//! let program = dacapo::hsqldb().build();
+//! let hierarchy = ClassHierarchy::new(&program);
+//! let config = SolverConfig::default();
+//! let full = analyze_flavor(&program, &hierarchy, Flavor::OBJ2H, &config);
+//! let intro = analyze_introspective(
+//!     &program, &hierarchy, Flavor::OBJ2H, &HeuristicA::default(), &config,
+//! );
+//! assert!(intro.result.stats.derivations < full.stats.derivations / 10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use rudoop_core as analysis;
+pub use rudoop_datalog as datalog;
+pub use rudoop_ir as ir;
+pub use rudoop_workloads as workloads;
+
+pub use rudoop_core::{
+    analyze, analyze_flavor, analyze_introspective, Flavor, HeuristicA, HeuristicB,
+    IntrospectionMetrics, Outcome, PointsToResult, PrecisionMetrics, SolverConfig,
+};
+pub use rudoop_ir::{parse_program, print_program, ClassHierarchy, Program, ProgramBuilder};

@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: the textual frontend, the solver, the
+//! clients and the introspective driver working together through the
+//! facade crate.
+
+use rudoop::analysis::driver::{analyze_flavor, analyze_introspective, Flavor};
+use rudoop::analysis::heuristics::{HeuristicA, HeuristicB};
+use rudoop::analysis::solver::{Budget, SolverConfig};
+use rudoop::analysis::PrecisionMetrics;
+use rudoop::ir::{parse_program, print_program, validate, ClassHierarchy};
+use rudoop::workloads::WorkloadSpec;
+
+/// A small program exercising every IL construct, as text.
+const KITCHEN_SINK: &str = r#"
+class Object
+class Container extends Object
+class Item extends Object
+class SpecialItem extends Item
+field Container.content
+
+method Container.put(x) {
+  this.content = x
+}
+method Container.take() {
+  r = this.content
+  return r
+}
+method Item.tag() {
+  t = new Item
+  return t
+}
+method SpecialItem.tag() {
+  t = new SpecialItem
+  return t
+}
+method Object.route(c, v) static {
+  c.put(v)
+  out = c.take()
+  return out
+}
+
+method Object.main() static {
+  c1 = new Container
+  c2 = new Container
+  i = new Item
+  s = new SpecialItem
+  r1 = static Object.route(c1, i)
+  r2 = static Object.route(c2, s)
+  r1.tag()
+  chk = cast SpecialItem r2
+}
+
+entry Object.main
+"#;
+
+#[test]
+fn text_to_precision_pipeline() {
+    let program = parse_program(KITCHEN_SINK).unwrap();
+    validate(&program).unwrap();
+    let hierarchy = ClassHierarchy::new(&program);
+    let config = SolverConfig::default();
+
+    let insens = analyze_flavor(&program, &hierarchy, Flavor::Insensitive, &config);
+    // Call-site-sensitivity separates the two static route() calls.
+    // (Object-sensitivity would not: route is static, so its formals keep
+    // the caller's context and the two items still meet there.)
+    let obj = analyze_flavor(&program, &hierarchy, Flavor::CALL2H, &config);
+    let pm_i = PrecisionMetrics::compute(&program, &hierarchy, &insens);
+    let pm_o = PrecisionMetrics::compute(&program, &hierarchy, &obj);
+
+    // Insensitively route() conflates both containers and both items: the
+    // tag() call is polymorphic and the cast may fail. 2callH fixes both.
+    assert_eq!(pm_i.polymorphic_call_sites, 1);
+    assert_eq!(pm_i.casts_may_fail, 1);
+    assert_eq!(pm_o.polymorphic_call_sites, 0);
+    assert_eq!(pm_o.casts_may_fail, 0);
+    // And the spurious SpecialItem.tag reachability disappears.
+    assert!(pm_o.reachable_methods < pm_i.reachable_methods);
+}
+
+#[test]
+fn printed_program_analyzes_identically() {
+    let program = parse_program(KITCHEN_SINK).unwrap();
+    let reparsed = parse_program(&print_program(&program)).unwrap();
+    let h1 = ClassHierarchy::new(&program);
+    let h2 = ClassHierarchy::new(&reparsed);
+    let config = SolverConfig::default();
+    let r1 = analyze_flavor(&program, &h1, Flavor::CALL2H, &config);
+    let r2 = analyze_flavor(&reparsed, &h2, Flavor::CALL2H, &config);
+    assert_eq!(r1.stats.derivations, r2.stats.derivations);
+    assert_eq!(
+        PrecisionMetrics::compute(&program, &h1, &r1),
+        PrecisionMetrics::compute(&reparsed, &h2, &r2)
+    );
+}
+
+/// A miniature benchmark with the same skeleton as the DaCapo-shaped specs,
+/// small enough for debug-profile testing.
+fn mini_benchmark() -> rudoop::Program {
+    WorkloadSpec {
+        name: "mini".into(),
+        pool_values: 120,
+        pool_value_classes: 3,
+        pool_readers: 110,
+        wrapper_classes: 2,
+        creator_classes: 2,
+        creator_instances: 30,
+        wrapper_sites_per_class: 10,
+        process_steps: 6,
+        util_consumers: 15,
+        util_dists: 10,
+        util_moves: 4,
+        medium_pool: 110,
+        probes_clean: 8,
+        probes_type_friendly: 3,
+        probes_medium: 4,
+        app_classes: 70,
+        ..WorkloadSpec::default()
+    }
+    .build()
+}
+
+#[test]
+fn introspection_rescues_a_blowup() {
+    let program = mini_benchmark();
+    validate(&program).unwrap();
+    let hierarchy = ClassHierarchy::new(&program);
+    let config = SolverConfig::default();
+
+    let insens = analyze_flavor(&program, &hierarchy, Flavor::Insensitive, &config);
+    let full = analyze_flavor(&program, &hierarchy, Flavor::OBJ2H, &config);
+    assert!(
+        full.stats.derivations > 4 * insens.stats.derivations,
+        "the amplifier must make 2objH disproportionately expensive: {} vs {}",
+        full.stats.derivations,
+        insens.stats.derivations
+    );
+
+    let intro =
+        analyze_introspective(&program, &hierarchy, Flavor::OBJ2H, &HeuristicA::default(), &config);
+    assert!(intro.result.outcome.is_complete());
+    assert!(
+        intro.result.stats.derivations < full.stats.derivations / 2,
+        "introspection must avoid most of the blowup: {} vs {}",
+        intro.result.stats.derivations,
+        full.stats.derivations
+    );
+
+    // Precision ordering: insens ≥ IntroA ≥ IntroB ≥ full (lower = better).
+    let pm_insens = PrecisionMetrics::compute(&program, &hierarchy, &insens);
+    let pm_full = PrecisionMetrics::compute(&program, &hierarchy, &full);
+    let pm_a = PrecisionMetrics::compute(&program, &hierarchy, &intro.result);
+    let intro_b =
+        analyze_introspective(&program, &hierarchy, Flavor::OBJ2H, &HeuristicB::default(), &config);
+    let pm_b = PrecisionMetrics::compute(&program, &hierarchy, &intro_b.result);
+
+    assert!(pm_full.polymorphic_call_sites <= pm_b.polymorphic_call_sites);
+    assert!(pm_b.polymorphic_call_sites <= pm_a.polymorphic_call_sites);
+    assert!(pm_a.polymorphic_call_sites <= pm_insens.polymorphic_call_sites);
+    assert!(
+        pm_a.polymorphic_call_sites < pm_insens.polymorphic_call_sites,
+        "IntroA must still gain precision over insens"
+    );
+    assert!(pm_full.casts_may_fail <= pm_b.casts_may_fail);
+    assert!(pm_b.casts_may_fail <= pm_a.casts_may_fail);
+}
+
+#[test]
+fn budget_models_the_timeout() {
+    let program = mini_benchmark();
+    let hierarchy = ClassHierarchy::new(&program);
+    let insens =
+        analyze_flavor(&program, &hierarchy, Flavor::Insensitive, &SolverConfig::default());
+    // A budget with headroom over the insensitive cost but far below the
+    // full 2objH cost: insens completes, 2objH exhausts — the bimodality.
+    let tight = SolverConfig {
+        budget: Budget::derivations(insens.stats.derivations * 3 / 2),
+        ..SolverConfig::default()
+    };
+    let full = analyze_flavor(&program, &hierarchy, Flavor::OBJ2H, &tight);
+    assert!(!full.outcome.is_complete(), "tight budget must exhaust on the amplifier");
+    let insens_again = analyze_flavor(&program, &hierarchy, Flavor::Insensitive, &tight);
+    assert!(insens_again.outcome.is_complete(), "insens fits in the same budget");
+}
+
+#[test]
+fn heuristic_selection_is_a_small_minority() {
+    let program = mini_benchmark();
+    let hierarchy = ClassHierarchy::new(&program);
+    let config = SolverConfig::default();
+    let run =
+        analyze_introspective(&program, &hierarchy, Flavor::OBJ2H, &HeuristicA::default(), &config);
+    let stats = run.refinement_stats;
+    assert!(stats.call_sites_total > 0 && stats.objects_total > 0);
+    // "the program elements that are refined are the overwhelming majority"
+    assert!(stats.call_site_pct() < 50.0, "call sites: {stats:?}");
+    assert!(stats.object_pct() < 50.0, "objects: {stats:?}");
+}

@@ -1,0 +1,221 @@
+//! Scaled-down assertions of the paper's evaluation shapes, fast enough
+//! for the debug-profile test suite. Each test is one qualitative claim
+//! from the paper, checked on miniature versions of the workload
+//! machinery (the full-size claims are checked by the release harness and
+//! recorded in EXPERIMENTS.md).
+
+use rudoop::analysis::driver::{analyze_flavor, analyze_introspective_from, Flavor};
+use rudoop::analysis::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
+use rudoop::analysis::solver::SolverConfig;
+use rudoop::analysis::{analyze, Insensitive, PrecisionMetrics};
+use rudoop::ir::ClassHierarchy;
+use rudoop::workloads::WorkloadSpec;
+
+/// hsqldb-in-miniature: concentrated blowup (big volumes per method).
+fn concentrated() -> rudoop::Program {
+    WorkloadSpec {
+        name: "mini-hsqldb".into(),
+        pool_values: 150,
+        pool_readers: 110,
+        cross_link: true,
+        wrapper_classes: 2,
+        creator_classes: 2,
+        creator_instances: 40,
+        wrapper_sites_per_class: 12,
+        process_steps: 10,
+        util_consumers: 10,
+        util_dists: 6,
+        util_moves: 4,
+        medium_pool: 110,
+        probes_clean: 6,
+        probes_type_friendly: 2,
+        probes_medium: 3,
+        app_classes: 40,
+        ..WorkloadSpec::default()
+    }
+    .build()
+}
+
+/// jython-in-miniature: diffuse blowup (many small methods, stateless
+/// wrappers) that Heuristic B cannot catch.
+fn diffuse() -> rudoop::Program {
+    WorkloadSpec {
+        name: "mini-jython".into(),
+        // Above Heuristic A's M=200 cutoff (the heuristics use the paper's
+        // absolute constants, so mini workloads must still cross them).
+        pool_values: 260,
+        pool_readers: 110,
+        cross_link: true,
+        stateful_wrappers: false,
+        wrapper_classes: 4,
+        creator_classes: 12,
+        creator_instances: 120,
+        wrapper_sites_per_class: 3,
+        process_steps: 3,
+        util_consumers: 10,
+        util_dists: 6,
+        util_moves: 2,
+        medium_pool: 0,
+        probes_clean: 6,
+        probes_type_friendly: 2,
+        probes_medium: 0,
+        app_classes: 30,
+        ..WorkloadSpec::default()
+    }
+    .build()
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    a as f64 / b as f64
+}
+
+#[test]
+fn bimodality_2objh_explodes_where_insens_does_not() {
+    for (name, program) in [("concentrated", concentrated()), ("diffuse", diffuse())] {
+        let h = ClassHierarchy::new(&program);
+        let cfg = SolverConfig::default();
+        let insens = analyze(&program, &h, &Insensitive, &cfg);
+        let full = analyze_flavor(&program, &h, Flavor::OBJ2H, &cfg);
+        assert!(
+            ratio(full.stats.derivations, insens.stats.derivations) > 4.0,
+            "{name}: 2objH must be disproportionately expensive ({} vs {})",
+            full.stats.derivations,
+            insens.stats.derivations
+        );
+    }
+}
+
+#[test]
+fn heuristic_a_rescues_both_blowup_profiles() {
+    for (name, program) in [("concentrated", concentrated()), ("diffuse", diffuse())] {
+        let h = ClassHierarchy::new(&program);
+        let cfg = SolverConfig::default();
+        let insens = analyze(&program, &h, &Insensitive, &cfg);
+        let full = analyze_flavor(&program, &h, Flavor::OBJ2H, &cfg);
+        let run = analyze_introspective_from(
+            &program,
+            &h,
+            Flavor::OBJ2H,
+            &HeuristicA::default(),
+            &cfg,
+            insens.clone(),
+        );
+        assert!(
+            run.result.stats.derivations * 2 < full.stats.derivations,
+            "{name}: IntroA must stay near the insensitive cost ({} vs full {})",
+            run.result.stats.derivations,
+            full.stats.derivations
+        );
+    }
+}
+
+#[test]
+fn heuristic_b_rescues_concentrated_but_not_diffuse() {
+    let cfg = SolverConfig::default();
+
+    let program = concentrated();
+    let h = ClassHierarchy::new(&program);
+    let insens = analyze(&program, &h, &Insensitive, &cfg);
+    let full = analyze_flavor(&program, &h, Flavor::OBJ2H, &cfg);
+    let run = analyze_introspective_from(
+        &program,
+        &h,
+        Flavor::OBJ2H,
+        &HeuristicB { p: 2_000, q: 2_000 }, // scaled cutoffs for the mini size
+        &cfg,
+        insens,
+    );
+    assert!(
+        run.result.stats.derivations * 2 < full.stats.derivations,
+        "concentrated: B's volume cutoffs catch the hot methods ({} vs {})",
+        run.result.stats.derivations,
+        full.stats.derivations
+    );
+
+    let program = diffuse();
+    let h = ClassHierarchy::new(&program);
+    let insens = analyze(&program, &h, &Insensitive, &cfg);
+    let full = analyze_flavor(&program, &h, Flavor::OBJ2H, &cfg);
+    let run = analyze_introspective_from(
+        &program,
+        &h,
+        Flavor::OBJ2H,
+        &HeuristicB { p: 2_000, q: 2_000 },
+        &cfg,
+        insens,
+    );
+    assert!(
+        ratio(run.result.stats.derivations, full.stats.derivations) > 0.5,
+        "diffuse: no method crosses B's cutoffs, so IntroB pays nearly the full \
+         price ({} vs {})",
+        run.result.stats.derivations,
+        full.stats.derivations
+    );
+}
+
+#[test]
+fn precision_order_insens_introa_introb_full() {
+    let program = concentrated();
+    let h = ClassHierarchy::new(&program);
+    let cfg = SolverConfig::default();
+    let insens = analyze(&program, &h, &Insensitive, &cfg);
+    let full = analyze_flavor(&program, &h, Flavor::OBJ2H, &cfg);
+    let a = analyze_introspective_from(
+        &program, &h, Flavor::OBJ2H, &HeuristicA::default(), &cfg, insens.clone(),
+    );
+    let b = analyze_introspective_from(
+        &program, &h, Flavor::OBJ2H, &HeuristicB::default(), &cfg, insens.clone(),
+    );
+    let pm = |r: &rudoop::PointsToResult| PrecisionMetrics::compute(&program, &h, r);
+    let (pi, pa, pb, pf) = (pm(&insens), pm(&a.result), pm(&b.result), pm(&full));
+    assert!(pf.polymorphic_call_sites <= pb.polymorphic_call_sites);
+    assert!(pb.polymorphic_call_sites <= pa.polymorphic_call_sites);
+    assert!(pa.polymorphic_call_sites < pi.polymorphic_call_sites);
+    assert!(pf.casts_may_fail <= pb.casts_may_fail);
+    assert!(pb.casts_may_fail <= pa.casts_may_fail);
+    assert!(pa.casts_may_fail < pi.casts_may_fail);
+    assert!(pf.reachable_methods <= pa.reachable_methods);
+    assert!(pa.reachable_methods < pi.reachable_methods);
+}
+
+#[test]
+fn type_sensitivity_is_cheaper_than_object_sensitivity() {
+    let program = concentrated();
+    let h = ClassHierarchy::new(&program);
+    let cfg = SolverConfig::default();
+    let obj = analyze_flavor(&program, &h, Flavor::OBJ2H, &cfg);
+    let ty = analyze_flavor(&program, &h, Flavor::TYPE2H, &cfg);
+    assert!(
+        ty.stats.derivations < obj.stats.derivations,
+        "2typeH coarsens contexts: {} vs {}",
+        ty.stats.derivations,
+        obj.stats.derivations
+    );
+    // ...at a precision price.
+    let pm_o = PrecisionMetrics::compute(&program, &h, &obj);
+    let pm_t = PrecisionMetrics::compute(&program, &h, &ty);
+    assert!(pm_o.polymorphic_call_sites <= pm_t.polymorphic_call_sites);
+}
+
+#[test]
+fn selection_shares_the_first_pass() {
+    // The §4 overhead argument: both heuristics reuse one insensitive pass.
+    let program = concentrated();
+    let h = ClassHierarchy::new(&program);
+    let cfg = SolverConfig::default();
+    let insens = analyze(&program, &h, &Insensitive, &cfg);
+    let heuristics: Vec<Box<dyn RefinementHeuristic>> =
+        vec![Box::new(HeuristicA::default()), Box::new(HeuristicB::default())];
+    for heuristic in &heuristics {
+        let run = analyze_introspective_from(
+            &program,
+            &h,
+            Flavor::OBJ2H,
+            heuristic.as_ref(),
+            &cfg,
+            insens.clone(),
+        );
+        assert_eq!(run.first_pass.stats.derivations, insens.stats.derivations);
+        assert!(run.result.outcome.is_complete());
+    }
+}
