@@ -1,0 +1,448 @@
+//! Tier-2 lints: backed by a [`PointsToResult`], typically the
+//! context-insensitive pre-analysis of the introspective pipeline.
+//!
+//! These lints are the "diagnostics view" of the paper's precision clients
+//! ([`rudoop_core::clients`]): instead of counting imprecision, they point
+//! at the instructions responsible. Two exact agreements tie the tiers to
+//! the clients and are enforced by tests:
+//!
+//! - `#I001 + #I002 = PrecisionMetrics::casts_may_fail` — the client counts
+//!   reachable casts with *some* non-conforming pointee; the lints split
+//!   that set into "all pointees non-conforming" (`I001`, the cast is
+//!   guaranteed to fail if executed) and "mixed" (`I002`, may fail);
+//! - `#I004 = |methods| − PrecisionMetrics::reachable_methods`.
+//!
+//! | code | name | finding |
+//! |------|------|---------|
+//! | `I001` | `cast-guaranteed-fail` | every possible runtime type fails the cast |
+//! | `I002` | `cast-may-fail` | some possible runtime type fails the cast |
+//! | `I003` | `empty-receiver` | a virtual call's receiver points to nothing |
+//! | `I004` | `dead-method` | a method is unreachable from the entry points |
+//! | `I005` | `monomorphic-call` | a virtual call has exactly one target (hint) |
+
+use rudoop_ir::{Instruction, InvokeKind, VarId};
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lint::{Lint, LintContext};
+
+/// All tier-2 lints, in code order.
+pub fn lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(CastGuaranteedFail),
+        Box::new(CastMayFail),
+        Box::new(EmptyReceiver),
+        Box::new(DeadMethod),
+        Box::new(MonomorphicCall),
+    ]
+}
+
+/// Renders the first few pointee classes of a variable, for notes.
+fn pointee_preview(cx: &LintContext<'_>, var: VarId) -> String {
+    let pts = cx.points_to.expect("tier-2 lint without points-to");
+    let names: Vec<&str> = pts.var_pts[var]
+        .iter()
+        .take(3)
+        .map(|&h| cx.program.classes[cx.program.allocs[h].class].name.as_str())
+        .collect();
+    let total = pts.var_pts[var].len();
+    if total > names.len() {
+        format!("{} and {} more", names.join(", "), total - names.len())
+    } else {
+        names.join(", ")
+    }
+}
+
+/// `I001`: a reachable cast whose source has a non-empty points-to set in
+/// which **every** allocation site's class fails the cast. If the cast ever
+/// executes on a non-null value, it throws.
+pub struct CastGuaranteedFail;
+
+impl Lint for CastGuaranteedFail {
+    fn code(&self) -> &'static str {
+        "I001"
+    }
+    fn name(&self) -> &'static str {
+        "cast-guaranteed-fail"
+    }
+    fn description(&self) -> &'static str {
+        "every runtime type the cast source may have fails the cast"
+    }
+    fn needs_points_to(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (p, r) = (
+            cx.program,
+            cx.points_to.expect("tier-2 lint without points-to"),
+        );
+        for (site, from, class) in p.cast_sites() {
+            if !r.reachable_methods.contains(site.method) {
+                continue;
+            }
+            let pts = &r.var_pts[from];
+            if !pts.is_empty()
+                && pts
+                    .iter()
+                    .all(|&h| !cx.hierarchy.is_subtype(p.allocs[h].class, class))
+            {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        Severity::Warning,
+                        format!(
+                            "cast of `{}` to `{}` is guaranteed to fail",
+                            p.vars[from].name, p.classes[class].name
+                        ),
+                    )
+                    .at_instr(p, site.method, site.index)
+                    .note(format!(
+                        "possible runtime types: {}",
+                        pointee_preview(cx, from)
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// `I002`: a reachable cast whose source may hold both conforming and
+/// non-conforming objects. Together with `I001` this partitions exactly the
+/// casts the `casts_may_fail` client counts.
+pub struct CastMayFail;
+
+impl Lint for CastMayFail {
+    fn code(&self) -> &'static str {
+        "I002"
+    }
+    fn name(&self) -> &'static str {
+        "cast-may-fail"
+    }
+    fn description(&self) -> &'static str {
+        "some runtime type the cast source may have fails the cast"
+    }
+    fn needs_points_to(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (p, r) = (
+            cx.program,
+            cx.points_to.expect("tier-2 lint without points-to"),
+        );
+        for (site, from, class) in p.cast_sites() {
+            if !r.reachable_methods.contains(site.method) {
+                continue;
+            }
+            let pts = &r.var_pts[from];
+            let bad = pts
+                .iter()
+                .filter(|&&h| !cx.hierarchy.is_subtype(p.allocs[h].class, class))
+                .count();
+            if bad > 0 && bad < pts.len() {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        Severity::Warning,
+                        format!(
+                            "cast of `{}` to `{}` may fail: {bad} of {} possible runtime types do not conform",
+                            p.vars[from].name,
+                            p.classes[class].name,
+                            pts.len()
+                        ),
+                    )
+                    .at_instr(p, site.method, site.index),
+                );
+            }
+        }
+    }
+}
+
+/// `I003`: a virtual call in a reachable method whose receiver points to no
+/// allocation site — the analysis's analogue of a guaranteed
+/// null-pointer dereference: the call can never dispatch anywhere.
+pub struct EmptyReceiver;
+
+impl Lint for EmptyReceiver {
+    fn code(&self) -> &'static str {
+        "I003"
+    }
+    fn name(&self) -> &'static str {
+        "empty-receiver"
+    }
+    fn description(&self) -> &'static str {
+        "a virtual call's receiver has an empty points-to set"
+    }
+    fn needs_points_to(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (p, r) = (
+            cx.program,
+            cx.points_to.expect("tier-2 lint without points-to"),
+        );
+        for (mid, method) in p.methods.iter() {
+            if !r.reachable_methods.contains(mid) {
+                continue;
+            }
+            for (i, instr) in method.body.iter().enumerate() {
+                let Instruction::Call { invoke } = *instr else {
+                    continue;
+                };
+                let InvokeKind::Virtual { base, .. } = p.invokes[invoke].kind else {
+                    continue;
+                };
+                if r.var_pts[base].is_empty() {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            Severity::Warning,
+                            format!(
+                                "virtual call on `{}` never dispatches: receiver points to nothing",
+                                p.vars[base].name
+                            ),
+                        )
+                        .at_instr(p, mid, i)
+                        .note("the receiver is always null here (or the call is dead code)"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `I004`: a method the analysis proves unreachable from the entry points.
+/// The count equals `|methods| − reachable_methods` of the same result.
+pub struct DeadMethod;
+
+impl Lint for DeadMethod {
+    fn code(&self) -> &'static str {
+        "I004"
+    }
+    fn name(&self) -> &'static str {
+        "dead-method"
+    }
+    fn description(&self) -> &'static str {
+        "a method is unreachable from the program entry points"
+    }
+    fn needs_points_to(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (p, r) = (
+            cx.program,
+            cx.points_to.expect("tier-2 lint without points-to"),
+        );
+        for (mid, _) in p.methods.iter() {
+            if !r.reachable_methods.contains(mid) {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        Severity::Warning,
+                        format!(
+                            "method `{}` is unreachable from the entry points",
+                            p.method_display(mid)
+                        ),
+                    )
+                    .in_method(p, mid),
+                );
+            }
+        }
+    }
+}
+
+/// `I005`: a reachable virtual call with exactly one resolved target — a
+/// devirtualization opportunity. A hint, not a problem: default severity is
+/// [`Severity::Note`]. Reachable virtual sites with ≥ 1 target split into
+/// these and the `polymorphic_call_sites` the client counts.
+pub struct MonomorphicCall;
+
+impl Lint for MonomorphicCall {
+    fn code(&self) -> &'static str {
+        "I005"
+    }
+    fn name(&self) -> &'static str {
+        "monomorphic-call"
+    }
+    fn description(&self) -> &'static str {
+        "a virtual call always dispatches to the same method (devirtualizable)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Note
+    }
+    fn needs_points_to(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (p, r) = (
+            cx.program,
+            cx.points_to.expect("tier-2 lint without points-to"),
+        );
+        for (mid, method) in p.methods.iter() {
+            if !r.reachable_methods.contains(mid) {
+                continue;
+            }
+            for (i, instr) in method.body.iter().enumerate() {
+                let Instruction::Call { invoke } = *instr else {
+                    continue;
+                };
+                if !matches!(p.invokes[invoke].kind, InvokeKind::Virtual { .. }) {
+                    continue;
+                }
+                let Some(targets) = r.call_targets.get(&invoke) else {
+                    continue;
+                };
+                if let [only] = targets.as_slice() {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            Severity::Note,
+                            format!(
+                                "virtual call always dispatches to `{}`",
+                                p.method_display(*only)
+                            ),
+                        )
+                        .at_instr(p, mid, i),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rudoop_core::clients::PrecisionMetrics;
+    use rudoop_core::policy::Insensitive;
+    use rudoop_core::solver::{analyze, PointsToResult, SolverConfig};
+    use rudoop_ir::{ClassHierarchy, Program, ProgramBuilder};
+
+    fn run_on<'a>(p: &'a Program, h: &'a ClassHierarchy, r: &'a PointsToResult) -> Vec<Diagnostic> {
+        let cx = LintContext {
+            program: p,
+            hierarchy: h,
+            points_to: Some(r),
+        };
+        let mut out = Vec::new();
+        for lint in lints() {
+            lint.check(&cx, &mut out);
+        }
+        out
+    }
+
+    /// Dog/Cat conflated through an insensitively-analyzed id method: one
+    /// may-fail cast (mixed pointees), one guaranteed-failing cast, one
+    /// dead method, one polymorphic and one monomorphic call.
+    fn fixture() -> Program {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let animal = b.class("Animal", Some(obj));
+        let dog = b.class("Dog", Some(animal));
+        let cat = b.class("Cat", Some(animal));
+        let stone = b.class("Stone", Some(obj));
+        b.method(dog, "speak", &[], false);
+        b.method(cat, "speak", &[], false);
+        b.method(obj, "never_called", &[], true);
+
+        let id_m = b.method(obj, "id", &["x"], true);
+        let xp = b.param(id_m, 0);
+        b.ret(id_m, xp);
+
+        let main = b.method(obj, "main", &[], true);
+        let d = b.var(main, "d");
+        let c = b.var(main, "c");
+        let s = b.var(main, "s");
+        let rd = b.var(main, "rd");
+        let rc = b.var(main, "rc");
+        let dd = b.var(main, "dd");
+        let sd = b.var(main, "sd");
+        b.alloc(main, d, dog);
+        b.alloc(main, c, cat);
+        b.alloc(main, s, stone);
+        b.scall(main, Some(rd), id_m, &[d]);
+        b.scall(main, Some(rc), id_m, &[c]);
+        // Insensitively rd ⊇ {Dog, Cat}: polymorphic dispatch + mixed cast.
+        b.vcall(main, None, rd, "speak", &[]);
+        b.cast(main, dd, rd, dog);
+        // s is only ever a Stone: casting to Dog is guaranteed to fail, and
+        // speak on d is monomorphic (d is exactly the Dog allocation).
+        b.cast(main, sd, s, dog);
+        b.vcall(main, None, d, "speak", &[]);
+        b.entry(main);
+        b.finish()
+    }
+
+    #[test]
+    fn fixture_findings_match_expectations() {
+        let p = fixture();
+        let h = ClassHierarchy::new(&p);
+        let r = analyze(&p, &h, &Insensitive, &SolverConfig::default());
+        let diags = run_on(&p, &h, &r);
+
+        let count = |code: &str| diags.iter().filter(|d| d.code == code).count();
+        assert_eq!(count("I001"), 1, "{diags:?}"); // Stone → Dog
+        assert_eq!(count("I002"), 1, "{diags:?}"); // {Dog, Cat} → Dog
+        assert_eq!(count("I004"), 1, "{diags:?}"); // never_called
+        assert_eq!(count("I005"), 1, "{diags:?}"); // d.speak()
+        assert_eq!(count("I003"), 0, "{diags:?}");
+    }
+
+    #[test]
+    fn cast_lints_partition_the_client_count() {
+        let p = fixture();
+        let h = ClassHierarchy::new(&p);
+        let r = analyze(&p, &h, &Insensitive, &SolverConfig::default());
+        let m = PrecisionMetrics::compute(&p, &h, &r);
+        let diags = run_on(&p, &h, &r);
+        let casts = diags
+            .iter()
+            .filter(|d| d.code == "I001" || d.code == "I002")
+            .count();
+        assert_eq!(casts, m.casts_may_fail);
+        let dead = diags.iter().filter(|d| d.code == "I004").count();
+        assert_eq!(dead, p.methods.len() - m.reachable_methods);
+    }
+
+    #[test]
+    fn empty_receiver_fires_on_undispatchable_call() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        b.method(obj, "f", &[], false);
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        b.vcall(main, None, x, "f", &[]); // x points to nothing
+        b.entry(main);
+        let p = b.finish();
+        let h = ClassHierarchy::new(&p);
+        let r = analyze(&p, &h, &Insensitive, &SolverConfig::default());
+        let diags = run_on(&p, &h, &r);
+        assert_eq!(diags.iter().filter(|d| d.code == "I003").count(), 1);
+        // The call never resolves, so it is neither mono- nor polymorphic.
+        assert_eq!(diags.iter().filter(|d| d.code == "I005").count(), 0);
+    }
+
+    #[test]
+    fn context_sensitivity_can_remove_findings() {
+        use rudoop_core::policy::CallSiteSensitive;
+        let p = fixture();
+        let h = ClassHierarchy::new(&p);
+        let r = analyze(
+            &p,
+            &h,
+            &CallSiteSensitive::new(1, 0),
+            &SolverConfig::default(),
+        );
+        let diags = run_on(&p, &h, &r);
+        // 1-call-site separates the two id calls: the mixed cast becomes
+        // provably safe; the guaranteed failure (Stone → Dog) remains.
+        assert_eq!(
+            diags.iter().filter(|d| d.code == "I002").count(),
+            0,
+            "{diags:?}"
+        );
+        assert_eq!(
+            diags.iter().filter(|d| d.code == "I001").count(),
+            1,
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,439 @@
+//! Tier-1 lints: purely syntactic, per-method, no points-to facts needed.
+//!
+//! The IL is flow-insensitive for the *analysis* — instruction order never
+//! changes points-to results — but method bodies are straight-line
+//! instruction lists, so textual order is still meaningful to a human
+//! reader. These lints treat the body as executing top to bottom, which is
+//! exactly how the frontends emit it.
+//!
+//! | code | name | finding |
+//! |------|------|---------|
+//! | `L001` | `use-before-def` | a local is read before any assignment |
+//! | `L002` | `dead-store` | an assignment is overwritten before any read |
+//! | `L003` | `unused-variable` | a local is never read anywhere in its method |
+//! | `L004` | `unreachable-code` | instructions follow a `return` |
+//! | `L005` | `self-move` | `x = x` |
+
+use std::collections::HashSet;
+
+use rudoop_ir::{Instruction, MethodId, Program, VarId};
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lint::{Lint, LintContext};
+
+/// All tier-1 lints, in code order.
+pub fn lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(UseBeforeDef),
+        Box::new(DeadStore),
+        Box::new(UnusedVariable),
+        Box::new(UnreachableCode),
+        Box::new(SelfMove),
+    ]
+}
+
+/// The variables an instruction reads, and the one it writes (if any).
+/// Call sites read their receiver and arguments and write their result.
+fn uses_def(program: &Program, instr: &Instruction) -> (Vec<VarId>, Option<VarId>) {
+    use rudoop_ir::InvokeKind;
+    match *instr {
+        Instruction::Alloc { var, .. } => (vec![], Some(var)),
+        Instruction::Move { to, from } | Instruction::Cast { to, from, .. } => {
+            (vec![from], Some(to))
+        }
+        Instruction::Load { to, base, .. } => (vec![base], Some(to)),
+        Instruction::Store { base, from, .. } => (vec![base, from], None),
+        Instruction::LoadGlobal { to, .. } => (vec![], Some(to)),
+        Instruction::StoreGlobal { from, .. } => (vec![from], None),
+        Instruction::Call { invoke } => {
+            let inv = &program.invokes[invoke];
+            let mut uses = Vec::with_capacity(inv.args.len() + 1);
+            match inv.kind {
+                InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => {
+                    uses.push(base)
+                }
+                InvokeKind::Static { .. } => {}
+            }
+            uses.extend_from_slice(&inv.args);
+            (uses, inv.result)
+        }
+        Instruction::Return { var } => (vec![var], None),
+    }
+}
+
+/// Variables defined on method entry: `this`, the formals, and the formal
+/// return variable (written implicitly by `return` flow, so reading it is
+/// not a use-before-def).
+fn entry_defined(program: &Program, method: MethodId) -> HashSet<VarId> {
+    let m = &program.methods[method];
+    m.this
+        .iter()
+        .chain(m.params.iter())
+        .chain(m.ret.iter())
+        .copied()
+        .collect()
+}
+
+/// `L001`: a local variable is read before any instruction assigns it.
+/// Reported once per variable, at its first premature read. Foreign
+/// variables (used outside their declaring method) are `E002`'s territory
+/// and skipped here.
+pub struct UseBeforeDef;
+
+impl Lint for UseBeforeDef {
+    fn code(&self) -> &'static str {
+        "L001"
+    }
+    fn name(&self) -> &'static str {
+        "use-before-def"
+    }
+    fn description(&self) -> &'static str {
+        "a local variable is read before any assignment to it"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let p = cx.program;
+        for (mid, method) in p.methods.iter() {
+            let mut defined = entry_defined(p, mid);
+            let mut reported: HashSet<VarId> = HashSet::new();
+            for (i, instr) in method.body.iter().enumerate() {
+                let (uses, def) = uses_def(p, instr);
+                for u in uses {
+                    if p.vars[u].method == mid && !defined.contains(&u) && reported.insert(u) {
+                        out.push(
+                            Diagnostic::new(
+                                self.code(),
+                                Severity::Warning,
+                                format!(
+                                    "variable `{}` is read before any assignment",
+                                    p.vars[u].name
+                                ),
+                            )
+                            .at_instr(p, mid, i)
+                            .note("an unassigned reference is null here"),
+                        );
+                    }
+                }
+                if let Some(d) = def {
+                    defined.insert(d);
+                }
+            }
+        }
+    }
+}
+
+/// `L002`: an assignment whose value is overwritten by a later assignment
+/// with no intervening read — the first write is dead.
+pub struct DeadStore;
+
+impl Lint for DeadStore {
+    fn code(&self) -> &'static str {
+        "L002"
+    }
+    fn name(&self) -> &'static str {
+        "dead-store"
+    }
+    fn description(&self) -> &'static str {
+        "an assignment is overwritten before the value is ever read"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let p = cx.program;
+        for (mid, method) in p.methods.iter() {
+            let effects: Vec<(Vec<VarId>, Option<VarId>)> =
+                method.body.iter().map(|i| uses_def(p, i)).collect();
+            for (i, (_, def)) in effects.iter().enumerate() {
+                let Some(v) = *def else { continue };
+                for (j, (uses, redef)) in effects.iter().enumerate().skip(i + 1) {
+                    if uses.contains(&v) {
+                        break; // value is read: the store is live
+                    }
+                    if *redef == Some(v) {
+                        let at = method.span_of(j);
+                        let where_ = if at.is_known() {
+                            format!("at {at}")
+                        } else {
+                            format!("at #{j}")
+                        };
+                        out.push(
+                            Diagnostic::new(
+                                self.code(),
+                                Severity::Warning,
+                                format!("value assigned to `{}` is never read", p.vars[v].name),
+                            )
+                            .at_instr(p, mid, i)
+                            .note(format!("overwritten {where_} before any read")),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `L003`: a local variable that no instruction of its method ever reads.
+/// `this`, formals and the formal return variable are exempt (they are part
+/// of the method's interface).
+pub struct UnusedVariable;
+
+impl Lint for UnusedVariable {
+    fn code(&self) -> &'static str {
+        "L003"
+    }
+    fn name(&self) -> &'static str {
+        "unused-variable"
+    }
+    fn description(&self) -> &'static str {
+        "a local variable is never read anywhere in its method"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let p = cx.program;
+        let mut used: HashSet<VarId> = HashSet::new();
+        for method in p.methods.values() {
+            for instr in &method.body {
+                used.extend(uses_def(p, instr).0);
+            }
+        }
+        for (mid, _) in p.methods.iter() {
+            let exempt = entry_defined(p, mid);
+            for (vid, var) in p.vars.iter() {
+                if var.method == mid && !exempt.contains(&vid) && !used.contains(&vid) {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            Severity::Warning,
+                            format!("variable `{}` is never read", var.name),
+                        )
+                        .in_method(p, mid),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `L004`: instructions after the first `return` in a body. Bodies are
+/// straight-line, so nothing after a `return` can execute. One diagnostic
+/// per method, anchored at the first unreachable instruction.
+pub struct UnreachableCode;
+
+impl Lint for UnreachableCode {
+    fn code(&self) -> &'static str {
+        "L004"
+    }
+    fn name(&self) -> &'static str {
+        "unreachable-code"
+    }
+    fn description(&self) -> &'static str {
+        "instructions follow a return and can never execute"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let p = cx.program;
+        for (mid, method) in p.methods.iter() {
+            let Some(ret_at) = method
+                .body
+                .iter()
+                .position(|i| matches!(i, Instruction::Return { .. }))
+            else {
+                continue;
+            };
+            let trailing = method.body.len() - ret_at - 1;
+            if trailing > 0 {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        Severity::Warning,
+                        format!("{trailing} instruction(s) after `return` can never execute"),
+                    )
+                    .at_instr(p, mid, ret_at + 1),
+                );
+            }
+        }
+    }
+}
+
+/// `L005`: `x = x`. Harmless to the analysis (points-to is idempotent under
+/// self-moves) but always a typo in source.
+pub struct SelfMove;
+
+impl Lint for SelfMove {
+    fn code(&self) -> &'static str {
+        "L005"
+    }
+    fn name(&self) -> &'static str {
+        "self-move"
+    }
+    fn description(&self) -> &'static str {
+        "a variable is moved to itself"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let p = cx.program;
+        for (mid, method) in p.methods.iter() {
+            for (i, instr) in method.body.iter().enumerate() {
+                if let Instruction::Move { to, from } = *instr {
+                    if to == from {
+                        out.push(
+                            Diagnostic::new(
+                                self.code(),
+                                Severity::Warning,
+                                format!("move of `{}` to itself has no effect", p.vars[to].name),
+                            )
+                            .at_instr(p, mid, i),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rudoop_ir::{ClassHierarchy, ProgramBuilder};
+
+    fn run_on(p: &Program) -> Vec<Diagnostic> {
+        let h = ClassHierarchy::new(p);
+        let cx = LintContext {
+            program: p,
+            hierarchy: &h,
+            points_to: None,
+        };
+        let mut out = Vec::new();
+        for lint in lints() {
+            lint.check(&cx, &mut out);
+        }
+        out
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        let mut c: Vec<_> = diags.iter().map(|d| d.code).collect();
+        c.sort_unstable();
+        c
+    }
+
+    #[test]
+    fn clean_method_produces_nothing() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let f = b.field(obj, "f");
+        let x = b.var(main, "x");
+        let y = b.var(main, "y");
+        b.alloc(main, x, obj);
+        b.mov(main, y, x);
+        b.store(main, y, f, x);
+        b.entry(main);
+        assert_eq!(run_on(&b.finish()), vec![]);
+    }
+
+    #[test]
+    fn use_before_def_fires_once_per_variable() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let f = b.field(obj, "f");
+        let x = b.var(main, "x");
+        let y = b.var(main, "y");
+        b.mov(main, y, x); // x read, never assigned before
+        b.store(main, y, f, x); // second premature read of x: not re-reported
+        b.entry(main);
+        let diags = run_on(&b.finish());
+        assert_eq!(diags.iter().filter(|d| d.code == "L001").count(), 1);
+        assert_eq!(diags[0].instr, Some(0));
+    }
+
+    #[test]
+    fn params_and_this_are_defined_on_entry() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let fld = b.field(obj, "f");
+        let m = b.method(obj, "f", &["a"], false);
+        let a = b.param(m, 0);
+        let t = b.this(m);
+        let x = b.var(m, "x");
+        b.mov(m, x, a);
+        b.store(m, x, fld, t);
+        let diags = run_on(&b.finish());
+        assert!(!codes(&diags).contains(&"L001"), "{diags:?}");
+    }
+
+    #[test]
+    fn dead_store_detects_overwrite_without_read() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let a = b.class("A", Some(obj));
+        let f = b.field(obj, "f");
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        let y = b.var(main, "y");
+        b.alloc(main, x, obj); // dead: overwritten at #1
+        b.alloc(main, x, a);
+        b.mov(main, y, x);
+        b.store(main, y, f, y);
+        b.entry(main);
+        let diags = run_on(&b.finish());
+        let dead: Vec<_> = diags.iter().filter(|d| d.code == "L002").collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].instr, Some(0));
+    }
+
+    #[test]
+    fn intervening_read_keeps_store_alive() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let f = b.field(obj, "f");
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        let y = b.var(main, "y");
+        b.alloc(main, x, obj);
+        b.mov(main, y, x); // read of x between the two stores
+        b.alloc(main, x, obj);
+        b.store(main, y, f, x);
+        b.entry(main);
+        let diags = run_on(&b.finish());
+        assert!(!codes(&diags).contains(&"L002"), "{diags:?}");
+    }
+
+    #[test]
+    fn unused_variable_is_reported_but_interface_vars_are_not() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let m = b.method(obj, "f", &["a"], true);
+        let _unused = b.var(m, "scratch");
+        let diags = run_on(&b.finish());
+        let unused: Vec<_> = diags.iter().filter(|d| d.code == "L003").collect();
+        assert_eq!(unused.len(), 1);
+        assert!(unused[0].message.contains("scratch"));
+    }
+
+    #[test]
+    fn unreachable_after_return_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let m = b.method(obj, "f", &[], true);
+        let x = b.var(m, "x");
+        b.alloc(m, x, obj);
+        b.ret(m, x);
+        b.alloc(m, x, obj); // unreachable
+        b.alloc(m, x, obj); // unreachable
+        let diags = run_on(&b.finish());
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == "L004").collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].instr, Some(2));
+        assert!(hits[0].message.contains('2'));
+    }
+
+    #[test]
+    fn self_move_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let f = b.field(obj, "f");
+        let m = b.method(obj, "f", &[], true);
+        let x = b.var(m, "x");
+        b.alloc(m, x, obj);
+        b.mov(m, x, x);
+        b.store(m, x, f, x);
+        let diags = run_on(&b.finish());
+        assert_eq!(diags.iter().filter(|d| d.code == "L005").count(), 1);
+    }
+}

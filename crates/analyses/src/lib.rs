@@ -1,0 +1,63 @@
+//! # rudoop-analyses
+//!
+//! A diagnostics framework and lint suite over the rudoop IL, backed by
+//! points-to facts from [`rudoop_core`].
+//!
+//! The crate has three layers:
+//!
+//! - [`diagnostics`] — the [`Diagnostic`] type (stable code, severity,
+//!   method, source span, message, notes), a deterministic text renderer,
+//!   and a bridge that reports [`rudoop_ir::validate`] violations as
+//!   `E`-coded diagnostics, so well-formedness errors and lint findings
+//!   surface uniformly;
+//! - [`lint`] — the [`Lint`] trait, the [`LintContext`] handed to every
+//!   lint, and the [`LintRegistry`] with per-lint allow/warn/deny levels;
+//! - the lints themselves, in two tiers:
+//!   - [`intra`] — **tier 1**, purely syntactic, per-method
+//!     (`L001`–`L005`): use-before-def, dead store, unused variable,
+//!     unreachable-after-return, self-move;
+//!   - [`inter`] — **tier 2**, consuming a
+//!     [`PointsToResult`](rudoop_core::PointsToResult)
+//!     (`I001`–`I005`): guaranteed-failing cast, cast-may-fail,
+//!     always-empty virtual-call receiver, dead method, and
+//!     monomorphic-call-site hints. The cast and dead-method lints agree
+//!     exactly with the paper's precision clients in
+//!     [`rudoop_core::clients`]: `#I001 + #I002 = casts_may_fail` and
+//!     `#I004 = |methods| - reachable_methods`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rudoop_analyses::{validate_diagnostics, LintContext, LintRegistry};
+//! use rudoop_core::policy::Insensitive;
+//! use rudoop_core::solver::{analyze, SolverConfig};
+//! use rudoop_ir::{parse_program, ClassHierarchy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program(
+//!     "class Object\n\
+//!      method Object.main() static {\n  a = new Object\n  a = a\n}\n\
+//!      entry Object.main\n",
+//! )?;
+//! assert!(validate_diagnostics(&program).is_empty());
+//! let hierarchy = ClassHierarchy::new(&program);
+//! let result = analyze(&program, &hierarchy, &Insensitive, &SolverConfig::default());
+//! let registry = LintRegistry::with_defaults();
+//! let cx = LintContext { program: &program, hierarchy: &hierarchy, points_to: Some(&result) };
+//! let diags = registry.run(&cx);
+//! // `a = a` is a self-move (L005).
+//! assert!(diags.iter().any(|d| d.code == "L005"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diagnostics;
+pub mod inter;
+pub mod intra;
+pub mod lint;
+
+pub use diagnostics::{render, validate_diagnostics, Diagnostic, Severity};
+pub use lint::{Level, Lint, LintContext, LintRegistry};

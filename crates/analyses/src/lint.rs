@@ -1,0 +1,215 @@
+//! The lint framework: the [`Lint`] trait, the [`LintContext`] every lint
+//! receives, and the [`LintRegistry`] that owns the lint set and per-lint
+//! reporting levels.
+
+use rudoop_core::solver::PointsToResult;
+use rudoop_ir::{ClassHierarchy, Program};
+
+use crate::diagnostics::{sort_diagnostics, Diagnostic, Severity};
+use crate::{inter, intra};
+
+/// Everything a lint may inspect.
+///
+/// Tier-1 lints use only `program` (and occasionally `hierarchy`); tier-2
+/// lints additionally read `points_to`, the projection of an analysis run —
+/// typically the context-insensitive pre-analysis, though any policy's
+/// result works (findings then reflect that policy's precision).
+pub struct LintContext<'a> {
+    /// The program under analysis.
+    pub program: &'a Program,
+    /// Subtyping and dispatch queries.
+    pub hierarchy: &'a ClassHierarchy,
+    /// Points-to facts; `None` disables tier-2 lints.
+    pub points_to: Option<&'a PointsToResult>,
+}
+
+/// Per-lint reporting level, in the spirit of `rustc`'s `-A/-W/-D`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Do not run or report the lint.
+    Allow,
+    /// Report with the lint's default severity.
+    Warn,
+    /// Report as [`Severity::Error`] (affects the CLI exit code).
+    Deny,
+}
+
+/// One lint: a stable code, self-description, and a checker.
+pub trait Lint {
+    /// Stable diagnostic code (`L001`, `I003`, …).
+    fn code(&self) -> &'static str;
+    /// Short kebab-case name, e.g. `dead-store`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+    /// Severity used at [`Level::Warn`]; hints override this to
+    /// [`Severity::Note`].
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+    /// Whether the lint reads [`LintContext::points_to`]. Such lints are
+    /// skipped (not errored) when no points-to result is supplied.
+    fn needs_points_to(&self) -> bool {
+        false
+    }
+    /// Runs the lint, appending findings to `out`. The registry overwrites
+    /// each finding's severity according to the configured level, so lints
+    /// may emit with any severity they like.
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered set of lints plus a reporting level for each.
+pub struct LintRegistry {
+    lints: Vec<(Box<dyn Lint>, Level)>,
+}
+
+impl LintRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        LintRegistry { lints: Vec::new() }
+    }
+
+    /// The full built-in suite — tier 1 (`L001`–`L005`) and tier 2
+    /// (`I001`–`I005`) — all at [`Level::Warn`].
+    pub fn with_defaults() -> Self {
+        let mut r = LintRegistry::new();
+        for lint in intra::lints() {
+            r.register(lint);
+        }
+        for lint in inter::lints() {
+            r.register(lint);
+        }
+        r
+    }
+
+    /// Adds a lint at [`Level::Warn`].
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.push((lint, Level::Warn));
+    }
+
+    /// Sets the level of the lint with the given code. Returns `false` (and
+    /// changes nothing) when no registered lint has that code.
+    pub fn set_level(&mut self, code: &str, level: Level) -> bool {
+        let mut found = false;
+        for (lint, l) in &mut self.lints {
+            if lint.code() == code {
+                *l = level;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Iterates over `(code, name, description, level)` for every registered
+    /// lint, in registration order.
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &'static str, &'static str, Level)> + '_ {
+        self.lints
+            .iter()
+            .map(|(lint, level)| (lint.code(), lint.name(), lint.description(), *level))
+    }
+
+    /// Runs every enabled lint and returns the findings in stable render
+    /// order. Lints at [`Level::Allow`] are skipped, as are tier-2 lints
+    /// when `cx.points_to` is `None`. [`Level::Deny`] escalates findings to
+    /// [`Severity::Error`].
+    pub fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (lint, level) in &self.lints {
+            match level {
+                Level::Allow => continue,
+                Level::Warn | Level::Deny => {}
+            }
+            if lint.needs_points_to() && cx.points_to.is_none() {
+                continue;
+            }
+            let start = out.len();
+            lint.check(cx, &mut out);
+            let severity = match level {
+                Level::Deny => Severity::Error,
+                _ => lint.default_severity(),
+            };
+            for d in &mut out[start..] {
+                d.severity = severity;
+            }
+        }
+        sort_diagnostics(&mut out);
+        out
+    }
+}
+
+impl Default for LintRegistry {
+    fn default() -> Self {
+        LintRegistry::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rudoop_ir::ProgramBuilder;
+
+    fn self_move_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        b.alloc(main, x, obj);
+        b.mov(main, x, x);
+        b.entry(main);
+        b.finish()
+    }
+
+    #[test]
+    fn default_registry_has_ten_lints_with_unique_codes() {
+        let r = LintRegistry::with_defaults();
+        let codes: Vec<_> = r.iter().map(|(c, ..)| c).collect();
+        assert_eq!(codes.len(), 10);
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "duplicate lint code");
+    }
+
+    #[test]
+    fn allow_suppresses_and_deny_escalates() {
+        let p = self_move_program();
+        let h = ClassHierarchy::new(&p);
+        let cx = LintContext {
+            program: &p,
+            hierarchy: &h,
+            points_to: None,
+        };
+
+        let mut r = LintRegistry::with_defaults();
+        assert!(r.run(&cx).iter().any(|d| d.code == "L005"));
+
+        assert!(r.set_level("L005", Level::Allow));
+        assert!(!r.run(&cx).iter().any(|d| d.code == "L005"));
+
+        assert!(r.set_level("L005", Level::Deny));
+        let denied = r.run(&cx);
+        let hit = denied.iter().find(|d| d.code == "L005").unwrap();
+        assert_eq!(hit.severity, Severity::Error);
+    }
+
+    #[test]
+    fn unknown_code_is_rejected() {
+        let mut r = LintRegistry::with_defaults();
+        assert!(!r.set_level("Z999", Level::Deny));
+    }
+
+    #[test]
+    fn tier2_lints_are_skipped_without_points_to() {
+        let p = self_move_program();
+        let h = ClassHierarchy::new(&p);
+        let cx = LintContext {
+            program: &p,
+            hierarchy: &h,
+            points_to: None,
+        };
+        let diags = LintRegistry::with_defaults().run(&cx);
+        assert!(diags.iter().all(|d| d.code.starts_with('L')), "{diags:?}");
+    }
+}

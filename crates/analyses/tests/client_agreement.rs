@@ -1,0 +1,95 @@
+//! The tier-2 lints must agree *exactly* with the paper's precision
+//! clients ([`rudoop_core::clients`]) for the same program and policy:
+//!
+//! - `#I001 + #I002 = casts_may_fail` — the lints partition the client's
+//!   set into guaranteed failures and mixed cases;
+//! - `#I004 = |methods| − reachable_methods`;
+//! - `#I005 + polymorphic_call_sites` = reachable virtual sites with at
+//!   least one resolved target.
+
+use rudoop_analyses::{Diagnostic, LintContext, LintRegistry};
+use rudoop_core::clients::PrecisionMetrics;
+use rudoop_core::driver::{analyze_flavor, Flavor};
+use rudoop_core::solver::{PointsToResult, SolverConfig};
+use rudoop_ir::{ClassHierarchy, InvokeKind, Program};
+use rudoop_workloads::dacapo;
+
+fn lint(p: &Program, h: &ClassHierarchy, r: &PointsToResult) -> Vec<Diagnostic> {
+    let cx = LintContext {
+        program: p,
+        hierarchy: h,
+        points_to: Some(r),
+    };
+    LintRegistry::with_defaults().run(&cx)
+}
+
+fn count(diags: &[Diagnostic], code: &str) -> usize {
+    diags.iter().filter(|d| d.code == code).count()
+}
+
+/// Reachable virtual call sites with ≥ 1 resolved target.
+fn resolved_virtual_sites(p: &Program, r: &PointsToResult) -> usize {
+    p.invokes
+        .iter()
+        .filter(|(iid, invoke)| {
+            matches!(invoke.kind, InvokeKind::Virtual { .. })
+                && r.reachable_methods.contains(invoke.method)
+                && r.call_targets.get(iid).is_some_and(|t| !t.is_empty())
+        })
+        .count()
+}
+
+fn check_agreement(p: &Program, flavor: Flavor) {
+    let h = ClassHierarchy::new(p);
+    let r = analyze_flavor(p, &h, flavor, &SolverConfig::default());
+    let metrics = PrecisionMetrics::compute(p, &h, &r);
+    let diags = lint(p, &h, &r);
+
+    assert_eq!(
+        count(&diags, "I001") + count(&diags, "I002"),
+        metrics.casts_may_fail,
+        "cast lints must partition the casts-may-fail client count"
+    );
+    assert_eq!(
+        count(&diags, "I004"),
+        p.methods.len() - metrics.reachable_methods,
+        "dead-method lint must complement the reachable-methods client"
+    );
+    assert_eq!(
+        count(&diags, "I005") + metrics.polymorphic_call_sites,
+        resolved_virtual_sites(p, &r),
+        "monomorphic hints and polymorphic sites must split resolved virtual sites"
+    );
+}
+
+#[test]
+fn agreement_on_antlr_insensitive() {
+    check_agreement(&dacapo::antlr().build(), Flavor::Insensitive);
+}
+
+#[test]
+fn agreement_on_pmd_insensitive() {
+    check_agreement(&dacapo::pmd().build(), Flavor::Insensitive);
+}
+
+#[test]
+fn agreement_on_antlr_1call() {
+    check_agreement(
+        &dacapo::antlr().build(),
+        Flavor::CallSite { k: 1, heap_k: 0 },
+    );
+}
+
+#[test]
+fn agreement_on_lusearch_2objh() {
+    check_agreement(&dacapo::lusearch().build(), Flavor::OBJ2H);
+}
+
+#[test]
+fn agreement_on_generated_programs() {
+    use rudoop_ir::arbitrary::{generate, ProgramShape};
+    let shape = ProgramShape::default();
+    for seed in 0..32 {
+        check_agreement(&generate(&shape, seed), Flavor::Insensitive);
+    }
+}

@@ -1,0 +1,68 @@
+//! Golden-file tests: the rendered diagnostics for small `.rud` fixtures
+//! are pinned byte-for-byte. This locks the renderer format, the sort
+//! order, and each lint's message wording. To refresh after an intentional
+//! change, set `UPDATE_GOLDEN=1` and re-run.
+
+use std::path::PathBuf;
+
+use rudoop_analyses::diagnostics::render;
+use rudoop_analyses::{validate_diagnostics, LintContext, LintRegistry};
+use rudoop_core::policy::Insensitive;
+use rudoop_core::solver::{analyze, SolverConfig};
+use rudoop_ir::{parse_program, ClassHierarchy};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The exact pipeline `rudoop-lint` runs: validate; if well-formed, run the
+/// insensitive analysis and the default lint suite; render.
+fn lint_to_text(source: &str) -> String {
+    let program = parse_program(source).expect("fixture parses");
+    let mut diags = validate_diagnostics(&program);
+    if diags.is_empty() {
+        let hierarchy = ClassHierarchy::new(&program);
+        let result = analyze(&program, &hierarchy, &Insensitive, &SolverConfig::default());
+        let cx = LintContext {
+            program: &program,
+            hierarchy: &hierarchy,
+            points_to: Some(&result),
+        };
+        diags = LintRegistry::with_defaults().run(&cx);
+    }
+    render(&program, &diags)
+}
+
+fn check_golden(name: &str) {
+    let source = std::fs::read_to_string(fixture(&format!("{name}.rud"))).unwrap();
+    let actual = lint_to_text(&source);
+    let expected_path = fixture(&format!("{name}.expected"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&expected_path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", expected_path.display()));
+    assert_eq!(
+        actual, expected,
+        "rendered diagnostics for {name}.rud diverge from {name}.expected \
+         (run with UPDATE_GOLDEN=1 to refresh after an intentional change)"
+    );
+}
+
+#[test]
+fn buggy_fixture_diagnostics_are_stable() {
+    check_golden("buggy");
+}
+
+#[test]
+fn invalid_fixture_reports_all_e_codes() {
+    check_golden("invalid");
+}
+
+#[test]
+fn clean_fixture_renders_nothing() {
+    check_golden("clean");
+}

@@ -18,7 +18,11 @@ pub struct IdBitSet<I: Idx> {
 impl<I: Idx> IdBitSet<I> {
     /// An empty set over a domain of `len` ids.
     pub fn new(len: usize) -> Self {
-        IdBitSet { words: vec![0; len.div_ceil(64)], len, _marker: PhantomData }
+        IdBitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            _marker: PhantomData,
+        }
     }
 
     /// Domain size this set was created for.

@@ -25,11 +25,7 @@ pub struct PrecisionMetrics {
 
 impl PrecisionMetrics {
     /// Computes all three metrics from an analysis result.
-    pub fn compute(
-        program: &Program,
-        hierarchy: &ClassHierarchy,
-        result: &PointsToResult,
-    ) -> Self {
+    pub fn compute(program: &Program, hierarchy: &ClassHierarchy, result: &PointsToResult) -> Self {
         PrecisionMetrics {
             polymorphic_call_sites: polymorphic_call_sites(program, result),
             reachable_methods: result.reachable_method_count(),
@@ -64,8 +60,7 @@ pub fn casts_may_fail(
         .cast_sites()
         .filter(|(site, from, class)| {
             result.reachable_methods.contains(site.method)
-                && result
-                    .var_pts[*from]
+                && result.var_pts[*from]
                     .iter()
                     .any(|&h| !hierarchy.is_subtype(program.allocs[h].class, *class))
         })
@@ -107,7 +102,11 @@ pub fn call_graph_summary(result: &PointsToResult) -> CallGraphSummary {
         edges += targets.len();
         max_targets = max_targets.max(targets.len());
     }
-    CallGraphSummary { resolved_sites: result.call_targets.len(), edges, max_targets }
+    CallGraphSummary {
+        resolved_sites: result.call_targets.len(),
+        edges,
+        max_targets,
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +165,12 @@ mod tests {
     fn context_sensitivity_restores_precision() {
         let p = litmus();
         let h = ClassHierarchy::new(&p);
-        let r = analyze(&p, &h, &CallSiteSensitive::new(1, 0), &SolverConfig::default());
+        let r = analyze(
+            &p,
+            &h,
+            &CallSiteSensitive::new(1, 0),
+            &SolverConfig::default(),
+        );
         let m = PrecisionMetrics::compute(&p, &h, &r);
         assert_eq!(m.polymorphic_call_sites, 0);
         assert_eq!(m.casts_may_fail, 0);
@@ -216,7 +220,12 @@ mod tests {
         let p = litmus();
         let h = ClassHierarchy::new(&p);
         let insens = analyze(&p, &h, &Insensitive, &SolverConfig::default());
-        let cs = analyze(&p, &h, &CallSiteSensitive::new(1, 0), &SolverConfig::default());
+        let cs = analyze(
+            &p,
+            &h,
+            &CallSiteSensitive::new(1, 0),
+            &SolverConfig::default(),
+        );
         let si = call_graph_summary(&insens);
         let sc = call_graph_summary(&cs);
         assert!(si.edges > sc.edges, "context removes spurious edges");

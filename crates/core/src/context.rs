@@ -118,7 +118,10 @@ pub struct CtxTables {
 impl CtxTables {
     /// Fresh tables containing only the empty contexts.
     pub fn new() -> Self {
-        CtxTables { ctx: Interner::new(), hctx: Interner::new() }
+        CtxTables {
+            ctx: Interner::new(),
+            hctx: Interner::new(),
+        }
     }
 
     /// Interns a calling-context sequence.
@@ -205,8 +208,14 @@ mod tests {
     #[test]
     fn interning_deduplicates() {
         let mut t = CtxTables::new();
-        let a = t.intern_ctx(&[ContextElem::Site(InvokeId(1)), ContextElem::Site(InvokeId(2))]);
-        let b = t.intern_ctx(&[ContextElem::Site(InvokeId(1)), ContextElem::Site(InvokeId(2))]);
+        let a = t.intern_ctx(&[
+            ContextElem::Site(InvokeId(1)),
+            ContextElem::Site(InvokeId(2)),
+        ]);
+        let b = t.intern_ctx(&[
+            ContextElem::Site(InvokeId(1)),
+            ContextElem::Site(InvokeId(2)),
+        ]);
         let c = t.intern_ctx(&[ContextElem::Site(InvokeId(2))]);
         assert_eq!(a, b);
         assert_ne!(a, c);
@@ -233,8 +242,7 @@ mod tests {
     #[test]
     fn elems_round_trip() {
         let mut t = CtxTables::new();
-        let elems =
-            [ContextElem::Type(ClassId(3)), ContextElem::Heap(AllocId(9))];
+        let elems = [ContextElem::Type(ClassId(3)), ContextElem::Heap(AllocId(9))];
         let id = t.intern_ctx(&elems);
         assert_eq!(t.ctx_elems(id), &elems);
     }

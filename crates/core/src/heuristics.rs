@@ -53,7 +53,11 @@ pub struct HeuristicA {
 
 impl Default for HeuristicA {
     fn default() -> Self {
-        HeuristicA { k: 100, l: 100, m: 200 }
+        HeuristicA {
+            k: 100,
+            l: 100,
+            m: 200,
+        }
     }
 }
 
@@ -103,7 +107,10 @@ pub struct HeuristicB {
 
 impl Default for HeuristicB {
     fn default() -> Self {
-        HeuristicB { p: 10_000, q: 10_000 }
+        HeuristicB {
+            p: 10_000,
+            q: 10_000,
+        }
     }
 }
 
@@ -288,17 +295,29 @@ impl RefinementHeuristic for CustomHeuristic {
     ) -> RefinementSet {
         let mut set = RefinementSet::refine_all(program);
         for alloc in program.allocs.ids() {
-            if self.object_rules.iter().any(|r| r.fires(|m| m.of_object(metrics, alloc))) {
+            if self
+                .object_rules
+                .iter()
+                .any(|r| r.fires(|m| m.of_object(metrics, alloc)))
+            {
                 set.no_refine_objects.insert(alloc);
             }
         }
         for invoke in program.invokes.ids() {
-            if self.invoke_rules.iter().any(|r| r.fires(|m| m.of_invoke(metrics, invoke))) {
+            if self
+                .invoke_rules
+                .iter()
+                .any(|r| r.fires(|m| m.of_invoke(metrics, invoke)))
+            {
                 set.no_refine_invokes.insert(invoke);
             }
         }
         for method in program.methods.ids() {
-            if self.method_rules.iter().any(|r| r.fires(|m| m.of_method(metrics, method))) {
+            if self
+                .method_rules
+                .iter()
+                .any(|r| r.fires(|m| m.of_method(metrics, method)))
+            {
                 set.no_refine_methods.insert(method);
             }
         }
@@ -340,8 +359,7 @@ impl RefinementStats {
                 continue;
             }
             if let Some(targets) = insens.call_targets.get(&iid) {
-                if !targets.is_empty()
-                    && targets.iter().all(|&t| set.no_refine_methods.contains(t))
+                if !targets.is_empty() && targets.iter().all(|&t| set.no_refine_methods.contains(t))
                 {
                     call_sites_not_refined += 1;
                 }
@@ -426,7 +444,11 @@ mod tests {
     #[test]
     fn heuristic_a_excludes_heavily_pointed_objects() {
         let p = hub_program(12);
-        let small = HeuristicA { k: 5, l: 100, m: 200 };
+        let small = HeuristicA {
+            k: 5,
+            l: 100,
+            m: 200,
+        };
         let (set, _) = select(&p, &small);
         // The hub (alloc 0) exceeds pointed-by-vars 5; the lone object not.
         assert!(!set.object_refined(rudoop_ir::AllocId(0)));
@@ -487,7 +509,11 @@ mod tests {
     #[test]
     fn refinement_stats_percentages() {
         let p = hub_program(12);
-        let small = HeuristicA { k: 5, l: 100, m: 200 };
+        let small = HeuristicA {
+            k: 5,
+            l: 100,
+            m: 200,
+        };
         let (set, insens) = select(&p, &small);
         let stats = RefinementStats::compute(&p, &insens, &set);
         assert_eq!(stats.objects_total, 2);
@@ -506,7 +532,11 @@ mod tests {
     #[test]
     fn custom_heuristic_reproduces_heuristic_a() {
         let p = hub_program(12);
-        let builtin = HeuristicA { k: 5, l: 100, m: 200 };
+        let builtin = HeuristicA {
+            k: 5,
+            l: 100,
+            m: 200,
+        };
         let custom = CustomHeuristic::new("A-rebuilt")
             .exclude_objects_when(Metric::PointedByVars, 5)
             .exclude_invokes_when(Metric::InFlow, 100)
@@ -531,11 +561,7 @@ mod tests {
         let builtin = HeuristicB { p: 10, q: 19 };
         let custom = CustomHeuristic::new("B-rebuilt")
             .exclude_methods_when(Metric::MethodTotalPts, 10)
-            .exclude_objects_when_product(
-                Metric::ObjTotalFieldPts,
-                Metric::PointedByVars,
-                19,
-            );
+            .exclude_objects_when_product(Metric::ObjTotalFieldPts, Metric::PointedByVars, 19);
         let (sb, insens) = select(&p, &builtin);
         let metrics = IntrospectionMetrics::compute(&p, &insens);
         let sc = custom.select(&p, &metrics, &insens);

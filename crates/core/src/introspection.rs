@@ -75,8 +75,7 @@ impl IntrospectionMetrics {
         // Metrics #2, #4, #5, from var-points-to grouped by method.
         let mut method_total_pts: IdxVec<MethodId, u32> = (0..n_meth).map(|_| 0).collect();
         let mut method_max_var_pts: IdxVec<MethodId, u32> = (0..n_meth).map(|_| 0).collect();
-        let mut method_max_var_field_pts: IdxVec<MethodId, u32> =
-            (0..n_meth).map(|_| 0).collect();
+        let mut method_max_var_field_pts: IdxVec<MethodId, u32> = (0..n_meth).map(|_| 0).collect();
         let mut pointed_by_vars: IdxVec<AllocId, u32> = (0..n_alloc).map(|_| 0).collect();
         for (vid, var) in program.vars.iter() {
             let pts = &result.var_pts[vid];
@@ -93,8 +92,7 @@ impl IntrospectionMetrics {
         // Metric #1: in-flow per invocation, counting distinct (arg, heap)
         // pairs as in the paper's HEAPSPERINVOCATIONPERARG query (duplicate
         // argument variables contribute once).
-        let mut in_flow: IdxVec<InvokeId, u32> =
-            (0..program.invokes.len()).map(|_| 0).collect();
+        let mut in_flow: IdxVec<InvokeId, u32> = (0..program.invokes.len()).map(|_| 0).collect();
         let mut seen_args: Vec<rudoop_ir::VarId> = Vec::new();
         for (iid, invoke) in program.invokes.iter() {
             seen_args.clear();
@@ -151,7 +149,13 @@ mod tests {
         b.entry(main);
         (
             b.finish(),
-            TestIds { main, callee, inv, h1, h2 },
+            TestIds {
+                main,
+                callee,
+                inv,
+                h1,
+                h2,
+            },
         )
     }
 

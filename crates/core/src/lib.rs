@@ -68,7 +68,9 @@ pub mod stats;
 pub use clients::PrecisionMetrics;
 pub use context::{CObj, ContextElem, CtxId, CtxTables, HCtxId};
 pub use driver::{analyze_flavor, analyze_introspective, Flavor, IntrospectiveRun};
-pub use heuristics::{CustomHeuristic, HeuristicA, HeuristicB, Metric, RefinementHeuristic, RefinementStats};
+pub use heuristics::{
+    CustomHeuristic, HeuristicA, HeuristicB, Metric, RefinementHeuristic, RefinementStats,
+};
 pub use introspection::IntrospectionMetrics;
 pub use policy::{
     CallSiteSensitive, ContextPolicy, HybridObjectSensitive, Insensitive, Introspective,

@@ -132,7 +132,15 @@ impl CallSiteSensitive {
 impl ContextPolicy for CallSiteSensitive {
     fn name(&self) -> String {
         if self.heap_k > 0 {
-            format!("{}call{}H", self.k, if self.heap_k == 1 { "".into() } else { format!("+{}", self.heap_k) })
+            format!(
+                "{}call{}H",
+                self.k,
+                if self.heap_k == 1 {
+                    "".into()
+                } else {
+                    format!("+{}", self.heap_k)
+                }
+            )
         } else {
             format!("{}call", self.k)
         }
@@ -256,7 +264,11 @@ impl TypeSensitive {
             .values()
             .map(|a| program.methods[a.method].class)
             .collect();
-        TypeSensitive { k, heap_k, alloc_type: Arc::new(alloc_type) }
+        TypeSensitive {
+            k,
+            heap_k,
+            alloc_type: Arc::new(alloc_type),
+        }
     }
 }
 
@@ -432,7 +444,12 @@ impl<D: ContextPolicy, R: ContextPolicy> Introspective<D, R> {
     /// reports, e.g. `"IntroA"`.
     pub fn new(default: D, refined: R, refinement: RefinementSet, label: &str) -> Self {
         let label = format!("{}-{}", refined.name(), label);
-        Introspective { default, refined, refinement, label }
+        Introspective {
+            default,
+            refined,
+            refinement,
+            label,
+        }
     }
 
     /// The refinement decisions this policy applies.
@@ -464,9 +481,11 @@ impl<D: ContextPolicy, R: ContextPolicy> ContextPolicy for Introspective<D, R> {
         caller: CtxId,
     ) -> CtxId {
         if self.refinement.site_refined(invoke, target) {
-            self.refined.merge(tables, heap, hctx, invoke, target, caller)
+            self.refined
+                .merge(tables, heap, hctx, invoke, target, caller)
         } else {
-            self.default.merge(tables, heap, hctx, invoke, target, caller)
+            self.default
+                .merge(tables, heap, hctx, invoke, target, caller)
         }
     }
 
@@ -505,7 +524,14 @@ mod tests {
         let p = Insensitive;
         assert_eq!(p.record(&mut t, AllocId(3), CtxId::EMPTY), HCtxId::EMPTY);
         assert_eq!(
-            p.merge(&mut t, AllocId(3), HCtxId::EMPTY, InvokeId(1), MethodId(0), CtxId::EMPTY),
+            p.merge(
+                &mut t,
+                AllocId(3),
+                HCtxId::EMPTY,
+                InvokeId(1),
+                MethodId(0),
+                CtxId::EMPTY
+            ),
             CtxId::EMPTY
         );
         assert_eq!(t.ctx_count(), 1);
@@ -518,8 +544,20 @@ mod tests {
         let c1 = p.merge_static(&mut t, InvokeId(1), MethodId(0), CtxId::EMPTY);
         let c2 = p.merge_static(&mut t, InvokeId(2), MethodId(0), c1);
         let c3 = p.merge_static(&mut t, InvokeId(3), MethodId(0), c2);
-        assert_eq!(t.ctx_elems(c2), &[ContextElem::Site(InvokeId(2)), ContextElem::Site(InvokeId(1))]);
-        assert_eq!(t.ctx_elems(c3), &[ContextElem::Site(InvokeId(3)), ContextElem::Site(InvokeId(2))]);
+        assert_eq!(
+            t.ctx_elems(c2),
+            &[
+                ContextElem::Site(InvokeId(2)),
+                ContextElem::Site(InvokeId(1))
+            ]
+        );
+        assert_eq!(
+            t.ctx_elems(c3),
+            &[
+                ContextElem::Site(InvokeId(3)),
+                ContextElem::Site(InvokeId(2))
+            ]
+        );
     }
 
     #[test]
@@ -536,13 +574,27 @@ mod tests {
         let mut t = CtxTables::new();
         let p = ObjectSensitive::new(2, 1);
         // Receiver o1 with empty heap ctx: callee ctx = [o1].
-        let c1 = p.merge(&mut t, AllocId(1), HCtxId::EMPTY, InvokeId(0), MethodId(0), CtxId::EMPTY);
+        let c1 = p.merge(
+            &mut t,
+            AllocId(1),
+            HCtxId::EMPTY,
+            InvokeId(0),
+            MethodId(0),
+            CtxId::EMPTY,
+        );
         assert_eq!(t.ctx_elems(c1), &[ContextElem::Heap(AllocId(1))]);
         // Object o2 allocated under c1: heap ctx = [o1].
         let h2 = p.record(&mut t, AllocId(2), c1);
         assert_eq!(t.hctx_elems(h2), &[ContextElem::Heap(AllocId(1))]);
         // Call on (o2, [o1]): callee ctx = [o2, o1].
-        let c2 = p.merge(&mut t, AllocId(2), h2, InvokeId(0), MethodId(0), CtxId::EMPTY);
+        let c2 = p.merge(
+            &mut t,
+            AllocId(2),
+            h2,
+            InvokeId(0),
+            MethodId(0),
+            CtxId::EMPTY,
+        );
         assert_eq!(
             t.ctx_elems(c2),
             &[ContextElem::Heap(AllocId(2)), ContextElem::Heap(AllocId(1))]
@@ -556,7 +608,14 @@ mod tests {
         let program = tiny_program();
         let mut t = CtxTables::new();
         let p = TypeSensitive::new(2, 1, &program);
-        let c = p.merge(&mut t, AllocId(0), HCtxId::EMPTY, InvokeId(0), MethodId(0), CtxId::EMPTY);
+        let c = p.merge(
+            &mut t,
+            AllocId(0),
+            HCtxId::EMPTY,
+            InvokeId(0),
+            MethodId(0),
+            CtxId::EMPTY,
+        );
         assert_eq!(t.ctx_elems(c), &[ContextElem::Type(ClassId(0))]);
     }
 
@@ -565,13 +624,25 @@ mod tests {
         let program = tiny_program();
         let mut refinement = RefinementSet::refine_all(&program);
         refinement.no_refine_objects.insert(AllocId(0));
-        let p = Introspective::new(Insensitive, ObjectSensitive::new(2, 1), refinement, "IntroT");
+        let p = Introspective::new(
+            Insensitive,
+            ObjectSensitive::new(2, 1),
+            refinement,
+            "IntroT",
+        );
         let mut t = CtxTables::new();
         // AllocId(0) excluded: default (insensitive) record.
         let deep = t.intern_ctx(&[ContextElem::Heap(AllocId(0))]);
         assert_eq!(p.record(&mut t, AllocId(0), deep), HCtxId::EMPTY);
         // Sites are all refined: merge builds an object-sensitive context.
-        let c = p.merge(&mut t, AllocId(0), HCtxId::EMPTY, InvokeId(0), MethodId(0), CtxId::EMPTY);
+        let c = p.merge(
+            &mut t,
+            AllocId(0),
+            HCtxId::EMPTY,
+            InvokeId(0),
+            MethodId(0),
+            CtxId::EMPTY,
+        );
         assert_eq!(t.ctx_elems(c), &[ContextElem::Heap(AllocId(0))]);
         assert!(p.name().contains("IntroT"));
     }
@@ -604,13 +675,23 @@ mod tests {
         let c1 = p.merge_static(&mut t, InvokeId(5), MethodId(0), CtxId::EMPTY);
         assert_eq!(t.ctx_elems(c1), &[ContextElem::Site(InvokeId(5))]);
         // Virtual call inside it: rebuilds from the receiver.
-        let c2 = p.merge(&mut t, AllocId(3), HCtxId::EMPTY, InvokeId(9), MethodId(0), c1);
+        let c2 = p.merge(
+            &mut t,
+            AllocId(3),
+            HCtxId::EMPTY,
+            InvokeId(9),
+            MethodId(0),
+            c1,
+        );
         assert_eq!(t.ctx_elems(c2), &[ContextElem::Heap(AllocId(3))]);
         // Static call inside a virtual context keeps the object below.
         let c3 = p.merge_static(&mut t, InvokeId(7), MethodId(0), c2);
         assert_eq!(
             t.ctx_elems(c3),
-            &[ContextElem::Site(InvokeId(7)), ContextElem::Heap(AllocId(3))]
+            &[
+                ContextElem::Site(InvokeId(7)),
+                ContextElem::Heap(AllocId(3))
+            ]
         );
     }
 }

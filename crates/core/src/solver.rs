@@ -56,12 +56,18 @@ impl Budget {
 
     /// Budget of `n` tuple insertions.
     pub fn derivations(n: u64) -> Self {
-        Budget { max_derivations: Some(n), max_duration: None }
+        Budget {
+            max_derivations: Some(n),
+            max_duration: None,
+        }
     }
 
     /// Budget of `d` wall-clock time.
     pub fn duration(d: Duration) -> Self {
-        Budget { max_derivations: None, max_duration: Some(d) }
+        Budget {
+            max_derivations: None,
+            max_duration: Some(d),
+        }
     }
 }
 
@@ -400,9 +406,10 @@ impl<'p> Solver<'p> {
             let to = self.var_node(self.program.methods[target].params[i], callee);
             self.add_edge(from, to);
         }
-        if let (Some(result), Some(ret)) =
-            (self.program.invokes[invoke].result, self.program.methods[target].ret)
-        {
+        if let (Some(result), Some(ret)) = (
+            self.program.invokes[invoke].result,
+            self.program.methods[target].ret,
+        ) {
             let from = self.var_node(ret, callee);
             let to = self.var_node(result, caller);
             self.add_edge(from, to);
@@ -423,8 +430,14 @@ impl<'p> Solver<'p> {
             InvokeKind::Special { target, .. } => target,
             InvokeKind::Static { .. } => unreachable!("static calls are not receiver calls"),
         };
-        let callee =
-            self.policy.merge(&mut self.tables, obj.heap(), obj.hctx(), invoke, target, caller);
+        let callee = self.policy.merge(
+            &mut self.tables,
+            obj.heap(),
+            obj.hctx(),
+            invoke,
+            target,
+            caller,
+        );
         if let Some(this) = self.program.methods[target].this {
             let tnode = self.var_node(this, callee);
             self.add_obj(tnode, obj.0);
@@ -506,7 +519,8 @@ impl<'p> Solver<'p> {
                     }
                     InvokeKind::Static { target } => {
                         let callee =
-                            self.policy.merge_static(&mut self.tables, invoke, target, ctx);
+                            self.policy
+                                .merge_static(&mut self.tables, invoke, target, ctx);
                         self.add_call_edge(invoke, ctx, target, callee);
                     }
                 },
@@ -668,12 +682,8 @@ impl<'p> Solver<'p> {
             let target = MethodId((mc >> 32) as u32);
             call_targets.entry(invoke).or_default().push(target);
             if let Some(d) = dump.as_mut() {
-                d.call_graph.push((
-                    invoke,
-                    CtxId(ic as u32),
-                    target,
-                    CtxId(mc as u32),
-                ));
+                d.call_graph
+                    .push((invoke, CtxId(ic as u32), target, CtxId(mc as u32)));
             }
         }
         for set in call_targets.values_mut() {
@@ -705,7 +715,11 @@ impl<'p> Solver<'p> {
 
         PointsToResult {
             analysis: self.policy.name(),
-            outcome: if self.exhausted { Outcome::BudgetExhausted } else { Outcome::Complete },
+            outcome: if self.exhausted {
+                Outcome::BudgetExhausted
+            } else {
+                Outcome::Complete
+            },
             stats,
             var_pts,
             field_pts,
@@ -941,8 +955,10 @@ mod tests {
         b.entry(main);
         let p = b.finish();
         let hierarchy = ClassHierarchy::new(&p);
-        let config =
-            SolverConfig { budget: Budget::derivations(10), ..SolverConfig::default() };
+        let config = SolverConfig {
+            budget: Budget::derivations(10),
+            ..SolverConfig::default()
+        };
         let r = analyze(&p, &hierarchy, &Insensitive, &config);
         assert_eq!(r.outcome, Outcome::BudgetExhausted);
         // And the unlimited run completes with more derivations.
@@ -987,8 +1003,10 @@ mod tests {
         b.scall(main, None, rec, &[a]);
         b.entry(main);
         let p = b.finish();
-        for policy in [&CallSiteSensitive::new(1, 0) as &dyn ContextPolicy,
-                       &CallSiteSensitive::new(2, 1)] {
+        for policy in [
+            &CallSiteSensitive::new(1, 0) as &dyn ContextPolicy,
+            &CallSiteSensitive::new(2, 1),
+        ] {
             let r = run(&p, policy);
             assert!(r.outcome.is_complete());
             assert!(!r.points_to(xp).is_empty());
@@ -1015,11 +1033,17 @@ mod tests {
         b.entry(main);
         let p = b.finish();
         let hierarchy = ClassHierarchy::new(&p);
-        for policy in [&Insensitive as &dyn ContextPolicy, &CallSiteSensitive::new(2, 1)] {
+        for policy in [
+            &Insensitive as &dyn ContextPolicy,
+            &CallSiteSensitive::new(2, 1),
+        ] {
             let result = analyze(&p, &hierarchy, policy, &SolverConfig::default());
             assert_eq!(result.points_to(r), &[h], "under {}", policy.name());
             assert_eq!(
-                result.global_pts.get(&rudoop_ir::GlobalId(0)).map(Vec::as_slice),
+                result
+                    .global_pts
+                    .get(&rudoop_ir::GlobalId(0))
+                    .map(Vec::as_slice),
                 Some(&[h][..])
             );
         }
@@ -1042,10 +1066,18 @@ mod tests {
         let p = b.finish();
         let hierarchy = ClassHierarchy::new(&p);
         // Unfiltered: the cast is a move; both objects flow.
-        let plain = analyze(&p, &hierarchy, &crate::policy::Insensitive, &SolverConfig::default());
+        let plain = analyze(
+            &p,
+            &hierarchy,
+            &crate::policy::Insensitive,
+            &SolverConfig::default(),
+        );
         assert_eq!(plain.points_to(y).len(), 2);
         // Filtered: only the A-object conforms to `(A)`.
-        let cfg = SolverConfig { filter_casts: true, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            filter_casts: true,
+            ..SolverConfig::default()
+        };
         let filtered = analyze(&p, &hierarchy, &crate::policy::Insensitive, &cfg);
         assert_eq!(filtered.points_to(y), &[ha]);
     }
@@ -1065,7 +1097,10 @@ mod tests {
         b.entry(main);
         let p = b.finish();
         let hierarchy = ClassHierarchy::new(&p);
-        let cfg = SolverConfig { filter_casts: true, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            filter_casts: true,
+            ..SolverConfig::default()
+        };
         let r = analyze(&p, &hierarchy, &crate::policy::Insensitive, &cfg);
         assert_eq!(r.points_to(y), &[ha]);
     }
@@ -1081,7 +1116,10 @@ mod tests {
         b.entry(main);
         let p = b.finish();
         let hierarchy = ClassHierarchy::new(&p);
-        let config = SolverConfig { record_contexts: true, ..SolverConfig::default() };
+        let config = SolverConfig {
+            record_contexts: true,
+            ..SolverConfig::default()
+        };
         let r = analyze(&p, &hierarchy, &Insensitive, &config);
         let dump = r.cs_dump.expect("dump requested");
         assert_eq!(dump.var_points_to.len(), 1);

@@ -44,7 +44,12 @@ impl SizeHistogram {
             }
             buckets[b] += 1;
         }
-        SizeHistogram { buckets, empty, max, total }
+        SizeHistogram {
+            buckets,
+            empty,
+            max,
+            total,
+        }
     }
 
     /// Renders like `0:12 1:5 2-3:9 4-7:2 …`.
@@ -82,31 +87,49 @@ pub struct ResultStats {
 impl ResultStats {
     /// Computes distribution statistics, keeping the top `n` heavy hitters.
     pub fn compute(program: &Program, result: &PointsToResult, n: usize) -> Self {
-        let var_pts_histogram =
-            SizeHistogram::from_sizes(result.var_pts.values().map(Vec::len));
+        let var_pts_histogram = SizeHistogram::from_sizes(result.var_pts.values().map(Vec::len));
         let field_pts_histogram =
             SizeHistogram::from_sizes(result.field_pts.values().map(Vec::len));
 
-        let mut fattest_vars: Vec<(VarId, usize)> =
-            result.var_pts.iter().map(|(v, pts)| (v, pts.len())).collect();
+        let mut fattest_vars: Vec<(VarId, usize)> = result
+            .var_pts
+            .iter()
+            .map(|(v, pts)| (v, pts.len()))
+            .collect();
         fattest_vars.sort_by_key(|&(v, len)| (std::cmp::Reverse(len), v));
         fattest_vars.truncate(n);
 
         let metrics = IntrospectionMetrics::compute(program, result);
-        let mut fattest_methods: Vec<(MethodId, u32)> =
-            metrics.method_total_pts.iter().map(|(m, &vol)| (m, vol)).collect();
+        let mut fattest_methods: Vec<(MethodId, u32)> = metrics
+            .method_total_pts
+            .iter()
+            .map(|(m, &vol)| (m, vol))
+            .collect();
         fattest_methods.sort_by_key(|&(m, vol)| (std::cmp::Reverse(vol), m));
         fattest_methods.truncate(n);
 
-        ResultStats { var_pts_histogram, field_pts_histogram, fattest_vars, fattest_methods }
+        ResultStats {
+            var_pts_histogram,
+            field_pts_histogram,
+            fattest_vars,
+            fattest_methods,
+        }
     }
 
     /// Renders a human-readable dashboard.
     pub fn render(&self, program: &Program) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "var-points-to sizes:   {}", self.var_pts_histogram.render());
-        let _ = writeln!(out, "field-points-to sizes: {}", self.field_pts_histogram.render());
+        let _ = writeln!(
+            out,
+            "var-points-to sizes:   {}",
+            self.var_pts_histogram.render()
+        );
+        let _ = writeln!(
+            out,
+            "field-points-to sizes: {}",
+            self.field_pts_histogram.render()
+        );
         let _ = writeln!(out, "fattest variables:");
         for &(v, len) in &self.fattest_vars {
             let _ = writeln!(out, "  {:>8}  {}", len, program.var_display(v));
@@ -172,6 +195,9 @@ mod tests {
     fn empty_sets_are_counted() {
         let (p, r) = fixture();
         let stats = ResultStats::compute(&p, &r, 2);
-        assert!(stats.var_pts_histogram.empty >= 1, "lonely var has no objects");
+        assert!(
+            stats.var_pts_histogram.empty >= 1,
+            "lonely var has no objects"
+        );
     }
 }

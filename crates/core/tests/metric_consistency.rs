@@ -1,59 +1,87 @@
-//! Consistency properties of the §3 introspection metrics on random
+//! Consistency properties of the §3 introspection metrics on seeded random
 //! programs: internal relationships that must hold by definition, checked
 //! against the analysis results they were derived from.
 
-use proptest::prelude::*;
 use rudoop_core::policy::Insensitive;
 use rudoop_core::solver::{analyze, SolverConfig};
 use rudoop_core::IntrospectionMetrics;
-use rudoop_ir::arbitrary::{arb_program, ProgramShape};
+use rudoop_ir::arbitrary::{generate, ProgramShape};
 use rudoop_ir::ClassHierarchy;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+const CASES: u64 = 48;
 
-    #[test]
-    fn metric_relationships_hold(p in arb_program(ProgramShape::default())) {
+#[test]
+fn metric_relationships_hold() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let h = ClassHierarchy::new(&p);
         let r = analyze(&p, &h, &Insensitive, &SolverConfig::default());
         let m = IntrospectionMetrics::compute(&p, &r);
 
         // Max-variant ≤ total-variant, per method and per object.
         for mid in p.methods.ids() {
-            prop_assert!(m.method_max_var_pts[mid] <= m.method_total_pts[mid]);
+            assert!(
+                m.method_max_var_pts[mid] <= m.method_total_pts[mid],
+                "seed {seed}"
+            );
         }
         for aid in p.allocs.ids() {
-            prop_assert!(m.obj_max_field_pts[aid] <= m.obj_total_field_pts[aid]);
+            assert!(
+                m.obj_max_field_pts[aid] <= m.obj_total_field_pts[aid],
+                "seed {seed}"
+            );
         }
 
         // Sum of pointed-by-vars over all objects equals the total volume
         // over all methods (both count (var, heap) pairs).
-        let total_pointed: u64 =
-            p.allocs.ids().map(|a| u64::from(m.pointed_by_vars[a])).sum();
-        let total_volume: u64 =
-            p.methods.ids().map(|mm| u64::from(m.method_total_pts[mm])).sum();
-        prop_assert_eq!(total_pointed, total_volume);
+        let total_pointed: u64 = p
+            .allocs
+            .ids()
+            .map(|a| u64::from(m.pointed_by_vars[a]))
+            .sum();
+        let total_volume: u64 = p
+            .methods
+            .ids()
+            .map(|mm| u64::from(m.method_total_pts[mm]))
+            .sum();
+        assert_eq!(total_pointed, total_volume, "seed {seed}");
 
         // In-flow of a site is bounded by the points-to sizes of its args.
         for (iid, invoke) in p.invokes.iter() {
-            let bound: u64 =
-                invoke.args.iter().map(|&a| r.points_to(a).len() as u64).sum();
-            prop_assert!(u64::from(m.in_flow[iid]) <= bound);
+            let bound: u64 = invoke
+                .args
+                .iter()
+                .map(|&a| r.points_to(a).len() as u64)
+                .sum();
+            assert!(u64::from(m.in_flow[iid]) <= bound, "seed {seed}");
         }
 
         // Metric #4 is the max of metric #3 over objects the method's vars
         // reach, so it is bounded by the global max of metric #3.
-        let global_max_field =
-            p.allocs.ids().map(|a| m.obj_max_field_pts[a]).max().unwrap_or(0);
+        let global_max_field = p
+            .allocs
+            .ids()
+            .map(|a| m.obj_max_field_pts[a])
+            .max()
+            .unwrap_or(0);
         for mid in p.methods.ids() {
-            prop_assert!(m.method_max_var_field_pts[mid] <= global_max_field);
+            assert!(
+                m.method_max_var_field_pts[mid] <= global_max_field,
+                "seed {seed}"
+            );
         }
 
         // Pointed-by-objs sums to the total field-points-to volume.
-        let total_by_objs: u64 =
-            p.allocs.ids().map(|a| u64::from(m.pointed_by_objs[a])).sum();
-        let total_field: u64 =
-            p.allocs.ids().map(|a| u64::from(m.obj_total_field_pts[a])).sum();
-        prop_assert_eq!(total_by_objs, total_field);
+        let total_by_objs: u64 = p
+            .allocs
+            .ids()
+            .map(|a| u64::from(m.pointed_by_objs[a]))
+            .sum();
+        let total_field: u64 = p
+            .allocs
+            .ids()
+            .map(|a| u64::from(m.obj_total_field_pts[a]))
+            .sum();
+        assert_eq!(total_by_objs, total_field, "seed {seed}");
     }
 }

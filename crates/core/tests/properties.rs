@@ -1,5 +1,5 @@
-//! Property tests for the solver's semantic invariants on randomly
-//! generated programs:
+//! Property-style tests for the solver's semantic invariants on seeded
+//! randomly generated programs:
 //!
 //! - every context-sensitive analysis is at least as precise as the
 //!   insensitive one (projected relations are subsets),
@@ -8,54 +8,58 @@
 //!   analyses respectively,
 //! - budget exhaustion yields an under-approximation of the fixpoint.
 
-use proptest::prelude::*;
 use rudoop_core::policy::{
-    CallSiteSensitive, ContextPolicy, Insensitive, Introspective, ObjectSensitive,
-    RefinementSet, TypeSensitive,
+    CallSiteSensitive, ContextPolicy, Insensitive, Introspective, ObjectSensitive, RefinementSet,
+    TypeSensitive,
 };
 use rudoop_core::solver::{analyze, Budget, SolverConfig};
-use rudoop_ir::arbitrary::{arb_program, ProgramShape};
+use rudoop_ir::arbitrary::{generate, ProgramShape};
 use rudoop_ir::{ClassHierarchy, Program};
+
+const CASES: u64 = 48;
 
 fn run(p: &Program, policy: &dyn ContextPolicy) -> rudoop_core::PointsToResult {
     let h = ClassHierarchy::new(p);
     analyze(p, &h, policy, &SolverConfig::default())
 }
 
-fn subset_of(p: &Program, fine: &rudoop_core::PointsToResult, coarse: &rudoop_core::PointsToResult) -> Result<(), TestCaseError> {
+fn assert_subset_of(
+    seed: u64,
+    p: &Program,
+    fine: &rudoop_core::PointsToResult,
+    coarse: &rudoop_core::PointsToResult,
+) {
     for v in p.vars.ids() {
         for h in fine.points_to(v) {
-            prop_assert!(
+            assert!(
                 coarse.points_to(v).contains(h),
-                "var {v:?} points to {h:?} under the finer analysis only"
+                "seed {seed}: var {v:?} points to {h:?} under the finer analysis only"
             );
         }
     }
     for (invoke, targets) in &fine.call_targets {
         let coarse_targets = coarse.call_targets.get(invoke);
         for t in targets {
-            prop_assert!(
+            assert!(
                 coarse_targets.is_some_and(|ct| ct.contains(t)),
-                "call edge {invoke:?} -> {t:?} under the finer analysis only"
+                "seed {seed}: call edge {invoke:?} -> {t:?} under the finer analysis only"
             );
         }
     }
     for m in p.methods.ids() {
         if fine.reachable_methods.contains(m) {
-            prop_assert!(coarse.reachable_methods.contains(m));
+            assert!(coarse.reachable_methods.contains(m), "seed {seed}");
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Context-sensitivity only removes (never adds) projected facts.
-    #[test]
-    fn context_refines_insensitive(p in arb_program(ProgramShape::default())) {
+/// Context-sensitivity only removes (never adds) projected facts.
+#[test]
+fn context_refines_insensitive() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let insens = run(&p, &Insensitive);
-        prop_assert!(insens.outcome.is_complete());
+        assert!(insens.outcome.is_complete(), "seed {seed}");
         let policies: Vec<Box<dyn ContextPolicy>> = vec![
             Box::new(CallSiteSensitive::new(1, 0)),
             Box::new(CallSiteSensitive::new(2, 1)),
@@ -65,27 +69,33 @@ proptest! {
         ];
         for policy in &policies {
             let cs = run(&p, policy.as_ref());
-            prop_assert!(cs.outcome.is_complete());
-            subset_of(&p, &cs, &insens)?;
+            assert!(cs.outcome.is_complete(), "seed {seed}");
+            assert_subset_of(seed, &p, &cs, &insens);
         }
     }
+}
 
-    /// Two runs of the same analysis agree exactly.
-    #[test]
-    fn analysis_is_deterministic(p in arb_program(ProgramShape::default())) {
+/// Two runs of the same analysis agree exactly.
+#[test]
+fn analysis_is_deterministic() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let a = run(&p, &ObjectSensitive::new(2, 1));
         let b = run(&p, &ObjectSensitive::new(2, 1));
         for v in p.vars.ids() {
-            prop_assert_eq!(a.points_to(v), b.points_to(v));
+            assert_eq!(a.points_to(v), b.points_to(v), "seed {seed}");
         }
-        prop_assert_eq!(a.stats.derivations, b.stats.derivations);
-        prop_assert_eq!(a.stats.contexts, b.stats.contexts);
+        assert_eq!(a.stats.derivations, b.stats.derivations, "seed {seed}");
+        assert_eq!(a.stats.contexts, b.stats.contexts, "seed {seed}");
     }
+}
 
-    /// Introspective with everything refined equals the full analysis;
-    /// with everything excluded it equals the insensitive analysis.
-    #[test]
-    fn introspective_extremes(p in arb_program(ProgramShape::default())) {
+/// Introspective with everything refined equals the full analysis; with
+/// everything excluded it equals the insensitive analysis.
+#[test]
+fn introspective_extremes() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let full = run(&p, &CallSiteSensitive::new(2, 1));
         let all = Introspective::new(
             Insensitive,
@@ -95,7 +105,7 @@ proptest! {
         );
         let intro_all = run(&p, &all);
         for v in p.vars.ids() {
-            prop_assert_eq!(full.points_to(v), intro_all.points_to(v));
+            assert_eq!(full.points_to(v), intro_all.points_to(v), "seed {seed}");
         }
 
         let mut nothing = RefinementSet::refine_all(&p);
@@ -105,38 +115,45 @@ proptest! {
         for m in p.methods.ids() {
             nothing.no_refine_methods.insert(m);
         }
-        let none = Introspective::new(
-            Insensitive,
-            CallSiteSensitive::new(2, 1),
-            nothing,
-            "none",
-        );
+        let none = Introspective::new(Insensitive, CallSiteSensitive::new(2, 1), nothing, "none");
         let intro_none = run(&p, &none);
         let insens = run(&p, &Insensitive);
         for v in p.vars.ids() {
-            prop_assert_eq!(insens.points_to(v), intro_none.points_to(v));
+            assert_eq!(insens.points_to(v), intro_none.points_to(v), "seed {seed}");
         }
     }
+}
 
-    /// A budgeted run derives a subset of the fixpoint (sound partiality).
-    #[test]
-    fn budget_yields_underapproximation(p in arb_program(ProgramShape::default())) {
+/// A budgeted run derives a subset of the fixpoint (sound partiality).
+#[test]
+fn budget_yields_underapproximation() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let h = ClassHierarchy::new(&p);
         let full = analyze(&p, &h, &Insensitive, &SolverConfig::default());
         let cut = analyze(
             &p,
             &h,
             &Insensitive,
-            &SolverConfig { budget: Budget::derivations(20), ..SolverConfig::default() },
+            &SolverConfig {
+                budget: Budget::derivations(20),
+                ..SolverConfig::default()
+            },
         );
-        subset_of(&p, &cut, &full)?;
-        prop_assert!(cut.stats.derivations <= full.stats.derivations);
+        assert_subset_of(seed, &p, &cut, &full);
+        assert!(
+            cut.stats.derivations <= full.stats.derivations,
+            "seed {seed}"
+        );
     }
+}
 
-    /// An introspective analysis sits between insensitive and full in cost
-    /// terms: its context count never exceeds the full analysis's.
-    #[test]
-    fn introspective_context_count_bounded(p in arb_program(ProgramShape::default())) {
+/// An introspective analysis sits between insensitive and full in cost
+/// terms: its context count never exceeds the full analysis's.
+#[test]
+fn introspective_context_count_bounded() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let full = run(&p, &ObjectSensitive::new(2, 1));
         let mut some = RefinementSet::refine_all(&p);
         for (i, a) in p.allocs.ids().enumerate() {
@@ -146,6 +163,6 @@ proptest! {
         }
         let intro = Introspective::new(Insensitive, ObjectSensitive::new(2, 1), some, "half");
         let mixed = run(&p, &intro);
-        prop_assert!(mixed.stats.contexts <= full.stats.contexts);
+        assert!(mixed.stats.contexts <= full.stats.contexts, "seed {seed}");
     }
 }

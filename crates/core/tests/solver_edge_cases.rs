@@ -5,8 +5,7 @@
 use std::time::Duration;
 
 use rudoop_core::policy::{
-    CallSiteSensitive, ContextPolicy, Insensitive, Introspective, ObjectSensitive,
-    RefinementSet,
+    CallSiteSensitive, ContextPolicy, Insensitive, Introspective, ObjectSensitive, RefinementSet,
 };
 use rudoop_core::solver::{analyze, Budget, SolverConfig};
 use rudoop_core::{CtxTables, HCtxId};
@@ -112,7 +111,10 @@ fn deep_heap_contexts_distinguish_allocator_chains() {
     b.entry(main);
     let p = b.finish();
     let h = ClassHierarchy::new(&p);
-    let config = SolverConfig { record_contexts: true, ..SolverConfig::default() };
+    let config = SolverConfig {
+        record_contexts: true,
+        ..SolverConfig::default()
+    };
     let r = analyze(&p, &h, &ObjectSensitive::new(1, 1), &config);
     // The Inner allocations should carry two distinct heap contexts (one
     // per wrapper), visible in the context-sensitive dump.
@@ -175,8 +177,18 @@ fn introspective_exclusion_covers_special_and_static_calls() {
 fn context_tables_shared_between_default_and_refined() {
     let mut tables = CtxTables::new();
     let refined = CallSiteSensitive::new(2, 1);
-    let c1 = refined.merge_static(&mut tables, rudoop_ir::InvokeId(3), rudoop_ir::MethodId(0), rudoop_core::CtxId::EMPTY);
-    let c2 = refined.merge_static(&mut tables, rudoop_ir::InvokeId(3), rudoop_ir::MethodId(0), rudoop_core::CtxId::EMPTY);
+    let c1 = refined.merge_static(
+        &mut tables,
+        rudoop_ir::InvokeId(3),
+        rudoop_ir::MethodId(0),
+        rudoop_core::CtxId::EMPTY,
+    );
+    let c2 = refined.merge_static(
+        &mut tables,
+        rudoop_ir::InvokeId(3),
+        rudoop_ir::MethodId(0),
+        rudoop_core::CtxId::EMPTY,
+    );
     assert_eq!(c1, c2);
     assert_eq!(tables.ctx_count(), 2); // empty + one interned
 }

@@ -38,11 +38,14 @@ struct Relation {
 
 type Index = FxHashMap<Box<[Value]>, Vec<u32>>;
 
+/// An external constructor function registered with [`Engine::function`].
+type ExternFn<'a> = Box<dyn FnMut(&[Value]) -> Value + 'a>;
+
 /// A Datalog engine. The lifetime `'a` bounds the external functions
 /// registered with [`Engine::function`].
 pub struct Engine<'a> {
     rels: Vec<Relation>,
-    funcs: Vec<RefCell<Box<dyn FnMut(&[Value]) -> Value + 'a>>>,
+    funcs: Vec<RefCell<ExternFn<'a>>>,
     func_names: Vec<String>,
     rules: Vec<Rule>,
     /// (relation, column mask) → (built_len, index).
@@ -120,10 +123,14 @@ impl<'a> Engine<'a> {
     ///
     /// Returns [`RuleError::ArityMismatch`] on malformed atoms.
     pub fn add_rule(&mut self, rule: Rule) -> Result<(), RuleError> {
-        for atom in rule.heads.iter().chain(rule.body.iter().filter_map(|l| match l {
-            Literal::Pos(a) | Literal::Neg(a) => Some(a),
-            Literal::Func(_) => None,
-        })) {
+        for atom in rule
+            .heads
+            .iter()
+            .chain(rule.body.iter().filter_map(|l| match l {
+                Literal::Pos(a) | Literal::Neg(a) => Some(a),
+                Literal::Func(_) => None,
+            }))
+        {
             let r = &self.rels[atom.rel.0];
             if atom.terms.len() != r.arity {
                 return Err(RuleError::ArityMismatch {
@@ -213,8 +220,9 @@ impl<'a> Engine<'a> {
 
         let mut stats = RunStats::default();
         for s in 0..=max_stratum {
-            let rule_ids: Vec<usize> =
-                (0..self.rules.len()).filter(|&i| rule_stratum[i] == s).collect();
+            let rule_ids: Vec<usize> = (0..self.rules.len())
+                .filter(|&i| rule_stratum[i] == s)
+                .collect();
             if rule_ids.is_empty() {
                 continue;
             }
@@ -383,7 +391,9 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let try_tuple = |tuple: &[Value], env: &mut Vec<Option<Value>>, k: &mut dyn FnMut(&mut Vec<Option<Value>>)| {
+        let try_tuple = |tuple: &[Value],
+                         env: &mut Vec<Option<Value>>,
+                         k: &mut dyn FnMut(&mut Vec<Option<Value>>)| {
             let mut newly_bound: Vec<u32> = Vec::new();
             let mut ok = true;
             for (i, t) in atom.terms.iter().enumerate() {
@@ -436,7 +446,9 @@ impl<'a> Engine<'a> {
         // Indexed scan on the bound columns.
         let matches: Vec<u32> = {
             let mut indexes = self.indexes.borrow_mut();
-            let entry = indexes.entry((atom.rel.0, mask)).or_insert_with(|| (0, Index::default()));
+            let entry = indexes
+                .entry((atom.rel.0, mask))
+                .or_insert_with(|| (0, Index::default()));
             if entry.0 != rel.tuples.len() {
                 let mut index = Index::default();
                 for (ti, tuple) in rel.tuples.iter().enumerate() {
@@ -468,7 +480,11 @@ mod tests {
         let edge = e.relation("edge", 2);
         let path = e.relation("path", 2);
         e.add_rule(
-            RuleBuilder::new("base").head(path, &["x", "y"]).pos(edge, &["x", "y"]).build().unwrap(),
+            RuleBuilder::new("base")
+                .head(path, &["x", "y"])
+                .pos(edge, &["x", "y"])
+                .build()
+                .unwrap(),
         )
         .unwrap();
         e.add_rule(
@@ -529,8 +545,15 @@ mod tests {
         let mut e = Engine::new();
         let p = e.relation("p", 1);
         let q = e.relation("q", 1);
-        e.add_rule(RuleBuilder::new("pq").head(p, &["x"]).pos(q, &["x"]).neg(p, &["x"]).build().unwrap())
-            .unwrap();
+        e.add_rule(
+            RuleBuilder::new("pq")
+                .head(p, &["x"])
+                .pos(q, &["x"])
+                .neg(p, &["x"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         e.fact(q, &[1]);
         assert!(matches!(e.run(), Err(RuleError::Unstratifiable { .. })));
     }
@@ -606,7 +629,11 @@ mod tests {
         let s = e.relation("s", 1);
         // s(99) <- r(1, _).
         e.add_rule(
-            RuleBuilder::new("k").head(s, &["#99"]).pos(r, &["#1", "_"]).build().unwrap(),
+            RuleBuilder::new("k")
+                .head(s, &["#99"])
+                .pos(r, &["#1", "_"])
+                .build()
+                .unwrap(),
         )
         .unwrap();
         e.fact(r, &[2, 5]);
@@ -621,8 +648,15 @@ mod tests {
     fn arity_mismatch_is_rejected_at_add_time() {
         let mut e = Engine::new();
         let r = e.relation("r", 2);
-        let bad = RuleBuilder::new("bad").head(r, &["x"]).pos(r, &["x", "y"]).build().unwrap();
-        assert!(matches!(e.add_rule(bad), Err(RuleError::ArityMismatch { .. })));
+        let bad = RuleBuilder::new("bad")
+            .head(r, &["x"])
+            .pos(r, &["x", "y"])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            e.add_rule(bad),
+            Err(RuleError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -630,7 +664,14 @@ mod tests {
         let mut e = Engine::new();
         let edge = e.relation("edge", 2);
         let path = e.relation("path", 2);
-        e.add_rule(RuleBuilder::new("b").head(path, &["x", "y"]).pos(edge, &["x", "y"]).build().unwrap()).unwrap();
+        e.add_rule(
+            RuleBuilder::new("b")
+                .head(path, &["x", "y"])
+                .pos(edge, &["x", "y"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         e.add_rule(
             RuleBuilder::new("s")
                 .head(path, &["x", "z"])

@@ -46,8 +46,11 @@ pub struct ModelResult {
 impl ModelResult {
     /// Projected var-points-to: sorted, deduplicated `(var, heap)` pairs.
     pub fn var_points_to_projected(&self) -> Vec<(VarId, AllocId)> {
-        let mut v: Vec<(VarId, AllocId)> =
-            self.var_points_to.iter().map(|&(var, _, heap, _)| (var, heap)).collect();
+        let mut v: Vec<(VarId, AllocId)> = self
+            .var_points_to
+            .iter()
+            .map(|&(var, _, heap, _)| (var, heap))
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -127,37 +130,69 @@ pub fn run_model(
     // duplicates), closing over the shared context tables ----
     let t = tables.clone();
     let record = engine.function("RECORD", move |a: &[Value]| {
-        default.record(&mut t.borrow_mut(), AllocId(a[0]), CtxId(a[1])).0
+        default
+            .record(&mut t.borrow_mut(), AllocId(a[0]), CtxId(a[1]))
+            .0
     });
     let t = tables.clone();
     let record_refined = engine.function("RECORDREFINED", move |a: &[Value]| {
-        refined.record(&mut t.borrow_mut(), AllocId(a[0]), CtxId(a[1])).0
+        refined
+            .record(&mut t.borrow_mut(), AllocId(a[0]), CtxId(a[1]))
+            .0
     });
     let t = tables.clone();
     let merge = engine.function("MERGE", move |a: &[Value]| {
         default
-            .merge(&mut t.borrow_mut(), AllocId(a[0]), HCtxId(a[1]), InvokeId(a[2]), MethodId(a[3]), CtxId(a[4]))
+            .merge(
+                &mut t.borrow_mut(),
+                AllocId(a[0]),
+                HCtxId(a[1]),
+                InvokeId(a[2]),
+                MethodId(a[3]),
+                CtxId(a[4]),
+            )
             .0
     });
     let t = tables.clone();
     let merge_refined = engine.function("MERGEREFINED", move |a: &[Value]| {
         refined
-            .merge(&mut t.borrow_mut(), AllocId(a[0]), HCtxId(a[1]), InvokeId(a[2]), MethodId(a[3]), CtxId(a[4]))
+            .merge(
+                &mut t.borrow_mut(),
+                AllocId(a[0]),
+                HCtxId(a[1]),
+                InvokeId(a[2]),
+                MethodId(a[3]),
+                CtxId(a[4]),
+            )
             .0
     });
     let t = tables.clone();
     let merge_static = engine.function("MERGESTATIC", move |a: &[Value]| {
-        default.merge_static(&mut t.borrow_mut(), InvokeId(a[0]), MethodId(a[1]), CtxId(a[2])).0
+        default
+            .merge_static(
+                &mut t.borrow_mut(),
+                InvokeId(a[0]),
+                MethodId(a[1]),
+                CtxId(a[2]),
+            )
+            .0
     });
     let t = tables.clone();
     let merge_static_refined = engine.function("MERGESTATICREFINED", move |a: &[Value]| {
-        refined.merge_static(&mut t.borrow_mut(), InvokeId(a[0]), MethodId(a[1]), CtxId(a[2])).0
+        refined
+            .merge_static(
+                &mut t.borrow_mut(),
+                InvokeId(a[0]),
+                MethodId(a[1]),
+                CtxId(a[2]),
+            )
+            .0
     });
 
     // ---- Rules (Figure 3, in order) ----
-    let add = |engine: &mut Engine<'_>, rule: Result<crate::rule::Rule, RuleError>| -> Result<(), RuleError> {
-        engine.add_rule(rule?)
-    };
+    let add = |engine: &mut Engine<'_>,
+               rule: Result<crate::rule::Rule, RuleError>|
+     -> Result<(), RuleError> { engine.add_rule(rule?) };
 
     // INTERPROCASSIGN from arguments.
     add(
@@ -253,7 +288,11 @@ pub fn run_model(
             .pos(lookup, &["heapT", "sig", "toMeth"])
             .pos(thisvar, &["toMeth", "this"])
             .neg(sitetorefine, &["invo", "toMeth"])
-            .func(merge, &["heap", "hctx", "invo", "toMeth", "callerCtx"], "calleeCtx")
+            .func(
+                merge,
+                &["heap", "hctx", "invo", "toMeth", "callerCtx"],
+                "calleeCtx",
+            )
             .build(),
     )?;
     add(
@@ -269,7 +308,11 @@ pub fn run_model(
             .pos(lookup, &["heapT", "sig", "toMeth"])
             .pos(thisvar, &["toMeth", "this"])
             .pos(sitetorefine, &["invo", "toMeth"])
-            .func(merge_refined, &["heap", "hctx", "invo", "toMeth", "callerCtx"], "calleeCtx")
+            .func(
+                merge_refined,
+                &["heap", "hctx", "invo", "toMeth", "callerCtx"],
+                "calleeCtx",
+            )
             .build(),
     )?;
     // SPECIALCALL (statically bound receiver call), default and refined.
@@ -284,7 +327,11 @@ pub fn run_model(
             .pos(varpointsto, &["base", "callerCtx", "heap", "hctx"])
             .pos(thisvar, &["toMeth", "this"])
             .neg(sitetorefine, &["invo", "toMeth"])
-            .func(merge, &["heap", "hctx", "invo", "toMeth", "callerCtx"], "calleeCtx")
+            .func(
+                merge,
+                &["heap", "hctx", "invo", "toMeth", "callerCtx"],
+                "calleeCtx",
+            )
             .build(),
     )?;
     add(
@@ -298,7 +345,11 @@ pub fn run_model(
             .pos(varpointsto, &["base", "callerCtx", "heap", "hctx"])
             .pos(thisvar, &["toMeth", "this"])
             .pos(sitetorefine, &["invo", "toMeth"])
-            .func(merge_refined, &["heap", "hctx", "invo", "toMeth", "callerCtx"], "calleeCtx")
+            .func(
+                merge_refined,
+                &["heap", "hctx", "invo", "toMeth", "callerCtx"],
+                "calleeCtx",
+            )
             .build(),
     )?;
     // STATICCALL, default and refined.
@@ -321,7 +372,11 @@ pub fn run_model(
             .pos(staticcall, &["toMeth", "invo", "inMeth"])
             .pos(reachable, &["inMeth", "callerCtx"])
             .pos(sitetorefine, &["invo", "toMeth"])
-            .func(merge_static_refined, &["invo", "toMeth", "callerCtx"], "calleeCtx")
+            .func(
+                merge_static_refined,
+                &["invo", "toMeth", "callerCtx"],
+                "calleeCtx",
+            )
             .build(),
     )?;
     // Static-field rules (part of Doop's "full implementation" rule set):
@@ -390,7 +445,9 @@ pub fn run_model(
         ..ModelResult::default()
     };
     for t in engine.tuples(varpointsto) {
-        result.var_points_to.push((VarId(t[0]), CtxId(t[1]), AllocId(t[2]), HCtxId(t[3])));
+        result
+            .var_points_to
+            .push((VarId(t[0]), CtxId(t[1]), AllocId(t[2]), HCtxId(t[3])));
     }
     for t in engine.tuples(fldpointsto) {
         result.field_points_to.push((
@@ -402,7 +459,9 @@ pub fn run_model(
         ));
     }
     for t in engine.tuples(callgraph) {
-        result.call_graph.push((InvokeId(t[0]), CtxId(t[1]), MethodId(t[2]), CtxId(t[3])));
+        result
+            .call_graph
+            .push((InvokeId(t[0]), CtxId(t[1]), MethodId(t[2]), CtxId(t[3])));
     }
     for t in engine.tuples(reachable) {
         result.reachable.push((MethodId(t[0]), CtxId(t[1])));
@@ -529,9 +588,7 @@ fn load_facts(
             // signature with the call or are the static target.
             let plausible = match program.invokes[iid].kind {
                 InvokeKind::Virtual { sig, .. } => program.methods[mid].sig == sig,
-                InvokeKind::Special { target, .. } | InvokeKind::Static { target } => {
-                    target == mid
-                }
+                InvokeKind::Special { target, .. } | InvokeKind::Static { target } => target == mid,
             };
             if plausible && refinement.site_refined(iid, mid) {
                 engine.fact(f.sitetorefine, &[iid.0, mid.0]);
@@ -592,8 +649,14 @@ mod tests {
         let (p, r1, r2, h1, h2) = identity_program();
         let hier = ClassHierarchy::new(&p);
         let refine = RefinementSet::refine_all(&p);
-        let m =
-            run_model(&p, &hier, &Insensitive, &CallSiteSensitive::new(1, 0), &refine).unwrap();
+        let m = run_model(
+            &p,
+            &hier,
+            &Insensitive,
+            &CallSiteSensitive::new(1, 0),
+            &refine,
+        )
+        .unwrap();
         assert_eq!(pts_of(&m, r1), vec![h1]);
         assert_eq!(pts_of(&m, r2), vec![h2]);
     }
@@ -633,8 +696,18 @@ mod tests {
         for a in p.allocs.ids() {
             refine.no_refine_objects.insert(a);
         }
-        let m =
-            run_model(&p, &hier, &Insensitive, &ObjectSensitive::new(2, 1), &refine).unwrap();
-        assert_eq!(pts_of(&m, r1), vec![h1, h2], "default (insensitive) constructors used");
+        let m = run_model(
+            &p,
+            &hier,
+            &Insensitive,
+            &ObjectSensitive::new(2, 1),
+            &refine,
+        )
+        .unwrap();
+        assert_eq!(
+            pts_of(&m, r1),
+            vec![h1, h2],
+            "default (insensitive) constructors used"
+        );
     }
 }

@@ -123,17 +123,31 @@ impl fmt::Display for RuleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuleError::UnboundHeadVar { rule, var } => {
-                write!(f, "rule {rule}: head variable {var} is not bound by the body")
+                write!(
+                    f,
+                    "rule {rule}: head variable {var} is not bound by the body"
+                )
             }
             RuleError::UnboundAtUse { rule, var } => {
-                write!(f, "rule {rule}: variable {var} used in negation/function before binding")
+                write!(
+                    f,
+                    "rule {rule}: variable {var} used in negation/function before binding"
+                )
             }
-            RuleError::ArityMismatch { rule, relation, expected, found } => write!(
+            RuleError::ArityMismatch {
+                rule,
+                relation,
+                expected,
+                found,
+            } => write!(
                 f,
                 "rule {rule}: relation {relation} has arity {expected}, used with {found}"
             ),
             RuleError::Unstratifiable { relation } => {
-                write!(f, "negation through relation {relation} is not stratifiable")
+                write!(
+                    f,
+                    "negation through relation {relation} is not stratifiable"
+                )
             }
         }
     }
@@ -200,7 +214,10 @@ impl RuleBuilder {
     }
 
     fn atom(&mut self, rel: RelId, terms: &[&str]) -> Atom {
-        Atom { rel, terms: terms.iter().map(|t| self.term(t)).collect() }
+        Atom {
+            rel,
+            terms: terms.iter().map(|t| self.term(t)).collect(),
+        }
     }
 
     /// Adds a head atom.
@@ -228,7 +245,8 @@ impl RuleBuilder {
     pub fn func(mut self, func: FuncId, args: &[&str], result: &str) -> Self {
         let args = args.iter().map(|t| self.term(t)).collect();
         let result = self.term(result);
-        self.body.push(Literal::Func(FuncApp { func, args, result }));
+        self.body
+            .push(Literal::Func(FuncApp { func, args, result }));
         self
     }
 
@@ -291,7 +309,12 @@ impl RuleBuilder {
                 }
             }
         }
-        Ok(Rule { heads: self.heads, body: self.body, num_vars: n as u32, name: self.name })
+        Ok(Rule {
+            heads: self.heads,
+            body: self.body,
+            num_vars: n as u32,
+            name: self.name,
+        })
     }
 }
 
@@ -321,7 +344,10 @@ mod tests {
     #[test]
     fn unbound_head_var_is_rejected() {
         let rel = RelId(0);
-        let err = RuleBuilder::new("bad").head(rel, &["x"]).build().unwrap_err();
+        let err = RuleBuilder::new("bad")
+            .head(rel, &["x"])
+            .build()
+            .unwrap_err();
         assert!(matches!(err, RuleError::UnboundHeadVar { .. }));
     }
 

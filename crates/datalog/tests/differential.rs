@@ -8,8 +8,8 @@
 
 use rudoop_core::context::ContextElem;
 use rudoop_core::policy::{
-    CallSiteSensitive, ContextPolicy, Insensitive, Introspective, ObjectSensitive,
-    RefinementSet, TypeSensitive,
+    CallSiteSensitive, ContextPolicy, Insensitive, Introspective, ObjectSensitive, RefinementSet,
+    TypeSensitive,
 };
 use rudoop_core::solver::{analyze, SolverConfig};
 use rudoop_datalog::run_model;
@@ -28,7 +28,10 @@ fn canonical_solver(
     hierarchy: &ClassHierarchy,
     policy: &dyn ContextPolicy,
 ) -> Canonical {
-    let config = SolverConfig { record_contexts: true, ..SolverConfig::default() };
+    let config = SolverConfig {
+        record_contexts: true,
+        ..SolverConfig::default()
+    };
     let r = analyze(program, hierarchy, policy, &config);
     assert!(r.outcome.is_complete());
     let dump = r.cs_dump.expect("requested");
@@ -47,11 +50,18 @@ fn canonical_solver(
         .collect();
     call_graph.sort();
     call_graph.dedup();
-    let mut reachable: Vec<_> =
-        dump.reachable.iter().map(|&(m, c)| (m.0, t.ctx_elems(c).to_vec())).collect();
+    let mut reachable: Vec<_> = dump
+        .reachable
+        .iter()
+        .map(|&(m, c)| (m.0, t.ctx_elems(c).to_vec()))
+        .collect();
     reachable.sort();
     reachable.dedup();
-    Canonical { var_points_to, call_graph, reachable }
+    Canonical {
+        var_points_to,
+        call_graph,
+        reachable,
+    }
 }
 
 fn canonical_model(
@@ -73,15 +83,29 @@ fn canonical_model(
     let mut call_graph: Vec<_> = m
         .call_graph
         .iter()
-        .map(|&(i, c1, mm, c2)| (i.0, t.ctx_elems(c1).to_vec(), mm.0, t.ctx_elems(c2).to_vec()))
+        .map(|&(i, c1, mm, c2)| {
+            (
+                i.0,
+                t.ctx_elems(c1).to_vec(),
+                mm.0,
+                t.ctx_elems(c2).to_vec(),
+            )
+        })
         .collect();
     call_graph.sort();
     call_graph.dedup();
-    let mut reachable: Vec<_> =
-        m.reachable.iter().map(|&(mm, c)| (mm.0, t.ctx_elems(c).to_vec())).collect();
+    let mut reachable: Vec<_> = m
+        .reachable
+        .iter()
+        .map(|&(mm, c)| (mm.0, t.ctx_elems(c).to_vec()))
+        .collect();
     reachable.sort();
     reachable.dedup();
-    Canonical { var_points_to, call_graph, reachable }
+    Canonical {
+        var_points_to,
+        call_graph,
+        reachable,
+    }
 }
 
 /// Checks solver ≡ model for a full (non-introspective) analysis.
@@ -91,7 +115,8 @@ fn check_flavor(program: &Program, policy: &dyn ContextPolicy) {
     let solver = canonical_solver(program, &hierarchy, policy);
     let model = canonical_model(program, &hierarchy, &Insensitive, policy, &refine_all);
     assert_eq!(
-        solver, model,
+        solver,
+        model,
         "solver and model disagree for policy {}",
         policy.name()
     );
@@ -139,7 +164,12 @@ fn check_introspective(
             canonical_solver(program, &hierarchy, &p)
         }
     };
-    assert_eq!(solver, model, "introspective disagreement for {}", refined.name());
+    assert_eq!(
+        solver,
+        model,
+        "introspective disagreement for {}",
+        refined.name()
+    );
 }
 
 // ---------------------------------------------------------------- fixtures

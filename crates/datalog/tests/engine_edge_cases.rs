@@ -13,13 +13,30 @@ fn three_strata_evaluate_in_order() {
     let c = e.relation("c", 1);
     // a(x) <- base(x). b(x) <- base(x), !a(x)... empty.
     // c(x) <- base(x), !b(x): everything (b empty).
-    e.add_rule(RuleBuilder::new("a").head(a, &["x"]).pos(base, &["x"]).build().unwrap()).unwrap();
     e.add_rule(
-        RuleBuilder::new("b").head(b, &["x"]).pos(base, &["x"]).neg(a, &["x"]).build().unwrap(),
+        RuleBuilder::new("a")
+            .head(a, &["x"])
+            .pos(base, &["x"])
+            .build()
+            .unwrap(),
     )
     .unwrap();
     e.add_rule(
-        RuleBuilder::new("c").head(c, &["x"]).pos(base, &["x"]).neg(b, &["x"]).build().unwrap(),
+        RuleBuilder::new("b")
+            .head(b, &["x"])
+            .pos(base, &["x"])
+            .neg(a, &["x"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    e.add_rule(
+        RuleBuilder::new("c")
+            .head(c, &["x"])
+            .pos(base, &["x"])
+            .neg(b, &["x"])
+            .build()
+            .unwrap(),
     )
     .unwrap();
     e.fact(base, &[1]);
@@ -86,7 +103,14 @@ fn empty_body_relations_derive_nothing() {
     let mut e = Engine::new();
     let a = e.relation("a", 1);
     let b = e.relation("b", 1);
-    e.add_rule(RuleBuilder::new("r").head(b, &["x"]).pos(a, &["x"]).build().unwrap()).unwrap();
+    e.add_rule(
+        RuleBuilder::new("r")
+            .head(b, &["x"])
+            .pos(a, &["x"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
     let stats = e.run().unwrap();
     assert!(e.is_empty(b));
     assert_eq!(stats.derived, 0);
@@ -151,11 +175,21 @@ fn unstratifiable_cycle_through_two_relations() {
     let q = e.relation("q", 1);
     let seed = e.relation("seed", 1);
     e.add_rule(
-        RuleBuilder::new("pq").head(p, &["x"]).pos(seed, &["x"]).neg(q, &["x"]).build().unwrap(),
+        RuleBuilder::new("pq")
+            .head(p, &["x"])
+            .pos(seed, &["x"])
+            .neg(q, &["x"])
+            .build()
+            .unwrap(),
     )
     .unwrap();
     e.add_rule(
-        RuleBuilder::new("qp").head(q, &["x"]).pos(seed, &["x"]).neg(p, &["x"]).build().unwrap(),
+        RuleBuilder::new("qp")
+            .head(q, &["x"])
+            .pos(seed, &["x"])
+            .neg(p, &["x"])
+            .build()
+            .unwrap(),
     )
     .unwrap();
     e.fact(seed, &[1]);

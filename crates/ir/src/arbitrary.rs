@@ -1,19 +1,23 @@
-//! Random well-formed program generation for property-based testing
-//! (enabled by the `arbitrary` cargo feature).
+//! Seeded random generation of well-formed programs for property-style
+//! testing.
 //!
-//! [`arb_program`] produces structurally valid programs: class hierarchies
-//! are acyclic by construction (a class may only extend an earlier class),
-//! every instruction uses variables of its own method, call arities match,
-//! and an entry point exists. The generator is deliberately biased toward
-//! the interactions that stress a points-to analysis: shared fields,
-//! virtual calls with overriding, value-returning helpers, and casts.
-
-use proptest::prelude::*;
+//! [`generate`] produces structurally valid programs: class hierarchies are
+//! acyclic by construction (a class may only extend an earlier class), every
+//! instruction uses variables of its own method, call arities match, and an
+//! entry point exists. The generator is deliberately biased toward the
+//! interactions that stress a points-to analysis: shared fields, virtual
+//! calls with overriding, value-returning helpers, and casts.
+//!
+//! The generator is a pure function of `(shape, seed)` — it draws from the
+//! in-tree [`crate::rng::SplitMix64`] stream, so test failures reproduce
+//! from the failing seed alone and the suite needs no external
+//! property-testing dependency (the workspace must build offline).
 
 use crate::builder::ProgramBuilder;
 use crate::program::Program;
+use crate::rng::SplitMix64;
 
-/// Size bounds for [`arb_program`].
+/// Size bounds for [`generate`].
 #[derive(Debug, Clone, Copy)]
 pub struct ProgramShape {
     /// Maximum classes beyond the root (≥ 1).
@@ -30,87 +34,157 @@ pub struct ProgramShape {
 
 impl Default for ProgramShape {
     fn default() -> Self {
-        ProgramShape { max_classes: 6, max_fields: 3, max_globals: 2, max_methods: 6, max_body: 10 }
+        ProgramShape {
+            max_classes: 6,
+            max_fields: 3,
+            max_globals: 2,
+            max_methods: 6,
+            max_body: 10,
+        }
     }
 }
 
 /// A recipe for one instruction, resolved against the declared entities.
 #[derive(Debug, Clone)]
 enum InstrSeed {
-    Alloc { var: usize, class: usize },
-    Move { to: usize, from: usize },
-    Cast { to: usize, from: usize, class: usize },
-    Load { to: usize, base: usize, field: usize },
-    Store { base: usize, field: usize, from: usize },
-    VCall { result: usize, base: usize, sig: usize, arg: usize },
-    LoadGlobal { to: usize, global: usize },
-    StoreGlobal { global: usize, from: usize },
-    SCall { result: usize, target: usize, arg: usize },
-    Return { var: usize },
+    Alloc {
+        var: usize,
+        class: usize,
+    },
+    Move {
+        to: usize,
+        from: usize,
+    },
+    Cast {
+        to: usize,
+        from: usize,
+        class: usize,
+    },
+    Load {
+        to: usize,
+        base: usize,
+        field: usize,
+    },
+    Store {
+        base: usize,
+        field: usize,
+        from: usize,
+    },
+    VCall {
+        result: usize,
+        base: usize,
+        sig: usize,
+        arg: usize,
+    },
+    LoadGlobal {
+        to: usize,
+        global: usize,
+    },
+    StoreGlobal {
+        global: usize,
+        from: usize,
+    },
+    SCall {
+        result: usize,
+        target: usize,
+        arg: usize,
+    },
+    Return {
+        var: usize,
+    },
 }
 
-fn arb_instr(max_vars: usize) -> impl Strategy<Value = InstrSeed> {
-    let v = 0..max_vars;
-    prop_oneof![
-        (v.clone(), any::<usize>()).prop_map(|(var, class)| InstrSeed::Alloc { var, class }),
-        (v.clone(), v.clone()).prop_map(|(to, from)| InstrSeed::Move { to, from }),
-        (v.clone(), v.clone(), any::<usize>())
-            .prop_map(|(to, from, class)| InstrSeed::Cast { to, from, class }),
-        (v.clone(), v.clone(), any::<usize>())
-            .prop_map(|(to, base, field)| InstrSeed::Load { to, base, field }),
-        (v.clone(), any::<usize>(), v.clone())
-            .prop_map(|(base, field, from)| InstrSeed::Store { base, field, from }),
-        (v.clone(), v.clone(), any::<usize>(), v.clone())
-            .prop_map(|(result, base, sig, arg)| InstrSeed::VCall { result, base, sig, arg }),
-        (v.clone(), any::<usize>(), v.clone())
-            .prop_map(|(result, target, arg)| InstrSeed::SCall { result, target, arg }),
-        (v.clone(), any::<usize>())
-            .prop_map(|(to, global)| InstrSeed::LoadGlobal { to, global }),
-        (any::<usize>(), v.clone())
-            .prop_map(|(global, from)| InstrSeed::StoreGlobal { global, from }),
-        v.prop_map(|var| InstrSeed::Return { var }),
-    ]
+fn draw_instr(rng: &mut SplitMix64, max_vars: usize) -> InstrSeed {
+    let v = |rng: &mut SplitMix64| rng.below(max_vars);
+    let raw = |rng: &mut SplitMix64| rng.next_u64() as usize;
+    match rng.below(10) {
+        0 => InstrSeed::Alloc {
+            var: v(rng),
+            class: raw(rng),
+        },
+        1 => InstrSeed::Move {
+            to: v(rng),
+            from: v(rng),
+        },
+        2 => InstrSeed::Cast {
+            to: v(rng),
+            from: v(rng),
+            class: raw(rng),
+        },
+        3 => InstrSeed::Load {
+            to: v(rng),
+            base: v(rng),
+            field: raw(rng),
+        },
+        4 => InstrSeed::Store {
+            base: v(rng),
+            field: raw(rng),
+            from: v(rng),
+        },
+        5 => InstrSeed::VCall {
+            result: v(rng),
+            base: v(rng),
+            sig: raw(rng),
+            arg: v(rng),
+        },
+        6 => InstrSeed::SCall {
+            result: v(rng),
+            target: raw(rng),
+            arg: v(rng),
+        },
+        7 => InstrSeed::LoadGlobal {
+            to: v(rng),
+            global: raw(rng),
+        },
+        8 => InstrSeed::StoreGlobal {
+            global: raw(rng),
+            from: v(rng),
+        },
+        _ => InstrSeed::Return { var: v(rng) },
+    }
 }
 
-/// Generates a random well-formed [`Program`].
-pub fn arb_program(shape: ProgramShape) -> impl Strategy<Value = Program> {
+fn draw_instrs(rng: &mut SplitMix64, max_vars: usize, lo: usize, hi: usize) -> Vec<InstrSeed> {
+    let n = rng.range(lo, hi + 1);
+    (0..n).map(|_| draw_instr(rng, max_vars)).collect()
+}
+
+/// Generates a random well-formed [`Program`], a pure function of
+/// `(shape, seed)`.
+pub fn generate(shape: &ProgramShape, seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed);
     let max_vars = 6usize;
-    let classes = 1..=shape.max_classes.max(1);
-    let fields = 0..=shape.max_fields;
-    let globals = 0..=shape.max_globals;
-    let methods = 1..=shape.max_methods.max(1);
-    (classes, fields, globals, methods)
-        .prop_flat_map(move |(n_classes, n_fields, n_globals, n_methods)| {
-            // superclass choice per class: index into earlier classes.
-            let supers = proptest::collection::vec(any::<usize>(), n_classes);
-            // per-method: (class, is_static, named sig index, body seeds)
-            let method_seeds = proptest::collection::vec(
-                (
-                    any::<usize>(),
-                    any::<bool>(),
-                    0..3usize,
-                    proptest::collection::vec(arb_instr(max_vars), 0..=shape.max_body),
-                ),
-                n_methods,
-            );
-            let field_seeds = proptest::collection::vec(any::<usize>(), n_fields);
-            let global_seeds = proptest::collection::vec(any::<usize>(), n_globals);
-            let main_body = proptest::collection::vec(arb_instr(max_vars), 1..=shape.max_body);
-            (Just(n_classes), supers, field_seeds, global_seeds, method_seeds, main_body)
+    let n_classes = rng.range(1, shape.max_classes.max(1) + 1);
+    let n_fields = rng.range(0, shape.max_fields + 1);
+    let n_globals = rng.range(0, shape.max_globals + 1);
+    let n_methods = rng.range(1, shape.max_methods.max(1) + 1);
+
+    // Superclass choice per class: index into earlier classes.
+    let supers: Vec<usize> = (0..n_classes).map(|_| rng.next_u64() as usize).collect();
+    let field_seeds: Vec<usize> = (0..n_fields).map(|_| rng.next_u64() as usize).collect();
+    let global_seeds: Vec<usize> = (0..n_globals).map(|_| rng.next_u64() as usize).collect();
+    // Per-method: (class, is_static, named sig index, body seeds).
+    let method_seeds: Vec<MethodSeed> = (0..n_methods)
+        .map(|_| {
+            (
+                rng.next_u64() as usize,
+                rng.ratio(1, 2),
+                rng.below(3),
+                draw_instrs(&mut rng, max_vars, 0, shape.max_body),
+            )
         })
-        .prop_map(
-            move |(n_classes, supers, field_seeds, global_seeds, method_seeds, main_body)| {
-                build_program(
-                    n_classes,
-                    &supers,
-                    &field_seeds,
-                    &global_seeds,
-                    &method_seeds,
-                    &main_body,
-                    max_vars,
-                )
-            },
-        )
+        .collect();
+    let main_body = draw_instrs(&mut rng, max_vars, 1, shape.max_body);
+
+    build_program(
+        n_classes,
+        &supers,
+        &field_seeds,
+        &global_seeds,
+        &method_seeds,
+        &main_body,
+        max_vars,
+    )
 }
 
 type MethodSeed = (usize, bool, usize, Vec<InstrSeed>);
@@ -150,9 +224,7 @@ fn build_program(
         // Same-name same-arity methods in one class are invalid; suffix by
         // index when needed. Use the shared names for overriding potential.
         let name = format!("{}{}", sig_names[sig % sig_names.len()], i % 2);
-        let already = b
-            .peek()
-            .classes[class]
+        let already = b.peek().classes[class]
             .methods
             .iter()
             .any(|&m| b.peek().methods[m].name == name && b.peek().methods[m].params.len() == 1);
@@ -163,7 +235,7 @@ fn build_program(
     let main = b.method(main_cls, "main", &[], true);
     b.entry(main);
 
-    let mut emit_body = |b: &mut ProgramBuilder, mid: crate::ids::MethodId, seeds: &[InstrSeed]| {
+    let emit_body = |b: &mut ProgramBuilder, mid: crate::ids::MethodId, seeds: &[InstrSeed]| {
         // Local variable pool: params + this (when present) + fresh locals.
         let mut vars = Vec::new();
         if let Some(t) = b.peek().methods[mid].this {
@@ -210,7 +282,12 @@ fn build_program(
                         );
                     }
                 }
-                InstrSeed::VCall { result, base, sig, arg } => {
+                InstrSeed::VCall {
+                    result,
+                    base,
+                    sig,
+                    arg,
+                } => {
                     b.vcall(
                         mid,
                         Some(vars[result % vars.len()]),
@@ -219,7 +296,11 @@ fn build_program(
                         &[vars[arg % vars.len()]],
                     );
                 }
-                InstrSeed::SCall { result, target, arg } => {
+                InstrSeed::SCall {
+                    result,
+                    target,
+                    arg,
+                } => {
                     if !methods.is_empty() {
                         let target = methods[target % methods.len()];
                         if b.peek().methods[target].is_static {
@@ -284,17 +365,24 @@ fn base_of(seed: &InstrSeed) -> usize {
 mod tests {
     use super::*;
     use crate::validate::validate;
-    use proptest::test_runner::{Config, TestRunner};
 
     #[test]
     fn generated_programs_are_well_formed() {
-        let mut runner = TestRunner::new(Config { cases: 64, ..Config::default() });
-        runner
-            .run(&arb_program(ProgramShape::default()), |p| {
-                prop_assert_eq!(validate(&p), Ok(()));
-                prop_assert!(!p.entry_points.is_empty());
-                Ok(())
-            })
-            .unwrap();
+        for seed in 0..64 {
+            let p = generate(&ProgramShape::default(), seed);
+            assert_eq!(validate(&p), Ok(()), "seed {seed}");
+            assert!(!p.entry_points.is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&ProgramShape::default(), 11);
+        let b = generate(&ProgramShape::default(), 11);
+        assert_eq!(a.instruction_count(), b.instruction_count());
+        assert_eq!(
+            crate::text::print_program(&a),
+            crate::text::print_program(&b)
+        );
     }
 }

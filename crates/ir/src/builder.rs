@@ -13,6 +13,7 @@ use crate::program::{
     AllocSite, Class, Field, Global, Instruction, Invoke, InvokeKind, Method, Program, Signature,
     Var,
 };
+use crate::span::Span;
 
 /// Incrementally constructs a [`Program`].
 ///
@@ -36,6 +37,7 @@ pub struct ProgramBuilder {
     program: Program,
     sig_intern: HashMap<(String, usize), SigId>,
     class_names: HashMap<String, ClassId>,
+    cur_span: Span,
 }
 
 impl ProgramBuilder {
@@ -58,7 +60,12 @@ impl ProgramBuilder {
         self.class_with(name, superclass, true)
     }
 
-    fn class_with(&mut self, name: &str, superclass: Option<ClassId>, is_abstract: bool) -> ClassId {
+    fn class_with(
+        &mut self,
+        name: &str,
+        superclass: Option<ClassId>,
+        is_abstract: bool,
+    ) -> ClassId {
         assert!(
             !self.class_names.contains_key(name),
             "duplicate class name {name:?}"
@@ -78,12 +85,30 @@ impl ProgramBuilder {
         self.class_names.get(name).copied()
     }
 
+    /// Sets the source position attached to subsequently emitted
+    /// instructions and method headers. The textual parser calls this per
+    /// statement; programmatic builders may ignore it (everything then
+    /// carries [`Span::NONE`]).
+    pub fn at(&mut self, span: Span) -> &mut Self {
+        self.cur_span = span;
+        self
+    }
+
+    fn push_instr(&mut self, method: MethodId, instr: Instruction) {
+        let m = &mut self.program.methods[method];
+        m.body.push(instr);
+        m.body_spans.push(self.cur_span);
+    }
+
     /// Interns the signature `name/arity`.
     pub fn sig(&mut self, name: &str, arity: usize) -> SigId {
         if let Some(&id) = self.sig_intern.get(&(name.to_owned(), arity)) {
             return id;
         }
-        let id = self.program.sigs.push(Signature { name: name.to_owned(), arity });
+        let id = self.program.sigs.push(Signature {
+            name: name.to_owned(),
+            arity,
+        });
         self.sig_intern.insert((name.to_owned(), arity), id);
         id
     }
@@ -93,7 +118,13 @@ impl ProgramBuilder {
     /// Instance methods get a fresh `this` variable; parameters get fresh
     /// variables. The signature `name/params.len()` is interned so that
     /// same-named same-arity methods in related classes override each other.
-    pub fn method(&mut self, class: ClassId, name: &str, params: &[&str], is_static: bool) -> MethodId {
+    pub fn method(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        params: &[&str],
+        is_static: bool,
+    ) -> MethodId {
         let sig = self.sig(name, params.len());
         let id = self.program.methods.push(Method {
             name: name.to_owned(),
@@ -104,6 +135,8 @@ impl ProgramBuilder {
             ret: None,
             body: Vec::new(),
             is_static,
+            decl_span: self.cur_span,
+            body_spans: Vec::new(),
         });
         self.program.classes[class].methods.push(id);
         if !is_static {
@@ -117,17 +150,26 @@ impl ProgramBuilder {
 
     /// Declares a fresh local variable in `method`.
     pub fn var(&mut self, method: MethodId, name: &str) -> VarId {
-        self.program.vars.push(Var { name: name.to_owned(), method })
+        self.program.vars.push(Var {
+            name: name.to_owned(),
+            method,
+        })
     }
 
     /// Declares an instance field on `class`.
     pub fn field(&mut self, class: ClassId, name: &str) -> FieldId {
-        self.program.fields.push(Field { name: name.to_owned(), class })
+        self.program.fields.push(Field {
+            name: name.to_owned(),
+            class,
+        })
     }
 
     /// Declares a static (global) field on `class`.
     pub fn global(&mut self, class: ClassId, name: &str) -> GlobalId {
-        self.program.globals.push(Global { name: name.to_owned(), class })
+        self.program.globals.push(Global {
+            name: name.to_owned(),
+            class,
+        })
     }
 
     /// The `this` variable of `method`.
@@ -136,7 +178,9 @@ impl ProgramBuilder {
     ///
     /// Panics if `method` is static.
     pub fn this(&self, method: MethodId) -> VarId {
-        self.program.methods[method].this.expect("static method has no `this`")
+        self.program.methods[method]
+            .this
+            .expect("static method has no `this`")
     }
 
     /// The `i`-th formal parameter of `method`.
@@ -157,38 +201,38 @@ impl ProgramBuilder {
     /// Emits `var = new C` in `method` and returns the allocation site.
     pub fn alloc(&mut self, method: MethodId, var: VarId, class: ClassId) -> AllocId {
         let alloc = self.program.allocs.push(AllocSite { class, method });
-        self.program.methods[method].body.push(Instruction::Alloc { var, alloc });
+        self.push_instr(method, Instruction::Alloc { var, alloc });
         alloc
     }
 
     /// Emits `to = from` in `method`.
     pub fn mov(&mut self, method: MethodId, to: VarId, from: VarId) {
-        self.program.methods[method].body.push(Instruction::Move { to, from });
+        self.push_instr(method, Instruction::Move { to, from });
     }
 
     /// Emits `to = (C) from` in `method`.
     pub fn cast(&mut self, method: MethodId, to: VarId, from: VarId, class: ClassId) {
-        self.program.methods[method].body.push(Instruction::Cast { to, from, class });
+        self.push_instr(method, Instruction::Cast { to, from, class });
     }
 
     /// Emits `to = base.field` in `method`.
     pub fn load(&mut self, method: MethodId, to: VarId, base: VarId, field: FieldId) {
-        self.program.methods[method].body.push(Instruction::Load { to, base, field });
+        self.push_instr(method, Instruction::Load { to, base, field });
     }
 
     /// Emits `base.field = from` in `method`.
     pub fn store(&mut self, method: MethodId, base: VarId, field: FieldId, from: VarId) {
-        self.program.methods[method].body.push(Instruction::Store { base, field, from });
+        self.push_instr(method, Instruction::Store { base, field, from });
     }
 
     /// Emits `to = global` in `method`.
     pub fn load_global(&mut self, method: MethodId, to: VarId, global: GlobalId) {
-        self.program.methods[method].body.push(Instruction::LoadGlobal { to, global });
+        self.push_instr(method, Instruction::LoadGlobal { to, global });
     }
 
     /// Emits `global = from` in `method`.
     pub fn store_global(&mut self, method: MethodId, global: GlobalId, from: VarId) {
-        self.program.methods[method].body.push(Instruction::StoreGlobal { global, from });
+        self.push_instr(method, Instruction::StoreGlobal { global, from });
     }
 
     /// Emits `result = base.sig(args…)` — a virtual call dispatching on
@@ -208,7 +252,7 @@ impl ProgramBuilder {
             result,
             method,
         });
-        self.program.methods[method].body.push(Instruction::Call { invoke });
+        self.push_instr(method, Instruction::Call { invoke });
         invoke
     }
 
@@ -227,7 +271,7 @@ impl ProgramBuilder {
             result,
             method,
         });
-        self.program.methods[method].body.push(Instruction::Call { invoke });
+        self.push_instr(method, Instruction::Call { invoke });
         invoke
     }
 
@@ -245,7 +289,7 @@ impl ProgramBuilder {
             result,
             method,
         });
-        self.program.methods[method].body.push(Instruction::Call { invoke });
+        self.push_instr(method, Instruction::Call { invoke });
         invoke
     }
 
@@ -253,7 +297,7 @@ impl ProgramBuilder {
     /// on first use).
     pub fn ret(&mut self, method: MethodId, var: VarId) {
         self.ret_var(method);
-        self.program.methods[method].body.push(Instruction::Return { var });
+        self.push_instr(method, Instruction::Return { var });
     }
 
     /// Marks `method` as an entry point (seed of REACHABLE).

@@ -34,8 +34,7 @@ impl ClassHierarchy {
     /// [`validate`](crate::validate::validate) first for a proper error.
     pub fn new(program: &Program) -> Self {
         let n = program.classes.len();
-        let mut children: IdxVec<ClassId, Vec<ClassId>> =
-            (0..n).map(|_| Vec::new()).collect();
+        let mut children: IdxVec<ClassId, Vec<ClassId>> = (0..n).map(|_| Vec::new()).collect();
         let mut roots = Vec::new();
         for (cid, class) in program.classes.iter() {
             match class.superclass {
@@ -71,7 +70,10 @@ impl ClassHierarchy {
                 }
             }
         }
-        assert_eq!(visited, n, "superclass graph is cyclic or disconnected from roots");
+        assert_eq!(
+            visited, n,
+            "superclass graph is cyclic or disconnected from roots"
+        );
 
         // Copy-down dispatch tables, parents before children (DFS order).
         let mut dispatch: IdxVec<ClassId, HashMap<SigId, MethodId>> =
@@ -94,7 +96,12 @@ impl ClassHierarchy {
             }
         }
 
-        ClassHierarchy { begin, end, dispatch, children }
+        ClassHierarchy {
+            begin,
+            end,
+            dispatch,
+            children,
+        }
     }
 
     /// Whether `sub` is `sup` or a (transitive) subclass of it.

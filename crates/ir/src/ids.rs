@@ -129,12 +129,18 @@ pub struct IdxVec<I: Idx, T> {
 impl<I: Idx, T> IdxVec<I, T> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        IdxVec { raw: Vec::new(), _marker: PhantomData }
+        IdxVec {
+            raw: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates an empty map with room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        IdxVec { raw: Vec::with_capacity(cap), _marker: PhantomData }
+        IdxVec {
+            raw: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
     }
 
     /// Appends a value, returning the id it was stored under.
@@ -161,7 +167,10 @@ impl<I: Idx, T> IdxVec<I, T> {
 
     /// Iterate over `(id, value)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
-        self.raw.iter().enumerate().map(|(i, v)| (I::from_usize(i), v))
+        self.raw
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (I::from_usize(i), v))
     }
 
     /// Iterate over values in id order.
@@ -203,13 +212,16 @@ impl<I: Idx, T> std::ops::IndexMut<I> for IdxVec<I, T> {
 
 impl<I: Idx, T: fmt::Debug> fmt::Debug for IdxVec<I, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_map().entries(self.iter().map(|(i, v)| (i, v))).finish()
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
 impl<I: Idx, T> FromIterator<T> for IdxVec<I, T> {
     fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
-        IdxVec { raw: Vec::from_iter(iter), _marker: PhantomData }
+        IdxVec {
+            raw: Vec::from_iter(iter),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -256,7 +268,10 @@ mod tests {
         let map: IdxVec<FieldId, i32> = [10, 20, 30].into_iter().collect();
         let pairs: Vec<_> = map.iter().map(|(i, v)| (i.index(), *v)).collect();
         assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30)]);
-        assert_eq!(map.ids().collect::<Vec<_>>(), vec![FieldId(0), FieldId(1), FieldId(2)]);
+        assert_eq!(
+            map.ids().collect::<Vec<_>>(),
+            vec![FieldId(0), FieldId(1), FieldId(2)]
+        );
     }
 
     #[test]

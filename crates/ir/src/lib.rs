@@ -42,21 +42,23 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-#[cfg(feature = "arbitrary")]
 pub mod arbitrary;
 pub mod builder;
 pub mod hierarchy;
 pub mod ids;
 pub mod program;
+pub mod rng;
+pub mod span;
 pub mod text;
 pub mod validate;
 
 pub use builder::ProgramBuilder;
 pub use hierarchy::ClassHierarchy;
-pub use ids::{AllocId, ClassId, FieldId, GlobalId, IdxVec, Idx, InvokeId, MethodId, SigId, VarId};
+pub use ids::{AllocId, ClassId, FieldId, GlobalId, Idx, IdxVec, InvokeId, MethodId, SigId, VarId};
 pub use program::{
     AllocSite, CastSite, Class, Field, Global, Instruction, Invoke, InvokeKind, Method, Program,
     Signature, Var,
 };
+pub use span::Span;
 pub use text::{parse_program, print_program, ParseError};
 pub use validate::{validate, ValidateError};

@@ -11,6 +11,7 @@
 //! evaluation clients (cast-may-fail) require.
 
 use crate::ids::{AllocId, ClassId, FieldId, GlobalId, IdxVec, InvokeId, MethodId, SigId, VarId};
+use crate::span::Span;
 
 /// A class type (element of domain `T`). Single inheritance, as in Jimple's
 /// class hierarchy backbone; `superclass == None` only for the root.
@@ -57,6 +58,20 @@ pub struct Method {
     pub body: Vec<Instruction>,
     /// True for static methods (no receiver, resolved at the call site).
     pub is_static: bool,
+    /// Source position of the method header ([`Span::NONE`] when the method
+    /// was built programmatically rather than parsed).
+    pub decl_span: Span,
+    /// Source position of each instruction, parallel to `body`. The builder
+    /// keeps the two in lockstep; use [`Method::span_of`] to read safely.
+    pub body_spans: Vec<Span>,
+}
+
+impl Method {
+    /// Source position of the `index`-th body instruction, or
+    /// [`Span::NONE`] when unrecorded.
+    pub fn span_of(&self, index: usize) -> Span {
+        self.body_spans.get(index).copied().unwrap_or(Span::NONE)
+    }
 }
 
 /// A local variable (element of domain `V`). Unique program-wide; the
@@ -262,12 +277,20 @@ impl Program {
     /// Iterates over all cast sites in the program.
     pub fn cast_sites(&self) -> impl Iterator<Item = (CastSite, VarId, ClassId)> + '_ {
         self.methods.iter().flat_map(|(mid, m)| {
-            m.body.iter().enumerate().filter_map(move |(i, instr)| match *instr {
-                Instruction::Cast { from, class, .. } => {
-                    Some((CastSite { method: mid, index: i }, from, class))
-                }
-                _ => None,
-            })
+            m.body
+                .iter()
+                .enumerate()
+                .filter_map(move |(i, instr)| match *instr {
+                    Instruction::Cast { from, class, .. } => Some((
+                        CastSite {
+                            method: mid,
+                            index: i,
+                        },
+                        from,
+                        class,
+                    )),
+                    _ => None,
+                })
         })
     }
 

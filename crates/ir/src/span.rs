@@ -1,0 +1,57 @@
+//! Source locations for diagnostics.
+//!
+//! The textual frontend ([`crate::text`]) records, for every parsed
+//! instruction and method header, the 1-based line and column of its first
+//! token. Programs built programmatically (builder, generators, workloads)
+//! carry [`Span::NONE`] everywhere; diagnostics renderers fall back to
+//! instruction indices in that case.
+
+use std::fmt;
+
+/// A 1-based line/column source position. `(0, 0)` means "unknown".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based source line; 0 when unknown.
+    pub line: u32,
+    /// 1-based column of the first token; 0 when unknown.
+    pub col: u32,
+}
+
+impl Span {
+    /// The unknown span.
+    pub const NONE: Span = Span { line: 0, col: 0 };
+
+    /// A known position.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// Whether this span carries a real source position.
+    pub fn is_known(self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "?:?")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_unknown_and_orders_first() {
+        assert!(!Span::NONE.is_known());
+        assert!(Span::new(1, 1).is_known());
+        assert!(Span::NONE < Span::new(1, 1));
+        assert_eq!(Span::NONE.to_string(), "?:?");
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+    }
+}

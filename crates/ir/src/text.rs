@@ -42,6 +42,7 @@ use std::fmt::Write as _;
 use crate::builder::ProgramBuilder;
 use crate::ids::{ClassId, FieldId, GlobalId, MethodId, VarId};
 use crate::program::{Instruction, InvokeKind, Program};
+use crate::span::Span;
 
 /// A parse failure, with the 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,7 +62,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,7 +160,10 @@ impl<'a> Cur<'a> {
         if self.at_end() {
             Ok(())
         } else {
-            err(self.line, format!("trailing tokens: {:?}", &self.toks[self.pos..]))
+            err(
+                self.line,
+                format!("trailing tokens: {:?}", &self.toks[self.pos..]),
+            )
         }
     }
 }
@@ -168,12 +175,19 @@ impl<'a> Cur<'a> {
 /// Returns the first [`ParseError`] encountered, including name-resolution
 /// failures (unknown classes, ambiguous fields, duplicate methods).
 pub fn parse_program(source: &str) -> Result<Program, ParseError> {
-    let lines: Vec<(usize, Vec<Tok>)> = source
+    // (1-based line, 1-based column of the first token, tokens).
+    let lines: Vec<(usize, u32, Vec<Tok>)> = source
         .lines()
         .enumerate()
-        .map(|(i, l)| tokenize(i + 1, l).map(|t| (i + 1, t)))
+        .map(|(i, l)| {
+            let col = (l.len() - l.trim_start().len() + 1) as u32;
+            tokenize(i + 1, l).map(|t| (i + 1, col, t))
+        })
         .collect::<Result<_, _>>()?;
-    let lines: Vec<_> = lines.into_iter().filter(|(_, t)| !t.is_empty()).collect();
+    let lines: Vec<_> = lines
+        .into_iter()
+        .filter(|(_, _, t)| !t.is_empty())
+        .collect();
 
     let mut b = ProgramBuilder::new();
     let mut fields: HashMap<String, Vec<FieldId>> = HashMap::new();
@@ -183,19 +197,20 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
 
     // Pass 1: classes in order (extends must refer to an earlier class, as
     // the printer emits them topologically).
-    for (line, toks) in &lines {
-        let mut cur = Cur { toks, pos: 0, line: *line };
+    for (line, _, toks) in &lines {
+        let mut cur = Cur {
+            toks,
+            pos: 0,
+            line: *line,
+        };
         if cur.eat_ident("class") {
             let name = cur.ident()?.to_owned();
             let superclass = if cur.eat_ident("extends") {
                 let sup = cur.ident()?;
-                Some(
-                    b.class_id(sup)
-                        .ok_or_else(|| ParseError {
-                            line: *line,
-                            message: format!("unknown superclass {sup:?} (declare it first)"),
-                        })?,
-                )
+                Some(b.class_id(sup).ok_or_else(|| ParseError {
+                    line: *line,
+                    message: format!("unknown superclass {sup:?} (declare it first)"),
+                })?)
             } else {
                 None
             };
@@ -212,8 +227,12 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
     // Pass 2: fields and method headers.
     let mut i = 0;
     while i < lines.len() {
-        let (line, toks) = &lines[i];
-        let mut cur = Cur { toks, pos: 0, line: *line };
+        let (line, col, toks) = &lines[i];
+        let mut cur = Cur {
+            toks,
+            pos: 0,
+            line: *line,
+        };
         if cur.eat_ident("field") {
             let class = cur.ident()?;
             cur.punct('.')?;
@@ -251,15 +270,19 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
             let cid = class_of(&b, *line, &class)?;
             let key = (class, name.clone(), params.len());
             if methods.contains_key(&key) {
-                return err(*line, format!("duplicate method {name}/{} in class", params.len()));
+                return err(
+                    *line,
+                    format!("duplicate method {name}/{} in class", params.len()),
+                );
             }
             let param_refs: Vec<&str> = params.iter().map(String::as_str).collect();
+            b.at(Span::new(*line as u32, *col));
             let mid = b.method(cid, &name, &param_refs, is_static);
             methods.insert(key, mid);
             // Skip body lines until matching '}'.
             i += 1;
             while i < lines.len() {
-                let (_, t) = &lines[i];
+                let (_, _, t) = &lines[i];
                 if t.len() == 1 && t[0] == Tok::Punct('}') {
                     break;
                 }
@@ -272,8 +295,12 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
     // Pass 3: bodies and entries.
     let mut i = 0;
     while i < lines.len() {
-        let (line, toks) = &lines[i];
-        let mut cur = Cur { toks, pos: 0, line: *line };
+        let (line, _, toks) = &lines[i];
+        let mut cur = Cur {
+            toks,
+            pos: 0,
+            line: *line,
+        };
         if cur.eat_ident("entry") {
             let class = cur.ident()?.to_owned();
             cur.punct('.')?;
@@ -311,11 +338,21 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
             }
             i += 1;
             while i < lines.len() {
-                let (bline, btoks) = &lines[i];
+                let (bline, bcol, btoks) = &lines[i];
                 if btoks.len() == 1 && btoks[0] == Tok::Punct('}') {
                     break;
                 }
-                parse_stmt(&mut b, &methods, &fields, &globals, mid, &mut locals, *bline, btoks)?;
+                b.at(Span::new(*bline as u32, *bcol));
+                parse_stmt(
+                    &mut b,
+                    &methods,
+                    &fields,
+                    &globals,
+                    mid,
+                    &mut locals,
+                    *bline,
+                    btoks,
+                )?;
                 i += 1;
             }
         }
@@ -326,8 +363,10 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
 }
 
 fn class_of(b: &ProgramBuilder, line: usize, name: &str) -> Result<ClassId, ParseError> {
-    b.class_id(name)
-        .ok_or_else(|| ParseError { line, message: format!("unknown class {name:?}") })
+    b.class_id(name).ok_or_else(|| ParseError {
+        line,
+        message: format!("unknown class {name:?}"),
+    })
 }
 
 fn find_entry_method(
@@ -344,7 +383,10 @@ fn find_entry_method(
     match matches.as_slice() {
         [m] => Ok(*m),
         [] => err(line, format!("unknown method {class}.{name}")),
-        _ => err(line, format!("ambiguous method {class}.{name}: give full arity via a wrapper")),
+        _ => err(
+            line,
+            format!("ambiguous method {class}.{name}: give full arity via a wrapper"),
+        ),
     }
 }
 
@@ -369,7 +411,10 @@ fn field_by_name(
 ) -> Result<FieldId, ParseError> {
     match fields.get(name).map(Vec::as_slice) {
         Some([f]) => Ok(*f),
-        Some(_) => err(line, format!("ambiguous field name {name:?} in textual form")),
+        Some(_) => err(
+            line,
+            format!("ambiguous field name {name:?} in textual form"),
+        ),
         None => err(line, format!("unknown field {name:?}")),
     }
 }
@@ -381,7 +426,10 @@ fn global_by_name(
 ) -> Result<GlobalId, ParseError> {
     match globals.get(name).map(Vec::as_slice) {
         Some([g]) => Ok(*g),
-        Some(_) => err(line, format!("ambiguous global name {name:?} in textual form")),
+        Some(_) => err(
+            line,
+            format!("ambiguous global name {name:?} in textual form"),
+        ),
         None => err(line, format!("unknown global {name:?}")),
     }
 }
@@ -618,15 +666,28 @@ pub fn print_program(program: &Program) -> String {
     }
     out.push('\n');
     for field in program.fields.values() {
-        writeln!(out, "field {}.{}", program.classes[field.class].name, field.name).unwrap();
+        writeln!(
+            out,
+            "field {}.{}",
+            program.classes[field.class].name, field.name
+        )
+        .unwrap();
     }
     for global in program.globals.values() {
-        writeln!(out, "global {}.{}", program.classes[global.class].name, global.name).unwrap();
+        writeln!(
+            out,
+            "global {}.{}",
+            program.classes[global.class].name, global.name
+        )
+        .unwrap();
     }
     out.push('\n');
     for (mid, method) in program.methods.iter() {
-        let params: Vec<&str> =
-            method.params.iter().map(|&p| program.vars[p].name.as_str()).collect();
+        let params: Vec<&str> = method
+            .params
+            .iter()
+            .map(|&p| program.vars[p].name.as_str())
+            .collect();
         write!(
             out,
             "method {}.{}({})",
@@ -649,7 +710,12 @@ pub fn print_program(program: &Program) -> String {
     }
     for &m in &program.entry_points {
         let method = &program.methods[m];
-        writeln!(out, "entry {}.{}", program.classes[method.class].name, method.name).unwrap();
+        writeln!(
+            out,
+            "entry {}.{}",
+            program.classes[method.class].name, method.name
+        )
+        .unwrap();
     }
     out
 }
@@ -657,13 +723,22 @@ pub fn print_program(program: &Program) -> String {
 fn print_instr(out: &mut String, p: &Program, instr: &Instruction) {
     let v = |id: VarId| p.vars[id].name.clone();
     match *instr {
-        Instruction::Alloc { var, alloc } => {
-            write!(out, "{} = new {}", v(var), p.classes[p.allocs[alloc].class].name).unwrap()
-        }
+        Instruction::Alloc { var, alloc } => write!(
+            out,
+            "{} = new {}",
+            v(var),
+            p.classes[p.allocs[alloc].class].name
+        )
+        .unwrap(),
         Instruction::Move { to, from } => write!(out, "{} = {}", v(to), v(from)).unwrap(),
-        Instruction::Cast { to, from, class } => {
-            write!(out, "{} = cast {} {}", v(to), p.classes[class].name, v(from)).unwrap()
-        }
+        Instruction::Cast { to, from, class } => write!(
+            out,
+            "{} = cast {} {}",
+            v(to),
+            p.classes[class].name,
+            v(from)
+        )
+        .unwrap(),
         Instruction::Load { to, base, field } => {
             write!(out, "{} = {}.{}", v(to), v(base), p.fields[field].name).unwrap()
         }
@@ -701,8 +776,14 @@ fn print_instr(out: &mut String, p: &Program, instr: &Instruction) {
                 }
                 InvokeKind::Static { target } => {
                     let t = &p.methods[target];
-                    write!(out, "static {}.{}({})", p.classes[t.class].name, t.name, args.join(", "))
-                        .unwrap()
+                    write!(
+                        out,
+                        "static {}.{}({})",
+                        p.classes[t.class].name,
+                        t.name,
+                        args.join(", ")
+                    )
+                    .unwrap()
                 }
             }
         }

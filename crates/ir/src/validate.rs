@@ -63,13 +63,26 @@ impl fmt::Display for ValidateError {
                 write!(f, "class {c} participates in a superclass cycle")
             }
             ValidateError::ForeignVariable { method, var } => {
-                write!(f, "method {method} uses variable {var} belonging to another method")
+                write!(
+                    f,
+                    "method {method} uses variable {var} belonging to another method"
+                )
             }
-            ValidateError::ArityMismatch { method, expected, found } => {
-                write!(f, "call in {method} passes {found} arguments, callee expects {expected}")
+            ValidateError::ArityMismatch {
+                method,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "call in {method} passes {found} arguments, callee expects {expected}"
+                )
             }
             ValidateError::WrongCallKind { method, target } => {
-                write!(f, "call in {method} targets {target} with the wrong call kind")
+                write!(
+                    f,
+                    "call in {method} targets {target} with the wrong call kind"
+                )
             }
             ValidateError::AbstractAllocation(c) => {
                 write!(f, "allocation of abstract class {c}")
@@ -78,7 +91,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "entry point {m} is an instance method")
             }
             ValidateError::ReturnWithoutFormal(m) => {
-                write!(f, "method {m} returns a value but has no formal return variable")
+                write!(
+                    f,
+                    "method {m} returns a value but has no formal return variable"
+                )
             }
             ValidateError::DanglingId { table, raw } => {
                 write!(f, "dangling id {raw} in table {table}")
@@ -93,14 +109,21 @@ impl std::error::Error for ValidateError {}
 ///
 /// # Errors
 ///
-/// Returns the list of all violations found (empty ≠ returned: a well-formed
-/// program yields `Ok(())`).
+/// Returns the list of **all** violations found, not just the first (empty ≠
+/// returned: a well-formed program yields `Ok(())`). The only exception is
+/// id integrity: when any [`ValidateError::DanglingId`] is found, the
+/// per-instruction checks are skipped — they index the very tables the
+/// dangling ids point past — and the dangling-id errors (plus any hierarchy
+/// cycles) are reported alone.
 pub fn validate(program: &Program) -> Result<(), Vec<ValidateError>> {
     let mut errors = Vec::new();
 
     check_hierarchy(program, &mut errors);
     check_ids(program, &mut errors);
-    if !errors.is_empty() {
+    if errors
+        .iter()
+        .any(|e| matches!(e, ValidateError::DanglingId { .. }))
+    {
         // Id integrity failed: the per-instruction checks below index tables.
         return Err(errors);
     }
@@ -136,24 +159,108 @@ fn check_ids(program: &Program, errors: &mut Vec<ValidateError>) {
     let nc = program.classes.len();
     let nm = program.methods.len();
     let nv = program.vars.len();
+    let nf = program.fields.len();
+    let ng = program.globals.len();
+    let na = program.allocs.len();
+    let ni = program.invokes.len();
+    let ns = program.sigs.len();
+    let mut bad = |table: &'static str, raw: u32, len: usize| {
+        if raw as usize >= len {
+            errors.push(ValidateError::DanglingId { table, raw });
+        }
+    };
     for class in program.classes.values() {
         if let Some(sup) = class.superclass {
-            if sup.index() >= nc {
-                errors.push(ValidateError::DanglingId { table: "classes.superclass", raw: sup.0 });
-            }
+            bad("classes.superclass", sup.0, nc);
         }
         for &m in &class.methods {
-            if m.index() >= nm {
-                errors.push(ValidateError::DanglingId { table: "classes.methods", raw: m.0 });
-            }
+            bad("classes.methods", m.0, nm);
         }
     }
     for method in program.methods.values() {
-        for v in method.this.iter().chain(method.params.iter()).chain(method.ret.iter()) {
-            if v.index() >= nv {
-                errors.push(ValidateError::DanglingId { table: "methods.vars", raw: v.0 });
+        bad("methods.sig", method.sig.0, ns);
+        bad("methods.class", method.class.0, nc);
+        for v in method
+            .this
+            .iter()
+            .chain(method.params.iter())
+            .chain(method.ret.iter())
+        {
+            bad("methods.vars", v.0, nv);
+        }
+        for instr in &method.body {
+            match *instr {
+                Instruction::Alloc { var, alloc } => {
+                    bad("body.vars", var.0, nv);
+                    bad("body.allocs", alloc.0, na);
+                }
+                Instruction::Move { to, from } => {
+                    bad("body.vars", to.0, nv);
+                    bad("body.vars", from.0, nv);
+                }
+                Instruction::Cast { to, from, class } => {
+                    bad("body.vars", to.0, nv);
+                    bad("body.vars", from.0, nv);
+                    bad("body.classes", class.0, nc);
+                }
+                Instruction::Load { to, base, field } => {
+                    bad("body.vars", to.0, nv);
+                    bad("body.vars", base.0, nv);
+                    bad("body.fields", field.0, nf);
+                }
+                Instruction::Store { base, field, from } => {
+                    bad("body.vars", base.0, nv);
+                    bad("body.vars", from.0, nv);
+                    bad("body.fields", field.0, nf);
+                }
+                Instruction::LoadGlobal { to, global } => {
+                    bad("body.vars", to.0, nv);
+                    bad("body.globals", global.0, ng);
+                }
+                Instruction::StoreGlobal { global, from } => {
+                    bad("body.vars", from.0, nv);
+                    bad("body.globals", global.0, ng);
+                }
+                Instruction::Call { invoke } => bad("body.invokes", invoke.0, ni),
+                Instruction::Return { var } => bad("body.vars", var.0, nv),
             }
         }
+    }
+    for var in program.vars.values() {
+        bad("vars.method", var.method.0, nm);
+    }
+    for field in program.fields.values() {
+        bad("fields.class", field.class.0, nc);
+    }
+    for global in program.globals.values() {
+        bad("globals.class", global.class.0, nc);
+    }
+    for alloc in program.allocs.values() {
+        bad("allocs.class", alloc.class.0, nc);
+        bad("allocs.method", alloc.method.0, nm);
+    }
+    for invoke in program.invokes.values() {
+        bad("invokes.method", invoke.method.0, nm);
+        for &a in &invoke.args {
+            bad("invokes.args", a.0, nv);
+        }
+        if let Some(r) = invoke.result {
+            bad("invokes.result", r.0, nv);
+        }
+        match invoke.kind {
+            InvokeKind::Virtual { base, sig } => {
+                bad("invokes.base", base.0, nv);
+                bad("invokes.sig", sig.0, ns);
+            }
+            InvokeKind::Special { base, target } => {
+                bad("invokes.base", base.0, nv);
+                bad("invokes.target", target.0, nm);
+            }
+            InvokeKind::Static { target } => bad("invokes.target", target.0, nm),
+        }
+    }
+    for &m in &program.entry_points {
+        bad("entry_points", m.0, nm);
     }
 }
 
@@ -239,7 +346,10 @@ fn check_invokes(program: &Program, errors: &mut Vec<ValidateError>) {
             InvokeKind::Special { target, .. } => {
                 let callee = &program.methods[target];
                 if callee.is_static {
-                    errors.push(ValidateError::WrongCallKind { method: invoke.method, target });
+                    errors.push(ValidateError::WrongCallKind {
+                        method: invoke.method,
+                        target,
+                    });
                 }
                 if invoke.args.len() != callee.params.len() {
                     errors.push(ValidateError::ArityMismatch {
@@ -252,7 +362,10 @@ fn check_invokes(program: &Program, errors: &mut Vec<ValidateError>) {
             InvokeKind::Static { target } => {
                 let callee = &program.methods[target];
                 if !callee.is_static {
-                    errors.push(ValidateError::WrongCallKind { method: invoke.method, target });
+                    errors.push(ValidateError::WrongCallKind {
+                        method: invoke.method,
+                        target,
+                    });
                 }
                 if invoke.args.len() != callee.params.len() {
                     errors.push(ValidateError::ArityMismatch {
@@ -306,7 +419,9 @@ mod tests {
         let mut p = b.finish();
         p.classes[a].superclass = Some(c);
         let errs = validate(&p).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::CyclicHierarchy(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::CyclicHierarchy(_))));
     }
 
     #[test]
@@ -319,7 +434,9 @@ mod tests {
         let x2 = b.var(m2, "x");
         b.mov(m1, x1, x2);
         let errs = validate(&b.finish()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::ForeignVariable { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::ForeignVariable { .. })));
     }
 
     #[test]
@@ -330,7 +447,9 @@ mod tests {
         let callee = b.method(obj, "f", &["a"], true);
         b.scall(main, None, callee, &[]);
         let errs = validate(&b.finish()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::ArityMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::ArityMismatch { .. })));
     }
 
     #[test]
@@ -341,7 +460,9 @@ mod tests {
         let callee = b.method(obj, "f", &[], false);
         b.scall(main, None, callee, &[]);
         let errs = validate(&b.finish()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::WrongCallKind { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::WrongCallKind { .. })));
     }
 
     #[test]
@@ -352,7 +473,9 @@ mod tests {
         let x = b.var(main, "x");
         b.alloc(main, x, obj);
         let errs = validate(&b.finish()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::AbstractAllocation(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::AbstractAllocation(_))));
     }
 
     #[test]
@@ -362,6 +485,8 @@ mod tests {
         let m = b.method(obj, "run", &[], false);
         b.entry(m);
         let errs = validate(&b.finish()).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidateError::InstanceEntryPoint(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::InstanceEntryPoint(_))));
     }
 }

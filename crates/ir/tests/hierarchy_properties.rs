@@ -1,9 +1,11 @@
-//! Property tests for the class hierarchy: the interval-encoded subtype
-//! test and the copy-down dispatch tables must agree with naive walks.
+//! Property-style tests for the class hierarchy: the interval-encoded
+//! subtype test and the copy-down dispatch tables must agree with naive
+//! walks, on seeded randomly generated programs.
 
-use proptest::prelude::*;
-use rudoop_ir::arbitrary::{arb_program, ProgramShape};
+use rudoop_ir::arbitrary::{generate, ProgramShape};
 use rudoop_ir::{ClassHierarchy, ClassId, Program};
+
+const CASES: u64 = 64;
 
 fn naive_is_subtype(p: &Program, mut sub: ClassId, sup: ClassId) -> bool {
     loop {
@@ -33,39 +35,44 @@ fn naive_lookup(p: &Program, class: ClassId, sig: rudoop_ir::SigId) -> Option<ru
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn interval_subtype_agrees_with_naive_walk(p in arb_program(ProgramShape::default())) {
+#[test]
+fn interval_subtype_agrees_with_naive_walk() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let h = ClassHierarchy::new(&p);
         for a in p.classes.ids() {
             for b in p.classes.ids() {
-                prop_assert_eq!(
+                assert_eq!(
                     h.is_subtype(a, b),
                     naive_is_subtype(&p, a, b),
-                    "subtype disagreement at {:?},{:?}", a, b
+                    "seed {seed}: subtype disagreement at {a:?},{b:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn dispatch_agrees_with_naive_walk(p in arb_program(ProgramShape::default())) {
+#[test]
+fn dispatch_agrees_with_naive_walk() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let h = ClassHierarchy::new(&p);
         for c in p.classes.ids() {
             for s in p.sigs.ids() {
-                prop_assert_eq!(
+                assert_eq!(
                     h.lookup(c, s),
                     naive_lookup(&p, c, s),
-                    "lookup disagreement at {:?},{:?}", c, s
+                    "seed {seed}: lookup disagreement at {c:?},{s:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn subclasses_partition_the_hierarchy(p in arb_program(ProgramShape::default())) {
+#[test]
+fn subclasses_partition_the_hierarchy() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let h = ClassHierarchy::new(&p);
         let mut child_count = 0usize;
         let mut roots = 0usize;
@@ -75,9 +82,9 @@ proptest! {
                 roots += 1;
             }
             for &k in h.subclasses(c) {
-                prop_assert_eq!(p.classes[k].superclass, Some(c));
+                assert_eq!(p.classes[k].superclass, Some(c), "seed {seed}");
             }
         }
-        prop_assert_eq!(child_count + roots, p.classes.len());
+        assert_eq!(child_count + roots, p.classes.len(), "seed {seed}");
     }
 }

@@ -1,39 +1,47 @@
-//! Property tests for the textual format: randomly generated well-formed
-//! programs survive printing and reparsing.
+//! Property-style tests for the textual format: randomly generated
+//! well-formed programs survive printing and reparsing. Driven by the
+//! in-tree seeded generator so the suite runs with no external
+//! dependencies; a failure message names the seed to reproduce.
 
-use proptest::prelude::*;
-use rudoop_ir::arbitrary::{arb_program, ProgramShape};
+use rudoop_ir::arbitrary::{generate, ProgramShape};
 use rudoop_ir::{parse_program, print_program, validate};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+const CASES: u64 = 128;
 
-    /// Every generated program is structurally valid.
-    #[test]
-    fn generated_programs_validate(p in arb_program(ProgramShape::default())) {
-        prop_assert_eq!(validate(&p), Ok(()));
+/// Every generated program is structurally valid.
+#[test]
+fn generated_programs_validate() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
+        assert_eq!(validate(&p), Ok(()), "seed {seed}");
     }
+}
 
-    /// print → parse yields a program with identical shape counts.
-    #[test]
-    fn print_parse_preserves_counts(p in arb_program(ProgramShape::default())) {
+/// print → parse yields a program with identical shape counts.
+#[test]
+fn print_parse_preserves_counts() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let text = print_program(&p);
         let q = parse_program(&text).expect("printed program reparses");
-        prop_assert_eq!(p.classes.len(), q.classes.len());
-        prop_assert_eq!(p.methods.len(), q.methods.len());
-        prop_assert_eq!(p.fields.len(), q.fields.len());
-        prop_assert_eq!(p.allocs.len(), q.allocs.len());
-        prop_assert_eq!(p.invokes.len(), q.invokes.len());
-        prop_assert_eq!(p.instruction_count(), q.instruction_count());
-        prop_assert_eq!(p.entry_points.len(), q.entry_points.len());
-        prop_assert_eq!(validate(&q), Ok(()));
+        assert_eq!(p.classes.len(), q.classes.len(), "seed {seed}");
+        assert_eq!(p.methods.len(), q.methods.len(), "seed {seed}");
+        assert_eq!(p.fields.len(), q.fields.len(), "seed {seed}");
+        assert_eq!(p.allocs.len(), q.allocs.len(), "seed {seed}");
+        assert_eq!(p.invokes.len(), q.invokes.len(), "seed {seed}");
+        assert_eq!(p.instruction_count(), q.instruction_count(), "seed {seed}");
+        assert_eq!(p.entry_points.len(), q.entry_points.len(), "seed {seed}");
+        assert_eq!(validate(&q), Ok(()), "seed {seed}");
     }
+}
 
-    /// print ∘ parse is a fixpoint after one round.
-    #[test]
-    fn print_parse_print_fixpoint(p in arb_program(ProgramShape::default())) {
+/// print ∘ parse is a fixpoint after one round.
+#[test]
+fn print_parse_print_fixpoint() {
+    for seed in 0..CASES {
+        let p = generate(&ProgramShape::default(), seed);
         let once = print_program(&parse_program(&print_program(&p)).unwrap());
         let twice = print_program(&parse_program(&once).unwrap());
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "seed {seed}");
     }
 }

@@ -22,11 +22,16 @@ use crate::spec::WorkloadSpec;
 pub const HARD_SIX: [&str; 6] = ["bloat", "chart", "eclipse", "hsqldb", "jython", "xalan"];
 
 /// All nine benchmark names of Figure 1, in the paper's order.
-pub const ALL_NINE: [&str; 9] =
-    ["antlr", "bloat", "chart", "eclipse", "hsqldb", "jython", "lusearch", "pmd", "xalan"];
+pub const ALL_NINE: [&str; 9] = [
+    "antlr", "bloat", "chart", "eclipse", "hsqldb", "jython", "lusearch", "pmd", "xalan",
+];
 
 fn base(name: &str, seed: u64) -> WorkloadSpec {
-    WorkloadSpec { name: name.to_owned(), seed, ..WorkloadSpec::default() }
+    WorkloadSpec {
+        name: name.to_owned(),
+        seed,
+        ..WorkloadSpec::default()
+    }
 }
 
 /// `antlr`: parser generator — modest, well-behaved.
@@ -296,20 +301,28 @@ pub fn by_name(name: &str) -> Option<WorkloadSpec> {
 
 /// The nine Figure-1 benchmarks, in order.
 pub fn all_nine() -> Vec<WorkloadSpec> {
-    ALL_NINE.iter().map(|n| by_name(n).expect("known name")).collect()
+    ALL_NINE
+        .iter()
+        .map(|n| by_name(n).expect("known name"))
+        .collect()
 }
 
 /// The six scalability-challenged benchmarks of Figures 5–7, in order.
 pub fn hard_six() -> Vec<WorkloadSpec> {
-    HARD_SIX.iter().map(|n| by_name(n).expect("known name")).collect()
+    HARD_SIX
+        .iter()
+        .map(|n| by_name(n).expect("known name"))
+        .collect()
 }
 
 /// The seven benchmarks of the Figure-4 table (the hard six plus `pmd`).
 pub fn figure4_seven() -> Vec<WorkloadSpec> {
-    ["bloat", "chart", "eclipse", "hsqldb", "jython", "pmd", "xalan"]
-        .iter()
-        .map(|n| by_name(n).expect("known name"))
-        .collect()
+    [
+        "bloat", "chart", "eclipse", "hsqldb", "jython", "pmd", "xalan",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("known name"))
+    .collect()
 }
 
 #[cfg(test)]
@@ -322,7 +335,11 @@ mod tests {
         for spec in all_nine() {
             let p = spec.build();
             assert_eq!(validate(&p), Ok(()), "benchmark {}", spec.name);
-            assert!(p.instruction_count() > 500, "benchmark {} too small", spec.name);
+            assert!(
+                p.instruction_count() > 500,
+                "benchmark {} too small",
+                spec.name
+            );
         }
     }
 

@@ -18,8 +18,7 @@
 //! - [`event_bus`]: genuinely megamorphic dispatch (precision floor),
 //! - [`app_mass`]: well-behaved application bulk.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use rudoop_ir::rng::SplitMix64;
 use rudoop_ir::{ClassId, MethodId, ProgramBuilder, VarId};
 
 use crate::stdlib::Std;
@@ -54,7 +53,7 @@ pub fn pool(
     value_classes: usize,
     cross_link: bool,
     readers: usize,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
 ) -> Pool {
     let registry = b.class(&format!("{prefix}Registry"), Some(std.object));
     let store = b.field(registry, "store");
@@ -113,7 +112,7 @@ pub fn pool(
         };
         for j in 0..n {
             let v = b.var(fill, &format!("v{j}"));
-            let class = classes[rng.gen_range(0..classes.len())];
+            let class = classes[rng.below(classes.len())];
             b.alloc(fill, v, class);
             if j == 0 {
                 b.vcall(fill, None, l, "add", &[v]);
@@ -173,7 +172,12 @@ pub fn pool(
         b.scall(main, None, reader, &[list_var]);
     }
 
-    Pool { registry, load, reg_var, values }
+    Pool {
+        registry,
+        load,
+        reg_var,
+        values,
+    }
 }
 
 /// The object-sensitivity cost amplifier.
@@ -205,7 +209,7 @@ pub fn wrapper_amplifier(
     sites_per_class: usize,
     steps: usize,
     stateful: bool,
-    rng: &mut SmallRng,
+    rng: &mut SplitMix64,
 ) {
     // A dedicated collection class for this amplifier. Using the shared
     // `List` here would let the hub's cross-linking variables point at the
@@ -280,7 +284,7 @@ pub fn wrapper_amplifier(
         b.alloc(make, l, bag);
         for s in 0..sites_per_class {
             let w = b.var(make, &format!("w{s}"));
-            let class = wrappers[rng.gen_range(0..wrappers.len())];
+            let class = wrappers[rng.below(wrappers.len())];
             b.alloc(make, w, class);
             if s == 0 {
                 b.vcall(make, None, l, "add", &[w]);
@@ -536,36 +540,31 @@ pub fn probes(
     // the "b" side merely flows through the identity, so its variant
     // methods are reachable *only* through imprecision — which is exactly
     // what context-sensitivity removes.
-    let emit_pair = |b: &mut ProgramBuilder,
-                         i: usize,
-                         tier: &str,
-                         ident_class: ClassId,
-                         fat: Option<VarId>| {
-        let va_class = variant(b, format!("{prefix}{tier}A{i}"));
-        let vb_class = variant(b, format!("{prefix}{tier}B{i}"));
-        for (suffix, val_class, observed) in
-            [("a", va_class, true), ("b", vb_class, false)]
-        {
-            let f = b.var(main, &format!("{prefix}{tier}_f{i}{suffix}"));
-            b.alloc(main, f, ident_class);
-            let v = b.var(main, &format!("{prefix}{tier}_v{i}{suffix}"));
-            b.alloc(main, v, val_class);
-            let r = b.var(main, &format!("{prefix}{tier}_r{i}{suffix}"));
-            match fat {
-                None => {
-                    b.vcall(main, Some(r), f, "make", &[v]);
+    let emit_pair =
+        |b: &mut ProgramBuilder, i: usize, tier: &str, ident_class: ClassId, fat: Option<VarId>| {
+            let va_class = variant(b, format!("{prefix}{tier}A{i}"));
+            let vb_class = variant(b, format!("{prefix}{tier}B{i}"));
+            for (suffix, val_class, observed) in [("a", va_class, true), ("b", vb_class, false)] {
+                let f = b.var(main, &format!("{prefix}{tier}_f{i}{suffix}"));
+                b.alloc(main, f, ident_class);
+                let v = b.var(main, &format!("{prefix}{tier}_v{i}{suffix}"));
+                b.alloc(main, v, val_class);
+                let r = b.var(main, &format!("{prefix}{tier}_r{i}{suffix}"));
+                match fat {
+                    None => {
+                        b.vcall(main, Some(r), f, "make", &[v]);
+                    }
+                    Some(noise) => {
+                        b.vcall(main, Some(r), f, "make2", &[v, noise]);
+                    }
                 }
-                Some(noise) => {
-                    b.vcall(main, Some(r), f, "make2", &[v, noise]);
+                if observed {
+                    b.vcall(main, None, r, "describe", &[]);
+                    let c = b.var(main, &format!("{prefix}{tier}_c{i}{suffix}"));
+                    b.cast(main, c, r, val_class);
                 }
             }
-            if observed {
-                b.vcall(main, None, r, "describe", &[]);
-                let c = b.var(main, &format!("{prefix}{tier}_c{i}{suffix}"));
-                b.cast(main, c, r, val_class);
-            }
-        }
-    };
+        };
 
     for i in 0..clean {
         if i < type_friendly {
@@ -576,11 +575,8 @@ pub fn probes(
             // (type-sensitivity).
             let va_class = variant(b, format!("{prefix}TclA{i}"));
             let vb_class = variant(b, format!("{prefix}TclB{i}"));
-            for (suffix, val_class, observed) in
-                [("a", va_class, true), ("b", vb_class, false)]
-            {
-                let alloc_cls =
-                    b.class(&format!("{prefix}TAlloc{i}{suffix}"), Some(std.object));
+            for (suffix, val_class, observed) in [("a", va_class, true), ("b", vb_class, false)] {
+                let alloc_cls = b.class(&format!("{prefix}TAlloc{i}{suffix}"), Some(std.object));
                 let mk = b.method(alloc_cls, &format!("mk{i}{suffix}"), &[], true);
                 let fv = b.var(mk, "fv");
                 b.alloc(mk, fv, ident);
@@ -611,7 +607,11 @@ pub fn probes(
         }
     }
 
-    ProbeCounts { clean, medium, type_friendly }
+    ProbeCounts {
+        clean,
+        medium,
+        type_friendly,
+    }
 }
 
 /// A genuinely megamorphic event bus: `listeners` listener classes all
@@ -696,7 +696,9 @@ pub fn visitor(
     for i in 0..kinds.max(1) {
         let vv = b.var(main, &format!("{prefix}_v{i}"));
         // Reuse the class ids by index: visitors were declared after nodes.
-        let cls = b.class_id(&format!("{prefix}Visitor{i}")).expect("declared above");
+        let cls = b
+            .class_id(&format!("{prefix}Visitor{i}"))
+            .expect("declared above");
         b.alloc(main, vv, cls);
         b.store(main, vl, std.list_elem, vv);
     }
@@ -711,13 +713,7 @@ pub fn visitor(
 /// each holding the next stream in a field, with `read()` delegating
 /// inward. Under object-sensitivity the inner `read` is analyzed once per
 /// wrapper chain suffix — deep `this`-carried context chains.
-pub fn streams(
-    b: &mut ProgramBuilder,
-    std: &Std,
-    main: MethodId,
-    prefix: &str,
-    depth: usize,
-) {
+pub fn streams(b: &mut ProgramBuilder, std: &Std, main: MethodId, prefix: &str, depth: usize) {
     let stream = b.class(&format!("{prefix}Stream"), Some(std.object));
     b.method(stream, "read", &[], false);
     let inner_f = b.field(stream, "inner");
@@ -883,19 +879,18 @@ pub fn app_mass(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rudoop_core::policy::{Insensitive, ObjectSensitive};
     use rudoop_core::solver::{analyze, SolverConfig};
     use rudoop_core::PrecisionMetrics;
     use rudoop_ir::{validate, ClassHierarchy};
 
-    fn fresh() -> (ProgramBuilder, Std, MethodId, SmallRng) {
+    fn fresh() -> (ProgramBuilder, Std, MethodId, SplitMix64) {
         let mut b = ProgramBuilder::new();
         let std = crate::stdlib::build(&mut b);
         let main_cls = b.class("Main", Some(std.object));
         let main = b.method(main_cls, "main", &[], true);
         b.entry(main);
-        (b, std, main, SmallRng::seed_from_u64(7))
+        (b, std, main, SplitMix64::new(7))
     }
 
     #[test]
@@ -910,19 +905,30 @@ mod tests {
         let hier = ClassHierarchy::new(&program);
         let r = analyze(&program, &hier, &Insensitive, &SolverConfig::default());
         // `out` sees at least the 30 values.
-        assert!(r.points_to(out).len() >= 30, "got {}", r.points_to(out).len());
+        assert!(
+            r.points_to(out).len() >= 30,
+            "got {}",
+            r.points_to(out).len()
+        );
     }
 
     #[test]
     fn wrapper_amplifier_is_cheap_insensitively_and_costly_contextually() {
         let (mut b, std, main, mut rng) = fresh();
         let p = pool(&mut b, &std, main, "P", 60, 3, true, 0, &mut rng);
-        wrapper_amplifier(&mut b, &std, main, "W", &p, 2, 2, 12, 0, 6, 8, true, &mut rng);
+        wrapper_amplifier(
+            &mut b, &std, main, "W", &p, 2, 2, 12, 0, 6, 8, true, &mut rng,
+        );
         let program = b.finish();
         assert_eq!(validate(&program), Ok(()));
         let hier = ClassHierarchy::new(&program);
         let insens = analyze(&program, &hier, &Insensitive, &SolverConfig::default());
-        let objs = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        let objs = analyze(
+            &program,
+            &hier,
+            &ObjectSensitive::new(2, 1),
+            &SolverConfig::default(),
+        );
         assert!(insens.outcome.is_complete());
         assert!(objs.outcome.is_complete());
         assert!(
@@ -942,7 +948,12 @@ mod tests {
         assert_eq!(validate(&program), Ok(()));
         let hier = ClassHierarchy::new(&program);
         let insens = analyze(&program, &hier, &Insensitive, &SolverConfig::default());
-        let objs = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        let objs = analyze(
+            &program,
+            &hier,
+            &ObjectSensitive::new(2, 1),
+            &SolverConfig::default(),
+        );
         let pm_i = PrecisionMetrics::compute(&program, &hier, &insens);
         let pm_o = PrecisionMetrics::compute(&program, &hier, &objs);
         // Each probe contributes one polymorphic describe site and one
@@ -963,11 +974,16 @@ mod tests {
     #[test]
     fn event_bus_is_megamorphic_under_any_context() {
         let (mut b, std, main, _rng) = fresh();
-        event_bus(&mut b, &std, main, "E", 6, );
+        event_bus(&mut b, &std, main, "E", 6);
         let program = b.finish();
         assert_eq!(validate(&program), Ok(()));
         let hier = ClassHierarchy::new(&program);
-        let objs = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        let objs = analyze(
+            &program,
+            &hier,
+            &ObjectSensitive::new(2, 1),
+            &SolverConfig::default(),
+        );
         let pm = PrecisionMetrics::compute(&program, &hier, &objs);
         assert_eq!(pm.polymorphic_call_sites, 1);
     }
@@ -979,7 +995,12 @@ mod tests {
         let program = b.finish();
         assert_eq!(validate(&program), Ok(()));
         let hier = ClassHierarchy::new(&program);
-        let objs = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        let objs = analyze(
+            &program,
+            &hier,
+            &ObjectSensitive::new(2, 1),
+            &SolverConfig::default(),
+        );
         let pm = PrecisionMetrics::compute(&program, &hier, &objs);
         // The in-run cast succeeds (builder strings are Strings); the 5
         // always-fail casts and at least the megamorphic run() remain.
@@ -994,7 +1015,12 @@ mod tests {
         let program = b.finish();
         assert_eq!(validate(&program), Ok(()));
         let hier = ClassHierarchy::new(&program);
-        let r = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        let r = analyze(
+            &program,
+            &hier,
+            &ObjectSensitive::new(2, 1),
+            &SolverConfig::default(),
+        );
         let pm = PrecisionMetrics::compute(&program, &hier, &r);
         // accept (over 5 node classes) and visit (over 3 visitors) stay
         // polymorphic under any context.
@@ -1008,7 +1034,12 @@ mod tests {
         let program = b.finish();
         assert_eq!(validate(&program), Ok(()));
         let hier = ClassHierarchy::new(&program);
-        let r = analyze(&program, &hier, &ObjectSensitive::new(2, 1), &SolverConfig::default());
+        let r = analyze(
+            &program,
+            &hier,
+            &ObjectSensitive::new(2, 1),
+            &SolverConfig::default(),
+        );
         // The outermost read() returns the source's chunk.
         let out = program
             .vars

@@ -1,8 +1,7 @@
 //! [`WorkloadSpec`]: a declarative recipe composing the pattern generators
 //! into one benchmark program.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rudoop_ir::rng::SplitMix64;
 use rudoop_ir::{Program, ProgramBuilder};
 
 use crate::patterns::{self, ProbeCounts};
@@ -140,7 +139,7 @@ impl Default for WorkloadSpec {
 impl WorkloadSpec {
     /// Builds the benchmark program described by this spec.
     pub fn build(&self) -> Program {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let mut b = ProgramBuilder::new();
         let std = stdlib::build(&mut b);
         let main_cls = b.class("Main", Some(std.object));
@@ -251,7 +250,14 @@ impl WorkloadSpec {
             patterns::event_bus(&mut b, &std, main, "Ev", self.listeners);
         }
         if self.visitor_nodes > 0 {
-            patterns::visitor(&mut b, &std, main, "Vis", self.visitor_nodes, self.visitor_kinds);
+            patterns::visitor(
+                &mut b,
+                &std,
+                main,
+                "Vis",
+                self.visitor_nodes,
+                self.visitor_kinds,
+            );
         }
         if self.stream_depth > 0 {
             patterns::streams(&mut b, &std, main, "St", self.stream_depth);
@@ -296,7 +302,10 @@ mod tests {
 
     #[test]
     fn zero_pool_disables_amplifiers() {
-        let spec = WorkloadSpec { pool_values: 0, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            pool_values: 0,
+            ..WorkloadSpec::default()
+        };
         let p = spec.build();
         assert_eq!(validate(&p), Ok(()));
         assert!(!p.classes.values().any(|c| c.name.starts_with("Amp")));

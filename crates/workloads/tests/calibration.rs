@@ -41,8 +41,16 @@ fn hsqldb_heuristic_relationships() {
     let b = HeuristicB::default().select(&program, &metrics, &insens);
     for (mid, m) in program.methods.iter() {
         if m.name == "process" && program.classes[m.class].name.starts_with("AmpWrapper") {
-            assert!(a.no_refine_methods.contains(mid), "A must exclude {}", m.name);
-            assert!(b.no_refine_methods.contains(mid), "B must exclude {}", m.name);
+            assert!(
+                a.no_refine_methods.contains(mid),
+                "A must exclude {}",
+                m.name
+            );
+            assert!(
+                b.no_refine_methods.contains(mid),
+                "B must exclude {}",
+                m.name
+            );
         }
     }
 
@@ -51,7 +59,10 @@ fn hsqldb_heuristic_relationships() {
     let stats_b = rudoop_core::RefinementStats::compute(&program, &insens, &b);
     assert!(stats_a.call_site_pct() < 50.0, "{stats_a:?}");
     assert!(stats_b.call_site_pct() < 5.0, "{stats_b:?}");
-    assert!(stats_b.object_pct() <= stats_a.object_pct(), "B is more selective than A");
+    assert!(
+        stats_b.object_pct() <= stats_a.object_pct(),
+        "B is more selective than A"
+    );
 }
 
 /// The diffuse (jython-style) profile is realized by the default spec's

@@ -21,10 +21,18 @@ fn main() {
         .values()
         .filter(|i| matches!(i.kind, InvokeKind::Virtual { .. }))
         .count();
-    println!("benchmark {}: {} virtual call sites in total", spec.name, virtual_sites);
+    println!(
+        "benchmark {}: {} virtual call sites in total",
+        spec.name, virtual_sites
+    );
     println!();
 
-    for flavor in [Flavor::Insensitive, Flavor::TYPE2H, Flavor::CALL2H, Flavor::OBJ2H] {
+    for flavor in [
+        Flavor::Insensitive,
+        Flavor::TYPE2H,
+        Flavor::CALL2H,
+        Flavor::OBJ2H,
+    ] {
         let result = analyze_flavor(&program, &hierarchy, flavor, &config);
         let poly = polymorphic_call_sites(&program, &result);
         println!(

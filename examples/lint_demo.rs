@@ -1,0 +1,45 @@
+//! Using the lint subsystem as a library: build a program, run the
+//! insensitive pre-analysis, lint with a configured registry, and render.
+//!
+//! Run: `cargo run --example lint_demo`
+
+use rudoop::analysis::solver::{analyze, SolverConfig};
+use rudoop::analysis::Insensitive;
+use rudoop::ir::{ClassHierarchy, ProgramBuilder};
+use rudoop::lints::diagnostics::render;
+use rudoop::lints::{Level, LintContext, LintRegistry};
+
+fn main() {
+    // A program with a guaranteed-failing cast and an unreachable method.
+    let mut b = ProgramBuilder::new();
+    let obj = b.class("Object", None);
+    let dog = b.class("Dog", Some(obj));
+    let stone = b.class("Stone", Some(obj));
+    b.method(dog, "speak", &[], false);
+    b.method(obj, "forgotten", &[], true);
+    let main = b.method(obj, "main", &[], true);
+    let s = b.var(main, "s");
+    let d = b.var(main, "d");
+    b.alloc(main, s, stone);
+    b.cast(main, d, s, dog);
+    b.vcall(main, None, d, "speak", &[]);
+    b.entry(main);
+    let program = b.finish();
+
+    let hierarchy = ClassHierarchy::new(&program);
+    let result = analyze(&program, &hierarchy, &Insensitive, &SolverConfig::default());
+
+    // Promote the guaranteed-failure lint to an error, silence the hints.
+    let mut registry = LintRegistry::with_defaults();
+    registry.set_level("I001", Level::Deny);
+    registry.set_level("I005", Level::Allow);
+
+    let cx = LintContext {
+        program: &program,
+        hierarchy: &hierarchy,
+        points_to: Some(&result),
+    };
+    let diagnostics = registry.run(&cx);
+    print!("{}", render(&program, &diagnostics));
+    println!("{} finding(s)", diagnostics.len());
+}

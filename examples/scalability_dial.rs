@@ -17,7 +17,10 @@ fn main() {
     let program = spec.build();
     let hierarchy = ClassHierarchy::new(&program);
     let budget = 30_000_000;
-    let config = SolverConfig { budget: Budget::derivations(budget), ..SolverConfig::default() };
+    let config = SolverConfig {
+        budget: Budget::derivations(budget),
+        ..SolverConfig::default()
+    };
 
     println!(
         "benchmark {}: {} instructions, budget {} derivations",
@@ -34,8 +37,10 @@ fn main() {
     report("2objH", &program, &hierarchy, &full);
 
     // The dial: two introspective settings sharing the same first pass.
-    for heuristic in [&HeuristicA::default() as &dyn RefinementHeuristic, &HeuristicB::default()]
-    {
+    for heuristic in [
+        &HeuristicA::default() as &dyn RefinementHeuristic,
+        &HeuristicB::default(),
+    ] {
         let run = analyze_introspective_from(
             &program,
             &hierarchy,

@@ -1,0 +1,190 @@
+//! `rudoop-lint` — diagnostics and lints over IL programs, backed by
+//! points-to facts.
+//!
+//! ```text
+//! rudoop-lint <program.rud | @benchmark> [options]
+//!
+//!   <program.rud>        a program in the textual IL format
+//!   @<name>              a built-in DaCapo-shaped benchmark (e.g. @pmd)
+//!
+//! options:
+//!   --analysis <name>    points-to policy backing the tier-2 lints:
+//!                        insens | 1call | 2callH | 1objH | 2objH |
+//!                        2typeH | S2objH            (default: insens)
+//!   --no-points-to       skip the analysis; run only tier-1 lints
+//!   --allow <CODE>       suppress a lint (repeatable)
+//!   --warn <CODE>        report a lint at its default severity (default)
+//!   --deny <CODE>        escalate a lint to an error (repeatable)
+//!   --list               list all lints with codes and exit
+//!
+//! exit code: 0 — no errors (warnings and notes allowed);
+//!            1 — validity errors or denied lint findings;
+//!            2 — usage, I/O or parse failure.
+//! ```
+//!
+//! Well-formedness violations (`E` codes) and lint findings (`L`/`I`
+//! codes) are rendered uniformly, sorted by source position.
+
+use std::process::ExitCode;
+
+use rudoop::analysis::driver::{analyze_flavor, Flavor};
+use rudoop::analysis::solver::SolverConfig;
+use rudoop::ir::{parse_program, ClassHierarchy, Program};
+use rudoop::lints::diagnostics::{has_errors, render, validate_diagnostics};
+use rudoop::lints::{Level, LintContext, LintRegistry};
+use rudoop::workloads::dacapo;
+
+struct Options {
+    input: String,
+    flavor: Flavor,
+    points_to: bool,
+    levels: Vec<(String, Level)>,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rudoop-lint <program.rud | @benchmark> [--analysis NAME] \
+         [--no-points-to] [--allow CODE] [--warn CODE] [--deny CODE] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flavor(name: &str) -> Option<Flavor> {
+    match name {
+        "insens" => Some(Flavor::Insensitive),
+        "1call" => Some(Flavor::CallSite { k: 1, heap_k: 0 }),
+        "1callH" => Some(Flavor::CallSite { k: 1, heap_k: 1 }),
+        "2callH" => Some(Flavor::CALL2H),
+        "1obj" => Some(Flavor::Object { k: 1, heap_k: 0 }),
+        "1objH" => Some(Flavor::Object { k: 1, heap_k: 1 }),
+        "2objH" => Some(Flavor::OBJ2H),
+        "1typeH" => Some(Flavor::Type { k: 1, heap_k: 1 }),
+        "2typeH" => Some(Flavor::TYPE2H),
+        "S2objH" => Some(Flavor::HYBRID2H),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        input: String::new(),
+        flavor: Flavor::Insensitive,
+        points_to: true,
+        levels: Vec::new(),
+        list: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--analysis" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                opts.flavor = parse_flavor(&name).unwrap_or_else(|| {
+                    eprintln!("unknown analysis {name:?}");
+                    usage()
+                });
+            }
+            "--no-points-to" => opts.points_to = false,
+            "--allow" => {
+                let code = args.next().unwrap_or_else(|| usage());
+                opts.levels.push((code, Level::Allow));
+            }
+            "--warn" => {
+                let code = args.next().unwrap_or_else(|| usage());
+                opts.levels.push((code, Level::Warn));
+            }
+            "--deny" => {
+                let code = args.next().unwrap_or_else(|| usage());
+                opts.levels.push((code, Level::Deny));
+            }
+            "--list" => opts.list = true,
+            "--help" | "-h" => usage(),
+            other if opts.input.is_empty() && !other.starts_with('-') => {
+                opts.input = other.to_owned();
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if opts.input.is_empty() && !opts.list {
+        usage();
+    }
+    opts
+}
+
+fn load_program(input: &str) -> Result<Program, String> {
+    if let Some(name) = input.strip_prefix('@') {
+        return dacapo::by_name(name)
+            .map(|spec| spec.build())
+            .ok_or_else(|| format!("unknown benchmark {name:?} (try @pmd, @hsqldb, …)"));
+    }
+    let source = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    parse_program(&source).map_err(|e| format!("{input}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    let mut registry = LintRegistry::with_defaults();
+    if opts.list {
+        for (code, name, description, _) in registry.iter() {
+            println!("{code}  {name:<22} {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    for (code, level) in &opts.levels {
+        if !registry.set_level(code, *level) {
+            eprintln!("unknown lint code {code:?} (see --list)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let program = match load_program(&opts.input) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Well-formedness first: an ill-formed program would make lint and
+    // analysis results meaningless, so report every violation and stop.
+    let mut diags = validate_diagnostics(&program);
+    let hierarchy = ClassHierarchy::new(&program);
+    if diags.is_empty() {
+        let result = opts
+            .points_to
+            .then(|| analyze_flavor(&program, &hierarchy, opts.flavor, &SolverConfig::default()));
+        let cx = LintContext {
+            program: &program,
+            hierarchy: &hierarchy,
+            points_to: result.as_ref(),
+        };
+        diags = registry.run(&cx);
+    }
+
+    print!("{}", render(&program, &diags));
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == rudoop::Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == rudoop::Severity::Warning)
+        .count();
+    println!(
+        "{}: {} error(s), {} warning(s), {} note(s)",
+        opts.input,
+        errors,
+        warnings,
+        diags.len() - errors - warnings
+    );
+
+    if has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

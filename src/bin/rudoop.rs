@@ -175,7 +175,11 @@ fn main() -> ExitCode {
     println!(
         "analysis {}: {} in {:.2}s, {} derivations, {} contexts",
         result.analysis,
-        if result.outcome.is_complete() { "completed" } else { "BUDGET EXHAUSTED" },
+        if result.outcome.is_complete() {
+            "completed"
+        } else {
+            "BUDGET EXHAUSTED"
+        },
         result.stats.duration.as_secs_f64(),
         result.stats.derivations,
         result.stats.contexts,
@@ -188,7 +192,10 @@ fn main() -> ExitCode {
 
     if opts.stats {
         println!();
-        print!("{}", ResultStats::compute(&program, &result, 10).render(&program));
+        print!(
+            "{}",
+            ResultStats::compute(&program, &result, 10).render(&program)
+        );
     }
 
     for query in &opts.pts {
@@ -205,9 +212,7 @@ fn main() -> ExitCode {
             let names: Vec<String> = result
                 .points_to(v)
                 .iter()
-                .map(|&h| {
-                    format!("{}@{}", program.classes[program.allocs[h].class].name, h)
-                })
+                .map(|&h| format!("{}@{}", program.classes[program.allocs[h].class].name, h))
                 .collect();
             println!("{} -> {{{}}}", program.var_display(v), names.join(", "));
         }
@@ -218,8 +223,10 @@ fn main() -> ExitCode {
             if pts.is_empty() {
                 continue;
             }
-            let names: Vec<String> =
-                pts.iter().map(|&h| program.classes[program.allocs[h].class].name.clone()).collect();
+            let names: Vec<String> = pts
+                .iter()
+                .map(|&h| program.classes[program.allocs[h].class].name.clone())
+                .collect();
             println!("{} -> {{{}}}", program.var_display(v), names.join(", "));
         }
     }

@@ -17,7 +17,10 @@
 //! - [`datalog`] — the semi-naive Datalog engine and the executable model
 //!   of the paper's Figures 2–3 (`rudoop-datalog`),
 //! - [`workloads`] — deterministic DaCapo-shaped benchmark generators
-//!   (`rudoop-workloads`).
+//!   (`rudoop-workloads`),
+//! - [`lints`] — the diagnostics framework and lint suite over the IL,
+//!   backed by points-to facts (`rudoop-analyses`), driven by the
+//!   `rudoop-lint` binary.
 //!
 //! # Examples
 //!
@@ -45,10 +48,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use rudoop_analyses as lints;
 pub use rudoop_core as analysis;
 pub use rudoop_datalog as datalog;
 pub use rudoop_ir as ir;
 pub use rudoop_workloads as workloads;
+
+pub use rudoop_analyses::{Diagnostic, LintContext, LintRegistry, Severity};
 
 pub use rudoop_core::{
     analyze, analyze_flavor, analyze_introspective, Flavor, HeuristicA, HeuristicB,

@@ -135,8 +135,13 @@ fn introspection_rescues_a_blowup() {
         insens.stats.derivations
     );
 
-    let intro =
-        analyze_introspective(&program, &hierarchy, Flavor::OBJ2H, &HeuristicA::default(), &config);
+    let intro = analyze_introspective(
+        &program,
+        &hierarchy,
+        Flavor::OBJ2H,
+        &HeuristicA::default(),
+        &config,
+    );
     assert!(intro.result.outcome.is_complete());
     assert!(
         intro.result.stats.derivations < full.stats.derivations / 2,
@@ -149,8 +154,13 @@ fn introspection_rescues_a_blowup() {
     let pm_insens = PrecisionMetrics::compute(&program, &hierarchy, &insens);
     let pm_full = PrecisionMetrics::compute(&program, &hierarchy, &full);
     let pm_a = PrecisionMetrics::compute(&program, &hierarchy, &intro.result);
-    let intro_b =
-        analyze_introspective(&program, &hierarchy, Flavor::OBJ2H, &HeuristicB::default(), &config);
+    let intro_b = analyze_introspective(
+        &program,
+        &hierarchy,
+        Flavor::OBJ2H,
+        &HeuristicB::default(),
+        &config,
+    );
     let pm_b = PrecisionMetrics::compute(&program, &hierarchy, &intro_b.result);
 
     assert!(pm_full.polymorphic_call_sites <= pm_b.polymorphic_call_sites);
@@ -168,8 +178,12 @@ fn introspection_rescues_a_blowup() {
 fn budget_models_the_timeout() {
     let program = mini_benchmark();
     let hierarchy = ClassHierarchy::new(&program);
-    let insens =
-        analyze_flavor(&program, &hierarchy, Flavor::Insensitive, &SolverConfig::default());
+    let insens = analyze_flavor(
+        &program,
+        &hierarchy,
+        Flavor::Insensitive,
+        &SolverConfig::default(),
+    );
     // A budget with headroom over the insensitive cost but far below the
     // full 2objH cost: insens completes, 2objH exhausts — the bimodality.
     let tight = SolverConfig {
@@ -177,9 +191,15 @@ fn budget_models_the_timeout() {
         ..SolverConfig::default()
     };
     let full = analyze_flavor(&program, &hierarchy, Flavor::OBJ2H, &tight);
-    assert!(!full.outcome.is_complete(), "tight budget must exhaust on the amplifier");
+    assert!(
+        !full.outcome.is_complete(),
+        "tight budget must exhaust on the amplifier"
+    );
     let insens_again = analyze_flavor(&program, &hierarchy, Flavor::Insensitive, &tight);
-    assert!(insens_again.outcome.is_complete(), "insens fits in the same budget");
+    assert!(
+        insens_again.outcome.is_complete(),
+        "insens fits in the same budget"
+    );
 }
 
 #[test]
@@ -187,8 +207,13 @@ fn heuristic_selection_is_a_small_minority() {
     let program = mini_benchmark();
     let hierarchy = ClassHierarchy::new(&program);
     let config = SolverConfig::default();
-    let run =
-        analyze_introspective(&program, &hierarchy, Flavor::OBJ2H, &HeuristicA::default(), &config);
+    let run = analyze_introspective(
+        &program,
+        &hierarchy,
+        Flavor::OBJ2H,
+        &HeuristicA::default(),
+        &config,
+    );
     let stats = run.refinement_stats;
     assert!(stats.call_sites_total > 0 && stats.objects_total > 0);
     // "the program elements that are refined are the overwhelming majority"

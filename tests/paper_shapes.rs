@@ -161,10 +161,20 @@ fn precision_order_insens_introa_introb_full() {
     let insens = analyze(&program, &h, &Insensitive, &cfg);
     let full = analyze_flavor(&program, &h, Flavor::OBJ2H, &cfg);
     let a = analyze_introspective_from(
-        &program, &h, Flavor::OBJ2H, &HeuristicA::default(), &cfg, insens.clone(),
+        &program,
+        &h,
+        Flavor::OBJ2H,
+        &HeuristicA::default(),
+        &cfg,
+        insens.clone(),
     );
     let b = analyze_introspective_from(
-        &program, &h, Flavor::OBJ2H, &HeuristicB::default(), &cfg, insens.clone(),
+        &program,
+        &h,
+        Flavor::OBJ2H,
+        &HeuristicB::default(),
+        &cfg,
+        insens.clone(),
     );
     let pm = |r: &rudoop::PointsToResult| PrecisionMetrics::compute(&program, &h, r);
     let (pi, pa, pb, pf) = (pm(&insens), pm(&a.result), pm(&b.result), pm(&full));
@@ -204,8 +214,10 @@ fn selection_shares_the_first_pass() {
     let h = ClassHierarchy::new(&program);
     let cfg = SolverConfig::default();
     let insens = analyze(&program, &h, &Insensitive, &cfg);
-    let heuristics: Vec<Box<dyn RefinementHeuristic>> =
-        vec![Box::new(HeuristicA::default()), Box::new(HeuristicB::default())];
+    let heuristics: Vec<Box<dyn RefinementHeuristic>> = vec![
+        Box::new(HeuristicA::default()),
+        Box::new(HeuristicB::default()),
+    ];
     for heuristic in &heuristics {
         let run = analyze_introspective_from(
             &program,
