@@ -71,15 +71,28 @@ impl fmt::Display for HCtxId {
 }
 
 /// Interner for one kind of context sequence.
-#[derive(Debug, Clone, Default)]
+///
+/// Interners never panic on overflow: when the table reaches `capacity`
+/// (at most `u32::MAX`), new sequences *saturate* to the empty context.
+/// Merging contexts only loses precision, never soundness, so the run can
+/// finish; the [`Interner::overflowed`] flag lets the solver surface the
+/// event as a structured capacity failure instead.
+#[derive(Debug, Clone)]
 struct Interner {
     seqs: Vec<Box<[ContextElem]>>,
     table: FxHashMap<Box<[ContextElem]>, u32>,
+    capacity: usize,
+    overflowed: bool,
 }
 
 impl Interner {
     fn new() -> Self {
-        let mut interner = Interner::default();
+        let mut interner = Interner {
+            seqs: Vec::new(),
+            table: FxHashMap::default(),
+            capacity: u32::MAX as usize,
+            overflowed: false,
+        };
         let empty: Box<[ContextElem]> = Box::new([]);
         interner.table.insert(empty.clone(), 0);
         interner.seqs.push(empty);
@@ -93,7 +106,11 @@ impl Interner {
         if let Some(&id) = self.table.get(elems) {
             return id;
         }
-        let id = u32::try_from(self.seqs.len()).expect("context table overflow");
+        if self.seqs.len() >= self.capacity {
+            self.overflowed = true;
+            return 0;
+        }
+        let id = self.seqs.len() as u32;
         let boxed: Box<[ContextElem]> = elems.into();
         self.table.insert(boxed.clone(), id);
         self.seqs.push(boxed);
@@ -152,6 +169,22 @@ impl CtxTables {
     /// Number of distinct heap contexts created so far.
     pub fn hctx_count(&self) -> usize {
         self.hctx.seqs.len()
+    }
+
+    /// Caps both tables at `limit` distinct contexts each (clamped to
+    /// `u32::MAX`). Once a table is full, new sequences saturate to the
+    /// empty context and [`CtxTables::overflowed`] reports `true`.
+    pub fn set_capacity(&mut self, limit: usize) {
+        let limit = limit.min(u32::MAX as usize).max(1);
+        self.ctx.capacity = limit;
+        self.hctx.capacity = limit;
+    }
+
+    /// Whether either table ran out of capacity at some point. Saturated
+    /// interning keeps results sound (contexts merge into `★`), but the
+    /// solver reports the run as capacity-exceeded.
+    pub fn overflowed(&self) -> bool {
+        self.ctx.overflowed || self.hctx.overflowed
     }
 
     /// Renders a calling context like `[I3, I7]` using program names.
@@ -237,6 +270,22 @@ mod tests {
         let o = CObj::new(AllocId(0xABCD), HCtxId(0x1234));
         assert_eq!(o.heap(), AllocId(0xABCD));
         assert_eq!(o.hctx(), HCtxId(0x1234));
+    }
+
+    #[test]
+    fn capped_interner_saturates_to_empty_context() {
+        let mut t = CtxTables::new();
+        t.set_capacity(2);
+        let a = t.intern_ctx(&[ContextElem::Site(InvokeId(1))]);
+        assert_eq!(a, CtxId(1));
+        assert!(!t.overflowed(), "still within capacity");
+        // Third distinct sequence saturates: merged into `★`, flagged.
+        let b = t.intern_ctx(&[ContextElem::Site(InvokeId(2))]);
+        assert_eq!(b, CtxId::EMPTY);
+        assert!(t.overflowed());
+        // Already-interned sequences keep resolving after overflow.
+        assert_eq!(t.intern_ctx(&[ContextElem::Site(InvokeId(1))]), a);
+        assert_eq!(t.ctx_count(), 2);
     }
 
     #[test]

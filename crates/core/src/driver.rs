@@ -81,6 +81,61 @@ impl Flavor {
     pub fn name(self, program: &Program) -> String {
         self.policy(program).name()
     }
+
+    /// Parses a Doop-style flavor name: `insens`, `2objH`, `1call`,
+    /// `2typeH`, `S2objH`, … — the inverse of [`Flavor::spec_name`].
+    pub fn parse(name: &str) -> Option<Flavor> {
+        if name == "insens" || name == "insensitive" {
+            return Some(Flavor::Insensitive);
+        }
+        let (hybrid, rest) = match name.strip_prefix('S') {
+            Some(r) => (true, r),
+            None => (false, name),
+        };
+        let digits_end = rest.find(|c: char| !c.is_ascii_digit())?;
+        if digits_end == 0 {
+            return None;
+        }
+        let k: usize = rest[..digits_end].parse().ok()?;
+        if k == 0 {
+            return None;
+        }
+        let rest = &rest[digits_end..];
+        let (kind, rest) = ["call", "obj", "type"]
+            .iter()
+            .find_map(|p| rest.strip_prefix(p).map(|r| (*p, r)))?;
+        let heap_k = match rest {
+            "" => 0,
+            "H" => 1,
+            _ => return None,
+        };
+        match (hybrid, kind) {
+            (true, "obj") => Some(Flavor::Hybrid { k, heap_k }),
+            (false, "call") => Some(Flavor::CallSite { k, heap_k }),
+            (false, "obj") => Some(Flavor::Object { k, heap_k }),
+            (false, "type") => Some(Flavor::Type { k, heap_k }),
+            _ => None,
+        }
+    }
+
+    /// The program-independent spec name (`2objH`, `insens`, …), accepted
+    /// back by [`Flavor::parse`].
+    pub fn spec_name(self) -> String {
+        fn h(heap_k: usize) -> &'static str {
+            if heap_k > 0 {
+                "H"
+            } else {
+                ""
+            }
+        }
+        match self {
+            Flavor::Insensitive => "insens".to_owned(),
+            Flavor::CallSite { k, heap_k } => format!("{k}call{}", h(heap_k)),
+            Flavor::Object { k, heap_k } => format!("{k}obj{}", h(heap_k)),
+            Flavor::Type { k, heap_k } => format!("{k}type{}", h(heap_k)),
+            Flavor::Hybrid { k, heap_k } => format!("S{k}obj{}", h(heap_k)),
+        }
+    }
 }
 
 /// Runs a single (non-introspective) analysis of `program` under `flavor`.

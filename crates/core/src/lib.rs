@@ -64,6 +64,7 @@ pub mod introspection;
 pub mod policy;
 pub mod solver;
 pub mod stats;
+pub mod supervisor;
 
 pub use clients::PrecisionMetrics;
 pub use context::{CObj, ContextElem, CtxId, CtxTables, HCtxId};
@@ -76,5 +77,12 @@ pub use policy::{
     CallSiteSensitive, ContextPolicy, HybridObjectSensitive, Insensitive, Introspective,
     ObjectSensitive, RefinementSet, TypeSensitive,
 };
-pub use solver::{analyze, Budget, Outcome, PointsToResult, SolverConfig, SolverStats};
-pub use stats::{ResultStats, SizeHistogram};
+pub use solver::{
+    analyze, Budget, CancelToken, ExhaustionCause, Outcome, PointsToResult, SolverConfig,
+    SolverError, SolverStats,
+};
+pub use stats::{render_supervised, ResultStats, SizeHistogram};
+pub use supervisor::{
+    supervise, HeuristicChoice, LadderSpec, RungReport, RungSpec, SalvagedFacts, SupervisedRun,
+    SupervisionVerdict, SupervisorConfig,
+};

@@ -22,6 +22,9 @@
 //! evaluation harness renders the way the paper renders timed-out bars.
 
 use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rudoop_ir::{
@@ -39,13 +42,31 @@ use crate::policy::ContextPolicy;
 /// `max_derivations` bounds the number of tuple insertions (context-
 /// sensitive var-points-to facts plus call-graph edges); it is the
 /// deterministic analogue of the paper's timeout and the preferred limit
-/// for reproducible experiments. `max_duration` is a wall-clock backstop.
+/// for reproducible experiments. `max_bytes` bounds the solver's modeled
+/// memory footprint ([`SolverStats::bytes_estimate`]) — the deterministic
+/// analogue of the paper's 24 GB wall. `max_duration` is a wall-clock
+/// backstop.
+///
+/// Limits compose with the `and_*` combinators:
+///
+/// ```
+/// use std::time::Duration;
+/// use rudoop_core::solver::Budget;
+///
+/// let b = Budget::derivations(1_000_000)
+///     .and_bytes(24 * 1024 * 1024 * 1024)
+///     .and_duration(Duration::from_secs(90 * 60));
+/// assert_eq!(b.max_derivations, Some(1_000_000));
+/// assert!(b.max_bytes.is_some() && b.max_duration.is_some());
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Budget {
     /// Maximum tuple insertions; `None` = unlimited.
     pub max_derivations: Option<u64>,
     /// Maximum wall-clock time; `None` = unlimited.
     pub max_duration: Option<Duration>,
+    /// Maximum modeled memory in bytes; `None` = unlimited.
+    pub max_bytes: Option<u64>,
 }
 
 impl Budget {
@@ -58,18 +79,165 @@ impl Budget {
     pub fn derivations(n: u64) -> Self {
         Budget {
             max_derivations: Some(n),
-            max_duration: None,
+            ..Budget::default()
         }
     }
 
     /// Budget of `d` wall-clock time.
     pub fn duration(d: Duration) -> Self {
         Budget {
-            max_derivations: None,
             max_duration: Some(d),
+            ..Budget::default()
+        }
+    }
+
+    /// Budget of `n` modeled bytes (see [`SolverStats::bytes_estimate`]).
+    pub fn bytes(n: u64) -> Self {
+        Budget {
+            max_bytes: Some(n),
+            ..Budget::default()
+        }
+    }
+
+    /// Adds a derivation limit to this budget.
+    pub fn and_derivations(mut self, n: u64) -> Self {
+        self.max_derivations = Some(n);
+        self
+    }
+
+    /// Adds a wall-clock limit to this budget.
+    pub fn and_duration(mut self, d: Duration) -> Self {
+        self.max_duration = Some(d);
+        self
+    }
+
+    /// Adds a modeled-memory limit to this budget.
+    pub fn and_bytes(mut self, n: u64) -> Self {
+        self.max_bytes = Some(n);
+        self
+    }
+
+    /// Whether no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_derivations.is_none() && self.max_duration.is_none() && self.max_bytes.is_none()
+    }
+}
+
+/// A cooperative cancellation token, checked by the solver's worklist loop.
+///
+/// Clones share one flag. The supervisor's watchdog thread uses it to
+/// enforce wall-clock deadlines from outside the solver; clients (CLIs,
+/// servers) can use it to abort an analysis from a signal handler or a
+/// request-timeout path.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a run stopped before reaching the fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExhaustionCause {
+    /// [`Budget::max_derivations`] was reached.
+    Derivations,
+    /// [`Budget::max_bytes`] was reached (the modeled 24 GB wall).
+    Memory,
+    /// [`Budget::max_duration`] elapsed.
+    WallClock,
+    /// The run's [`CancelToken`] was cancelled (e.g. by a watchdog).
+    Cancelled,
+    /// The propagation-graph node table hit its capacity limit.
+    NodeTable,
+    /// A context table hit its capacity limit (contexts saturated to `★`).
+    ContextTable,
+}
+
+impl ExhaustionCause {
+    /// Whether the cause is an internal capacity limit rather than a
+    /// user-supplied budget.
+    pub fn is_capacity(self) -> bool {
+        matches!(
+            self,
+            ExhaustionCause::NodeTable | ExhaustionCause::ContextTable
+        )
+    }
+
+    /// A short human-readable description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ExhaustionCause::Derivations => "derivation budget exhausted",
+            ExhaustionCause::Memory => "memory budget exhausted",
+            ExhaustionCause::WallClock => "wall-clock budget exhausted",
+            ExhaustionCause::Cancelled => "cancelled",
+            ExhaustionCause::NodeTable => "node table capacity exceeded",
+            ExhaustionCause::ContextTable => "context table capacity exceeded",
         }
     }
 }
+
+impl fmt::Display for ExhaustionCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// A structured solver-internal failure: a capacity table filled up.
+///
+/// These used to be `expect` panics on the hot path; they now surface as
+/// [`Outcome::CapacityExceeded`] so callers (most importantly the
+/// [`crate::supervisor`]) can degrade instead of crashing the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverError {
+    /// The propagation graph needed more than `limit` nodes.
+    NodeCapacity {
+        /// The configured (or `u32`-intrinsic) node limit.
+        limit: usize,
+    },
+    /// A context interner needed more than `limit` distinct contexts.
+    ContextCapacity {
+        /// The configured (or `u32`-intrinsic) context limit.
+        limit: usize,
+    },
+}
+
+impl SolverError {
+    /// The exhaustion cause this error maps to.
+    pub fn cause(self) -> ExhaustionCause {
+        match self {
+            SolverError::NodeCapacity { .. } => ExhaustionCause::NodeTable,
+            SolverError::ContextCapacity { .. } => ExhaustionCause::ContextTable,
+        }
+    }
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::NodeCapacity { limit } => {
+                write!(f, "propagation graph exceeded {limit} nodes")
+            }
+            SolverError::ContextCapacity { limit } => {
+                write!(f, "context table exceeded {limit} entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
 
 /// How a solver run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,12 +247,20 @@ pub enum Outcome {
     /// The budget ran out; the result is partial (an under-approximation of
     /// the fixpoint). The paper reports this as a timed-out analysis.
     BudgetExhausted,
+    /// An internal capacity table (nodes, contexts) filled up; the result is
+    /// partial, exactly as for budget exhaustion.
+    CapacityExceeded,
 }
 
 impl Outcome {
     /// Whether the run completed.
     pub fn is_complete(self) -> bool {
         matches!(self, Outcome::Complete)
+    }
+
+    /// Whether the run stopped early (budget or capacity).
+    pub fn is_partial(self) -> bool {
+        !self.is_complete()
     }
 }
 
@@ -102,6 +278,15 @@ pub struct SolverConfig {
     /// model, where casts are plain moves; turning it on makes every
     /// analysis more precise at a small cost.
     pub filter_casts: bool,
+    /// Cooperative cancellation: when the token is cancelled the solver
+    /// stops at the next worklist step with [`ExhaustionCause::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// Capacity cap on propagation-graph nodes (default: the `u32`
+    /// intrinsic limit). Exceeding it yields [`Outcome::CapacityExceeded`].
+    pub max_nodes: Option<usize>,
+    /// Capacity cap on each context table (default: the `u32` intrinsic
+    /// limit). Exceeding it yields [`Outcome::CapacityExceeded`].
+    pub max_contexts: Option<usize>,
 }
 
 /// Counters describing the work and output size of a run.
@@ -127,6 +312,62 @@ pub struct SolverStats {
     pub edges: u64,
     /// Wall-clock time of the run.
     pub duration: Duration,
+}
+
+/// Deterministic per-entity cost constants of the solver's memory model.
+/// A node owns slots in nine parallel arrays plus hash-table entries; a
+/// tuple is a hash-set entry plus its delta slot; an edge is a successor
+/// slot plus an `edge_set` entry; a context is an interned boxed sequence
+/// plus its table entry.
+const BYTES_PER_NODE: u64 = 168;
+const BYTES_PER_TUPLE: u64 = 48;
+const BYTES_PER_EDGE: u64 = 72;
+const BYTES_PER_CTX: u64 = 96;
+const BYTES_PER_REACHABLE: u64 = 16;
+
+/// The modeled memory footprint given the live counters of a run. Shared
+/// between [`SolverStats::bytes_estimate`] and the solver's in-loop budget
+/// check so the two always agree.
+fn model_bytes(
+    nodes: u64,
+    edges: u64,
+    derivations: u64,
+    contexts: u64,
+    heap_contexts: u64,
+    reachable: u64,
+) -> u64 {
+    nodes * BYTES_PER_NODE
+        + edges * BYTES_PER_EDGE
+        + derivations * BYTES_PER_TUPLE
+        + (contexts + heap_contexts) * BYTES_PER_CTX
+        + reachable * BYTES_PER_REACHABLE
+}
+
+impl SolverStats {
+    /// A deterministic estimate of the run's peak memory footprint, derived
+    /// from relation and graph sizes (not from the allocator). This is the
+    /// quantity [`Budget::max_bytes`] limits — the reproducible analogue of
+    /// the paper's 24 GB memory wall.
+    pub fn bytes_estimate(&self) -> u64 {
+        model_bytes(
+            self.nodes,
+            self.edges,
+            self.derivations,
+            self.contexts,
+            self.heap_contexts,
+            self.reachable_contexts,
+        )
+    }
+
+    /// A copy with the wall-clock duration zeroed: two runs of the same
+    /// program under the same derivation/byte budget produce *identical*
+    /// canonical stats, which is what reproducibility tests compare.
+    pub fn canonical(&self) -> SolverStats {
+        SolverStats {
+            duration: Duration::ZERO,
+            ..self.clone()
+        }
+    }
 }
 
 /// Full context-sensitive relations, recorded when
@@ -156,6 +397,8 @@ pub struct PointsToResult {
     pub analysis: String,
     /// Completion status.
     pub outcome: Outcome,
+    /// Why the run stopped early; `None` when it completed.
+    pub exhaustion: Option<ExhaustionCause>,
     /// Work and size counters.
     pub stats: SolverStats,
     /// Projected var-points-to: per variable, the sorted set of allocation
@@ -249,7 +492,8 @@ struct Solver<'p> {
     derivations: u64,
     cg_edge_count: u64,
     start: Instant,
-    exhausted: bool,
+    exhausted: Option<ExhaustionCause>,
+    node_cap: usize,
 }
 
 impl<'p> Solver<'p> {
@@ -259,12 +503,20 @@ impl<'p> Solver<'p> {
         policy: &'p dyn ContextPolicy,
         config: SolverConfig,
     ) -> Self {
+        let node_cap = config
+            .max_nodes
+            .unwrap_or(u32::MAX as usize)
+            .min(u32::MAX as usize);
+        let mut tables = CtxTables::new();
+        if let Some(limit) = config.max_contexts {
+            tables.set_capacity(limit);
+        }
         Solver {
             program,
             hierarchy,
             policy,
             config,
-            tables: CtxTables::new(),
+            tables,
             nodes: Vec::new(),
             pts: Vec::new(),
             delta: Vec::new(),
@@ -286,12 +538,21 @@ impl<'p> Solver<'p> {
             derivations: 0,
             cg_edge_count: 0,
             start: Instant::now(),
-            exhausted: false,
+            exhausted: None,
+            node_cap,
         }
     }
 
-    fn new_node(&mut self, kind: NodeKind, ctx: CtxId) -> NodeId {
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("node overflow"));
+    /// Allocates a propagation-graph node. Fails (instead of panicking)
+    /// when the node table is at capacity; the error propagates to the main
+    /// loop, which stops the run with [`Outcome::CapacityExceeded`].
+    fn new_node(&mut self, kind: NodeKind, ctx: CtxId) -> Result<NodeId, SolverError> {
+        if self.nodes.len() >= self.node_cap {
+            return Err(SolverError::NodeCapacity {
+                limit: self.node_cap,
+            });
+        }
+        let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(kind);
         self.pts.push(FxHashSet::default());
         self.delta.push(Vec::new());
@@ -302,36 +563,36 @@ impl<'p> Solver<'p> {
         self.node_ctx.push(ctx);
         self.filter_succ.push(Vec::new());
         self.in_worklist.push(false);
-        id
+        Ok(id)
     }
 
-    fn var_node(&mut self, var: VarId, ctx: CtxId) -> NodeId {
+    fn var_node(&mut self, var: VarId, ctx: CtxId) -> Result<NodeId, SolverError> {
         let key = (u64::from(var.0) << 32) | u64::from(ctx.0);
         if let Some(&n) = self.var_nodes.get(&key) {
-            return n;
+            return Ok(n);
         }
-        let n = self.new_node(NodeKind::Var(var, ctx), ctx);
+        let n = self.new_node(NodeKind::Var(var, ctx), ctx)?;
         self.var_nodes.insert(key, n);
-        n
+        Ok(n)
     }
 
-    fn field_node(&mut self, obj: CObj, field: FieldId) -> NodeId {
+    fn field_node(&mut self, obj: CObj, field: FieldId) -> Result<NodeId, SolverError> {
         let key = (obj.0, field.0);
         if let Some(&n) = self.field_nodes.get(&key) {
-            return n;
+            return Ok(n);
         }
-        let n = self.new_node(NodeKind::Field(obj, field), CtxId::EMPTY);
+        let n = self.new_node(NodeKind::Field(obj, field), CtxId::EMPTY)?;
         self.field_nodes.insert(key, n);
-        n
+        Ok(n)
     }
 
-    fn global_node(&mut self, global: GlobalId) -> NodeId {
+    fn global_node(&mut self, global: GlobalId) -> Result<NodeId, SolverError> {
         if let Some(&n) = self.global_nodes.get(&global.0) {
-            return n;
+            return Ok(n);
         }
-        let n = self.new_node(NodeKind::Global(global), CtxId::EMPTY);
+        let n = self.new_node(NodeKind::Global(global), CtxId::EMPTY)?;
         self.global_nodes.insert(global.0, n);
-        n
+        Ok(n)
     }
 
     fn enqueue(&mut self, node: NodeId) {
@@ -387,13 +648,19 @@ impl<'p> Solver<'p> {
 
     /// The CALLGRAPH head plus INTERPROCASSIGN rules: adds a call edge and,
     /// if new, the argument/return copy edges and callee reachability.
-    fn add_call_edge(&mut self, invoke: InvokeId, caller: CtxId, target: MethodId, callee: CtxId) {
+    fn add_call_edge(
+        &mut self,
+        invoke: InvokeId,
+        caller: CtxId,
+        target: MethodId,
+        callee: CtxId,
+    ) -> Result<(), SolverError> {
         let key = (
             (u64::from(invoke.0) << 32) | u64::from(caller.0),
             (u64::from(target.0) << 32) | u64::from(callee.0),
         );
         if !self.cg_edges.insert(key) {
-            return;
+            return Ok(());
         }
         self.cg_edge_count += 1;
         self.derivations += 1;
@@ -402,33 +669,44 @@ impl<'p> Solver<'p> {
         let callee_m = &self.program.methods[target];
         let n_args = inv.args.len().min(callee_m.params.len());
         for i in 0..n_args {
-            let from = self.var_node(self.program.invokes[invoke].args[i], caller);
-            let to = self.var_node(self.program.methods[target].params[i], callee);
+            let from = self.var_node(self.program.invokes[invoke].args[i], caller)?;
+            let to = self.var_node(self.program.methods[target].params[i], callee)?;
             self.add_edge(from, to);
         }
         if let (Some(result), Some(ret)) = (
             self.program.invokes[invoke].result,
             self.program.methods[target].ret,
         ) {
-            let from = self.var_node(ret, callee);
-            let to = self.var_node(result, caller);
+            let from = self.var_node(ret, callee)?;
+            let to = self.var_node(result, caller)?;
             self.add_edge(from, to);
         }
+        Ok(())
     }
 
     /// The VCALL rule: one receiver object arriving at the base variable of
     /// a virtual or special call.
-    fn process_receiver_call(&mut self, invoke: InvokeId, caller: CtxId, obj: CObj) {
+    fn process_receiver_call(
+        &mut self,
+        invoke: InvokeId,
+        caller: CtxId,
+        obj: CObj,
+    ) -> Result<(), SolverError> {
         let target = match self.program.invokes[invoke].kind {
             InvokeKind::Virtual { sig, .. } => {
                 let class = self.program.allocs[obj.heap()].class;
                 match self.hierarchy.lookup(class, sig) {
                     Some(t) => t,
-                    None => return, // no method of this signature: dead dispatch
+                    None => return Ok(()), // no method of this signature: dead dispatch
                 }
             }
             InvokeKind::Special { target, .. } => target,
-            InvokeKind::Static { .. } => unreachable!("static calls are not receiver calls"),
+            // Static calls are never registered as receiver calls; keep the
+            // release hot path panic-free regardless.
+            InvokeKind::Static { .. } => {
+                debug_assert!(false, "static calls are not receiver calls");
+                return Ok(());
+            }
         };
         let callee = self.policy.merge(
             &mut self.tables,
@@ -439,32 +717,32 @@ impl<'p> Solver<'p> {
             caller,
         );
         if let Some(this) = self.program.methods[target].this {
-            let tnode = self.var_node(this, callee);
+            let tnode = self.var_node(this, callee)?;
             self.add_obj(tnode, obj.0);
         }
-        self.add_call_edge(invoke, caller, target, callee);
+        self.add_call_edge(invoke, caller, target, callee)
     }
 
     /// Instantiates the body of `method` under `ctx`: the REACHABLE-guarded
     /// premises of every rule in Figure 3.
-    fn instantiate(&mut self, method: MethodId, ctx: CtxId) {
+    fn instantiate(&mut self, method: MethodId, ctx: CtxId) -> Result<(), SolverError> {
         let body_len = self.program.methods[method].body.len();
         for idx in 0..body_len {
             let instr = self.program.methods[method].body[idx].clone();
             match instr {
                 Instruction::Alloc { var, alloc } => {
                     let hctx = self.policy.record(&mut self.tables, alloc, ctx);
-                    let node = self.var_node(var, ctx);
+                    let node = self.var_node(var, ctx)?;
                     self.add_obj(node, CObj::new(alloc, hctx).0);
                 }
                 Instruction::Move { to, from } => {
-                    let f = self.var_node(from, ctx);
-                    let t = self.var_node(to, ctx);
+                    let f = self.var_node(from, ctx)?;
+                    let t = self.var_node(to, ctx)?;
                     self.add_edge(f, t);
                 }
                 Instruction::Cast { to, from, class } => {
-                    let f = self.var_node(from, ctx);
-                    let t = self.var_node(to, ctx);
+                    let f = self.var_node(from, ctx)?;
+                    let t = self.var_node(to, ctx)?;
                     if self.config.filter_casts {
                         self.add_filtered_edge(f, t, class);
                     } else {
@@ -472,97 +750,128 @@ impl<'p> Solver<'p> {
                     }
                 }
                 Instruction::Load { to, base, field } => {
-                    let b = self.var_node(base, ctx);
-                    let t = self.var_node(to, ctx);
+                    let b = self.var_node(base, ctx)?;
+                    let t = self.var_node(to, ctx)?;
                     self.loads[b.0 as usize].push((field, t));
                     let existing: Vec<u64> = self.pts[b.0 as usize].iter().copied().collect();
                     for o in existing {
-                        let fnode = self.field_node(CObj(o), field);
+                        let fnode = self.field_node(CObj(o), field)?;
                         self.add_edge(fnode, t);
                     }
                 }
                 Instruction::Store { base, field, from } => {
-                    let b = self.var_node(base, ctx);
-                    let f = self.var_node(from, ctx);
+                    let b = self.var_node(base, ctx)?;
+                    let f = self.var_node(from, ctx)?;
                     self.stores[b.0 as usize].push((field, f));
                     let existing: Vec<u64> = self.pts[b.0 as usize].iter().copied().collect();
                     for o in existing {
-                        let fnode = self.field_node(CObj(o), field);
+                        let fnode = self.field_node(CObj(o), field)?;
                         self.add_edge(f, fnode);
                     }
                 }
                 Instruction::LoadGlobal { to, global } => {
-                    let g = self.global_node(global);
-                    let t = self.var_node(to, ctx);
+                    let g = self.global_node(global)?;
+                    let t = self.var_node(to, ctx)?;
                     self.add_edge(g, t);
                 }
                 Instruction::StoreGlobal { global, from } => {
-                    let f = self.var_node(from, ctx);
-                    let g = self.global_node(global);
+                    let f = self.var_node(from, ctx)?;
+                    let g = self.global_node(global)?;
                     self.add_edge(f, g);
                 }
                 Instruction::Return { var } => {
                     if let Some(ret) = self.program.methods[method].ret {
-                        let f = self.var_node(var, ctx);
-                        let t = self.var_node(ret, ctx);
+                        let f = self.var_node(var, ctx)?;
+                        let t = self.var_node(ret, ctx)?;
                         self.add_edge(f, t);
                     }
                 }
                 Instruction::Call { invoke } => match self.program.invokes[invoke].kind {
                     InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => {
-                        let b = self.var_node(base, ctx);
+                        let b = self.var_node(base, ctx)?;
                         self.calls[b.0 as usize].push(invoke);
                         let existing: Vec<u64> = self.pts[b.0 as usize].iter().copied().collect();
                         for o in existing {
-                            self.process_receiver_call(invoke, ctx, CObj(o));
+                            self.process_receiver_call(invoke, ctx, CObj(o))?;
                         }
                     }
                     InvokeKind::Static { target } => {
                         let callee =
                             self.policy
                                 .merge_static(&mut self.tables, invoke, target, ctx);
-                        self.add_call_edge(invoke, ctx, target, callee);
+                        self.add_call_edge(invoke, ctx, target, callee)?;
                     }
                 },
             }
         }
+        Ok(())
     }
 
-    fn over_budget(&self) -> bool {
+    /// The per-step stopping check, evaluated between units of work. The
+    /// first matching cause wins, in deterministic order: cancellation,
+    /// context-table overflow, derivation budget, memory budget, wall clock.
+    fn stop_cause(&self) -> Option<ExhaustionCause> {
+        if let Some(cancel) = &self.config.cancel {
+            if cancel.is_cancelled() {
+                return Some(ExhaustionCause::Cancelled);
+            }
+        }
+        if self.tables.overflowed() {
+            return Some(ExhaustionCause::ContextTable);
+        }
         if let Some(max) = self.config.budget.max_derivations {
             if self.derivations > max {
-                return true;
+                return Some(ExhaustionCause::Derivations);
+            }
+        }
+        if let Some(max) = self.config.budget.max_bytes {
+            let bytes = model_bytes(
+                self.nodes.len() as u64,
+                self.edge_set.len() as u64,
+                self.derivations,
+                self.tables.ctx_count() as u64,
+                self.tables.hctx_count() as u64,
+                self.reachable.len() as u64,
+            );
+            if bytes > max {
+                return Some(ExhaustionCause::Memory);
             }
         }
         if let Some(max) = self.config.budget.max_duration {
             // Amortize clock reads: only check every 4096 derivations would
             // complicate determinism; an Instant read is ~20ns, acceptable.
             if self.start.elapsed() > max {
-                return true;
+                return Some(ExhaustionCause::WallClock);
             }
         }
-        false
+        None
     }
 
     fn run(mut self) -> PointsToResult {
         for &entry in &self.program.entry_points {
             self.ensure_reachable(entry, CtxId::EMPTY);
         }
+        if let Err(err) = self.solve() {
+            self.exhausted = Some(err.cause());
+        }
+        self.finish()
+    }
 
+    fn solve(&mut self) -> Result<(), SolverError> {
         'outer: loop {
             while let Some((m, c)) = self.inst_queue.pop_front() {
-                if self.over_budget() {
-                    self.exhausted = true;
+                if let Some(cause) = self.stop_cause() {
+                    self.exhausted = Some(cause);
                     break 'outer;
                 }
-                self.instantiate(m, c);
+                self.instantiate(m, c)?;
             }
             let Some(node) = self.worklist.pop_front() else {
                 break;
             };
             self.in_worklist[node.0 as usize] = false;
-            if self.over_budget() {
-                self.exhausted = true;
+            if let Some(cause) = self.stop_cause() {
+                self.exhausted = Some(cause);
                 break;
             }
             let d = std::mem::take(&mut self.delta[node.0 as usize]);
@@ -589,14 +898,14 @@ impl<'p> Solver<'p> {
             let loads = self.loads[node.0 as usize].clone();
             for (field, to) in loads {
                 for &o in &d {
-                    let fnode = self.field_node(CObj(o), field);
+                    let fnode = self.field_node(CObj(o), field)?;
                     self.add_edge(fnode, to);
                 }
             }
             let stores = self.stores[node.0 as usize].clone();
             for (field, from) in stores {
                 for &o in &d {
-                    let fnode = self.field_node(CObj(o), field);
+                    let fnode = self.field_node(CObj(o), field)?;
                     self.add_edge(from, fnode);
                 }
             }
@@ -605,13 +914,12 @@ impl<'p> Solver<'p> {
                 let caller = self.node_ctx[node.0 as usize];
                 for invoke in calls {
                     for &o in &d {
-                        self.process_receiver_call(invoke, caller, CObj(o));
+                        self.process_receiver_call(invoke, caller, CObj(o))?;
                     }
                 }
             }
         }
-
-        self.finish()
+        Ok(())
     }
 
     fn finish(self) -> PointsToResult {
@@ -715,11 +1023,12 @@ impl<'p> Solver<'p> {
 
         PointsToResult {
             analysis: self.policy.name(),
-            outcome: if self.exhausted {
-                Outcome::BudgetExhausted
-            } else {
-                Outcome::Complete
+            outcome: match self.exhausted {
+                None => Outcome::Complete,
+                Some(cause) if cause.is_capacity() => Outcome::CapacityExceeded,
+                Some(_) => Outcome::BudgetExhausted,
             },
+            exhaustion: self.exhausted,
             stats,
             var_pts,
             field_pts,
@@ -1121,7 +1430,8 @@ mod tests {
             ..SolverConfig::default()
         };
         let r = analyze(&p, &hierarchy, &Insensitive, &config);
-        let dump = r.cs_dump.expect("dump requested");
+        assert!(r.outcome.is_complete(), "stopped early: {:?}", r.exhaustion);
+        let dump = r.cs_dump.unwrap_or_default();
         assert_eq!(dump.var_points_to.len(), 1);
         assert_eq!(dump.reachable.len(), 1);
         assert!(r.stats.cs_var_points_to >= 1);

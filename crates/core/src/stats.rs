@@ -10,6 +10,7 @@ use rudoop_ir::{MethodId, Program, VarId};
 
 use crate::introspection::IntrospectionMetrics;
 use crate::solver::PointsToResult;
+use crate::supervisor::{SupervisedRun, SupervisionVerdict};
 
 /// A log₂ histogram of points-to set sizes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +141,75 @@ impl ResultStats {
         }
         out
     }
+}
+
+/// Renders the attempt history of a supervised run as a ladder table —
+/// one line per rung with its outcome, stop cause, work counters, and
+/// salvage summary — followed by the verdict line the CLI prints.
+pub fn render_supervised(run: &SupervisedRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "degradation ladder:");
+    for (i, a) in run.attempts.iter().enumerate() {
+        let marker = if Some(i) == run.completed_rung {
+            '*'
+        } else {
+            ' '
+        };
+        let status = match a.exhaustion {
+            None => "complete".to_owned(),
+            Some(cause) => format!("stopped: {cause}"),
+        };
+        let _ = writeln!(
+            out,
+            "{marker} [{i}] {:<18} {:<28} derivations={:<10} bytes~{:<12} salvaged: {} vars / {} calls / {} methods",
+            a.rung.spec(),
+            status,
+            a.stats.derivations,
+            a.stats.bytes_estimate(),
+            a.salvaged.vars_with_facts,
+            a.salvaged.resolved_call_sites,
+            a.salvaged.reachable_methods,
+        );
+        if a.ran_first_pass {
+            let _ = writeln!(out, "      (computed shared insensitive first pass)");
+        }
+    }
+    match run.verdict {
+        SupervisionVerdict::Complete => {
+            let _ = writeln!(
+                out,
+                "verdict: complete — {} finished within budget",
+                run.final_analysis().unwrap_or("?")
+            );
+        }
+        SupervisionVerdict::Degraded => {
+            let _ = writeln!(
+                out,
+                "verdict: degraded — fell back to {} (rung {})",
+                run.final_analysis().unwrap_or("?"),
+                run.completed_rung.unwrap_or(0)
+            );
+        }
+        SupervisionVerdict::Exhausted => {
+            let salvage = run
+                .salvaged
+                .as_ref()
+                .map(|s| {
+                    let f = crate::supervisor::SalvagedFacts::of(s);
+                    format!(
+                        "best partial result kept: {} vars with facts, {} resolved calls",
+                        f.vars_with_facts, f.resolved_call_sites
+                    )
+                })
+                .unwrap_or_else(|| "no partial result".to_owned());
+            let _ = writeln!(
+                out,
+                "verdict: exhausted — every rung ran out of budget; {salvage}"
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]

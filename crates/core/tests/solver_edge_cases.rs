@@ -118,7 +118,8 @@ fn deep_heap_contexts_distinguish_allocator_chains() {
     let r = analyze(&p, &h, &ObjectSensitive::new(1, 1), &config);
     // The Inner allocations should carry two distinct heap contexts (one
     // per wrapper), visible in the context-sensitive dump.
-    let dump = r.cs_dump.unwrap();
+    assert!(r.outcome.is_complete(), "stopped early: {:?}", r.exhaustion);
+    let dump = r.cs_dump.unwrap_or_default();
     let inner_hctxs: std::collections::BTreeSet<HCtxId> = dump
         .var_points_to
         .iter()

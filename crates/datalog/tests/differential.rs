@@ -33,8 +33,8 @@ fn canonical_solver(
         ..SolverConfig::default()
     };
     let r = analyze(program, hierarchy, policy, &config);
-    assert!(r.outcome.is_complete());
-    let dump = r.cs_dump.expect("requested");
+    assert!(r.outcome.is_complete(), "stopped early: {:?}", r.exhaustion);
+    let dump = r.cs_dump.unwrap_or_default();
     let t = &r.tables;
     let mut var_points_to: Vec<_> = dump
         .var_points_to

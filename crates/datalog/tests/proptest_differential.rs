@@ -37,7 +37,8 @@ fn solver_tuples(p: &Program, policy: &dyn ContextPolicy) -> (Tuples, Tuples) {
         ..SolverConfig::default()
     };
     let r = analyze(p, &h, policy, &config);
-    let dump = r.cs_dump.expect("requested");
+    assert!(r.outcome.is_complete(), "stopped early: {:?}", r.exhaustion);
+    let dump = r.cs_dump.unwrap_or_default();
     let t = &r.tables;
     let mut vpt: Tuples = dump
         .var_points_to

@@ -12,6 +12,9 @@
 //!                        insens | 1call | 2callH | 1objH | 2objH |
 //!                        2typeH | S2objH            (default: insens)
 //!   --no-points-to       skip the analysis; run only tier-1 lints
+//!   --timeout <secs>     wall-clock deadline for the backing analysis
+//!                        (watchdog-cancelled). If it fires, tier-2 lints
+//!                        are skipped and the exit code is 2.
 //!   --allow <CODE>       suppress a lint (repeatable)
 //!   --warn <CODE>        report a lint at its default severity (default)
 //!   --deny <CODE>        escalate a lint to an error (repeatable)
@@ -19,16 +22,21 @@
 //!
 //! exit code: 0 — no errors (warnings and notes allowed);
 //!            1 — validity errors or denied lint findings;
-//!            2 — usage, I/O or parse failure.
+//!            2 — usage, I/O or parse failure, or the backing analysis
+//!                degraded (timed out / exhausted) before tier-2 lints
+//!                could run.
 //! ```
 //!
 //! Well-formedness violations (`E` codes) and lint findings (`L`/`I`
 //! codes) are rendered uniformly, sorted by source position.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use rudoop::analysis::driver::{analyze_flavor, Flavor};
-use rudoop::analysis::solver::SolverConfig;
+use rudoop::analysis::solver::{Budget, CancelToken, SolverConfig};
 use rudoop::ir::{parse_program, ClassHierarchy, Program};
 use rudoop::lints::diagnostics::{has_errors, render, validate_diagnostics};
 use rudoop::lints::{Level, LintContext, LintRegistry};
@@ -38,6 +46,7 @@ struct Options {
     input: String,
     flavor: Flavor,
     points_to: bool,
+    timeout: Option<Duration>,
     levels: Vec<(String, Level)>,
     list: bool,
 }
@@ -45,25 +54,10 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: rudoop-lint <program.rud | @benchmark> [--analysis NAME] \
-         [--no-points-to] [--allow CODE] [--warn CODE] [--deny CODE] [--list]"
+         [--no-points-to] [--timeout SECS] [--allow CODE] [--warn CODE] \
+         [--deny CODE] [--list]"
     );
     std::process::exit(2);
-}
-
-fn parse_flavor(name: &str) -> Option<Flavor> {
-    match name {
-        "insens" => Some(Flavor::Insensitive),
-        "1call" => Some(Flavor::CallSite { k: 1, heap_k: 0 }),
-        "1callH" => Some(Flavor::CallSite { k: 1, heap_k: 1 }),
-        "2callH" => Some(Flavor::CALL2H),
-        "1obj" => Some(Flavor::Object { k: 1, heap_k: 0 }),
-        "1objH" => Some(Flavor::Object { k: 1, heap_k: 1 }),
-        "2objH" => Some(Flavor::OBJ2H),
-        "1typeH" => Some(Flavor::Type { k: 1, heap_k: 1 }),
-        "2typeH" => Some(Flavor::TYPE2H),
-        "S2objH" => Some(Flavor::HYBRID2H),
-        _ => None,
-    }
 }
 
 fn parse_args() -> Options {
@@ -72,6 +66,7 @@ fn parse_args() -> Options {
         input: String::new(),
         flavor: Flavor::Insensitive,
         points_to: true,
+        timeout: None,
         levels: Vec::new(),
         list: false,
     };
@@ -79,12 +74,20 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--analysis" => {
                 let name = args.next().unwrap_or_else(|| usage());
-                opts.flavor = parse_flavor(&name).unwrap_or_else(|| {
+                opts.flavor = Flavor::parse(&name).unwrap_or_else(|| {
                     eprintln!("unknown analysis {name:?}");
                     usage()
                 });
             }
             "--no-points-to" => opts.points_to = false,
+            "--timeout" => {
+                let secs = args.next().unwrap_or_else(|| usage());
+                let secs: f64 = secs.parse().unwrap_or_else(|_| usage());
+                if !secs.is_finite() || secs <= 0.0 {
+                    usage();
+                }
+                opts.timeout = Some(Duration::from_secs_f64(secs));
+            }
             "--allow" => {
                 let code = args.next().unwrap_or_else(|| usage());
                 opts.levels.push((code, Level::Allow));
@@ -153,14 +156,50 @@ fn main() -> ExitCode {
     // analysis results meaningless, so report every violation and stop.
     let mut diags = validate_diagnostics(&program);
     let hierarchy = ClassHierarchy::new(&program);
+    let mut degraded = false;
     if diags.is_empty() {
-        let result = opts
-            .points_to
-            .then(|| analyze_flavor(&program, &hierarchy, opts.flavor, &SolverConfig::default()));
+        let result = opts.points_to.then(|| {
+            let cancel = CancelToken::new();
+            let config = SolverConfig {
+                budget: opts
+                    .timeout
+                    .map(Budget::duration)
+                    .unwrap_or_else(Budget::unlimited),
+                cancel: Some(cancel.clone()),
+                ..SolverConfig::default()
+            };
+            // Watchdog: enforce the deadline even if a worklist step stalls
+            // (the solver's own wall-clock check runs between steps).
+            let watchdog = opts.timeout.map(|deadline| {
+                let disarm = Arc::new(AtomicBool::new(false));
+                let disarm2 = Arc::clone(&disarm);
+                let handle = std::thread::spawn(move || {
+                    let start = std::time::Instant::now();
+                    while !disarm2.load(Ordering::Relaxed) {
+                        let remaining = deadline.saturating_sub(start.elapsed());
+                        if remaining.is_zero() {
+                            cancel.cancel();
+                            return;
+                        }
+                        std::thread::sleep(remaining.min(Duration::from_millis(5)));
+                    }
+                });
+                (disarm, handle)
+            });
+            let result = analyze_flavor(&program, &hierarchy, opts.flavor, &config);
+            if let Some((disarm, handle)) = watchdog {
+                disarm.store(true, Ordering::Relaxed);
+                let _ = handle.join();
+            }
+            result
+        });
+        // A partial analysis would make tier-2 lints unsound to trust
+        // (missing points-to facts look like clean code): skip them.
+        degraded = result.as_ref().is_some_and(|r| r.outcome.is_partial());
         let cx = LintContext {
             program: &program,
             hierarchy: &hierarchy,
-            points_to: result.as_ref(),
+            points_to: result.as_ref().filter(|r| r.outcome.is_complete()),
         };
         diags = registry.run(&cx);
     }
@@ -182,6 +221,14 @@ fn main() -> ExitCode {
         diags.len() - errors - warnings
     );
 
+    if degraded {
+        eprintln!(
+            "note: analysis degraded ({}), tier-2 lints skipped — raise --timeout or \
+             use a cheaper --analysis",
+            opts.flavor.spec_name()
+        );
+        return ExitCode::from(2);
+    }
     if has_errors(&diags) {
         ExitCode::FAILURE
     } else {

@@ -10,7 +10,15 @@
 //!   --analysis <name>    insens | 1call | 2callH | 1objH | 2objH |
 //!                        2typeH | S2objH            (default: 2objH)
 //!   --introspective <h>  A | B — run the two-pass introspective variant
-//!   --budget <n>         derivation budget (default: unlimited)
+//!   --ladder <spec>      run a degradation ladder (comma-separated rungs,
+//!                        e.g. 2objH,introB:2objH,insens; `default`; or a
+//!                        lone introB:2objH which expands to the canonical
+//!                        ladder). Exit code: 0 complete / 3 degraded /
+//!                        4 all rungs exhausted.
+//!   --budget <n>         per-run derivation budget (default: unlimited)
+//!   --max-bytes <n>      per-run modeled memory budget in bytes
+//!   --timeout <secs>     per-run wall-clock deadline (watchdog-enforced
+//!                        in ladder mode)
 //!   --filter-casts       enable assign-cast filtering
 //!   --stats              print the points-to distribution dashboard
 //!   --pts <var>          print the points-to set of Class.method::var
@@ -18,11 +26,13 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use rudoop::analysis::driver::{analyze_flavor, analyze_introspective, Flavor};
 use rudoop::analysis::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
 use rudoop::analysis::solver::{Budget, SolverConfig};
-use rudoop::analysis::{PrecisionMetrics, ResultStats};
+use rudoop::analysis::supervisor::{supervise, LadderSpec, SupervisorConfig};
+use rudoop::analysis::{render_supervised, PrecisionMetrics, ResultStats};
 use rudoop::ir::{parse_program, validate, ClassHierarchy, Program};
 use rudoop::workloads::dacapo;
 
@@ -30,7 +40,10 @@ struct Options {
     input: String,
     flavor: Flavor,
     introspective: Option<char>,
+    ladder: Option<LadderSpec>,
     budget: Option<u64>,
+    max_bytes: Option<u64>,
+    timeout: Option<Duration>,
     filter_casts: bool,
     stats: bool,
     pts: Vec<String>,
@@ -40,26 +53,11 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: rudoop <program.rdp | @benchmark> [--analysis NAME] \
-         [--introspective A|B] [--budget N] [--filter-casts] [--stats] \
+         [--introspective A|B] [--ladder SPEC] [--budget N] [--max-bytes N] \
+         [--timeout SECS] [--filter-casts] [--stats] \
          [--pts Class.method::var] [--dump]"
     );
     std::process::exit(2);
-}
-
-fn parse_flavor(name: &str) -> Option<Flavor> {
-    match name {
-        "insens" => Some(Flavor::Insensitive),
-        "1call" => Some(Flavor::CallSite { k: 1, heap_k: 0 }),
-        "1callH" => Some(Flavor::CallSite { k: 1, heap_k: 1 }),
-        "2callH" => Some(Flavor::CALL2H),
-        "1obj" => Some(Flavor::Object { k: 1, heap_k: 0 }),
-        "1objH" => Some(Flavor::Object { k: 1, heap_k: 1 }),
-        "2objH" => Some(Flavor::OBJ2H),
-        "1typeH" => Some(Flavor::Type { k: 1, heap_k: 1 }),
-        "2typeH" => Some(Flavor::TYPE2H),
-        "S2objH" => Some(Flavor::HYBRID2H),
-        _ => None,
-    }
 }
 
 fn parse_args() -> Options {
@@ -68,7 +66,10 @@ fn parse_args() -> Options {
         input: String::new(),
         flavor: Flavor::OBJ2H,
         introspective: None,
+        ladder: None,
         budget: None,
+        max_bytes: None,
+        timeout: None,
         filter_casts: false,
         stats: false,
         pts: Vec::new(),
@@ -78,7 +79,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--analysis" => {
                 let name = args.next().unwrap_or_else(|| usage());
-                opts.flavor = parse_flavor(&name).unwrap_or_else(|| {
+                opts.flavor = Flavor::parse(&name).unwrap_or_else(|| {
                     eprintln!("unknown analysis {name:?}");
                     usage()
                 });
@@ -91,9 +92,28 @@ fn parse_args() -> Options {
                     _ => usage(),
                 }
             }
+            "--ladder" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                opts.ladder = Some(LadderSpec::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad ladder: {e}");
+                    usage()
+                }));
+            }
             "--budget" => {
                 let n = args.next().unwrap_or_else(|| usage());
                 opts.budget = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-bytes" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.max_bytes = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--timeout" => {
+                let secs = args.next().unwrap_or_else(|| usage());
+                let secs: f64 = secs.parse().unwrap_or_else(|_| usage());
+                if !secs.is_finite() || secs <= 0.0 {
+                    usage();
+                }
+                opts.timeout = Some(Duration::from_secs_f64(secs));
             }
             "--filter-casts" => opts.filter_casts = true,
             "--stats" => opts.stats = true,
@@ -142,11 +162,25 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let hierarchy = ClassHierarchy::new(&program);
+    let mut budget = Budget::unlimited();
+    if let Some(n) = opts.budget {
+        budget = budget.and_derivations(n);
+    }
+    if let Some(n) = opts.max_bytes {
+        budget = budget.and_bytes(n);
+    }
+    if let Some(d) = opts.timeout {
+        budget = budget.and_duration(d);
+    }
     let config = SolverConfig {
-        budget: opts.budget.map(Budget::derivations).unwrap_or_default(),
+        budget,
         filter_casts: opts.filter_casts,
         ..SolverConfig::default()
     };
+
+    if let Some(ladder) = opts.ladder.clone() {
+        return run_ladder(&program, &hierarchy, ladder, budget, config, &opts);
+    }
 
     let result = match opts.introspective {
         None => analyze_flavor(&program, &hierarchy, opts.flavor, &config),
@@ -189,12 +223,52 @@ fn main() -> ExitCode {
         "precision: {} polymorphic virtual call sites, {} reachable methods, {} casts may fail",
         pm.polymorphic_call_sites, pm.reachable_methods, pm.casts_may_fail
     );
+    print_reports(&program, &hierarchy, &result, &opts);
+    ExitCode::SUCCESS
+}
 
+/// Runs the degradation ladder and maps the verdict onto the exit-code
+/// contract: 0 = complete, 3 = degraded, 4 = all rungs exhausted.
+fn run_ladder(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    ladder: LadderSpec,
+    budget: Budget,
+    solver: SolverConfig,
+    opts: &Options,
+) -> ExitCode {
+    let cfg = SupervisorConfig {
+        ladder,
+        budget,
+        solver,
+        watchdog: opts.timeout.is_some(),
+    };
+    let run = supervise(program, hierarchy, &cfg);
+    print!("{}", render_supervised(&run));
+    if let Some(result) = run.best_result() {
+        let pm = PrecisionMetrics::compute(program, hierarchy, result);
+        println!(
+            "precision ({}): {} polymorphic virtual call sites, {} reachable methods, \
+             {} casts may fail",
+            result.analysis, pm.polymorphic_call_sites, pm.reachable_methods, pm.casts_may_fail
+        );
+        print_reports(program, hierarchy, result, opts);
+    }
+    ExitCode::from(run.exit_code())
+}
+
+/// The `--stats` / `--pts` / `--dump` reports over one result.
+fn print_reports(
+    program: &Program,
+    _hierarchy: &ClassHierarchy,
+    result: &rudoop::PointsToResult,
+    opts: &Options,
+) {
     if opts.stats {
         println!();
         print!(
             "{}",
-            ResultStats::compute(&program, &result, 10).render(&program)
+            ResultStats::compute(program, result, 10).render(program)
         );
     }
 
@@ -230,6 +304,4 @@ fn main() -> ExitCode {
             println!("{} -> {{{}}}", program.var_display(v), names.join(", "));
         }
     }
-
-    ExitCode::SUCCESS
 }

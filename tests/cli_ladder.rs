@@ -1,0 +1,93 @@
+//! End-to-end tests for the `rudoop` binary's degradation ladder: the
+//! exit-code contract (0 complete / 3 degraded / 4 all rungs exhausted)
+//! and the rendered attempt history.
+
+use std::process::{Command, Output};
+
+fn rudoop(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rudoop"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to run rudoop")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).unwrap()
+}
+
+#[test]
+fn completed_ladder_exits_zero() {
+    let out = rudoop(&["@hsqldb", "--ladder", "insens"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("verdict: complete"), "{text}");
+    assert!(text.contains("* [0] insens"), "{text}");
+}
+
+#[test]
+fn degraded_ladder_exits_three() {
+    // 2objH blows a 2M-derivation budget on hsqldb; introspective-A
+    // completes (the paper's rescue story).
+    let out = rudoop(&["@hsqldb", "--ladder", "default", "--budget", "2000000"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("verdict: degraded"), "{text}");
+    assert!(
+        text.contains("[0] 2objH              stopped: derivation budget exhausted"),
+        "{text}"
+    );
+    assert!(
+        text.contains("(computed shared insensitive first pass)"),
+        "{text}"
+    );
+    // Degraded output still reports precision metrics of the fallback.
+    assert!(text.contains("precision ("), "{text}");
+}
+
+#[test]
+fn exhausted_ladder_exits_four_and_salvages() {
+    // Too small even for the insensitive rung.
+    let out = rudoop(&["@hsqldb", "--ladder", "2objH,insens", "--budget", "100000"]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("verdict: exhausted"), "{text}");
+    assert!(text.contains("best partial result kept"), "{text}");
+}
+
+#[test]
+fn lone_introspective_rung_expands_to_canonical_ladder() {
+    let out = rudoop(&[
+        "@hsqldb",
+        "--ladder",
+        "introspectiveB:2objH",
+        "--budget",
+        "100000",
+    ]);
+    let text = stdout(&out);
+    assert!(text.contains("[0] 2objH"), "{text}");
+    assert!(text.contains("[1] introB:2objH"), "{text}");
+    assert!(text.contains("[2] insens"), "{text}");
+}
+
+#[test]
+fn bad_ladder_spec_is_a_usage_error() {
+    let out = rudoop(&["@hsqldb", "--ladder", "introC:2objH"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(err.contains("bad ladder"), "{err}");
+}
+
+#[test]
+fn lint_timeout_skips_tier2_and_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rudoop-lint"))
+        .args(["@hsqldb", "--analysis", "2objH", "--timeout", "0.02"])
+        .output()
+        .expect("failed to run rudoop-lint");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(
+        err.contains("analysis degraded (2objH), tier-2 lints skipped"),
+        "{err}"
+    );
+}
