@@ -1,5 +1,5 @@
 //! The diagnostic data model, a deterministic text renderer, and the bridge
-//! from [`rudoop_ir::validate`] errors to `E`-coded diagnostics.
+//! from [`rudoop_ir::validate`](fn@rudoop_ir::validate) errors to `E`-coded diagnostics.
 //!
 //! Every finding — whether a well-formedness violation or a lint hit — is a
 //! [`Diagnostic`]: a stable code, a severity, an optional anchor (method and
@@ -147,7 +147,73 @@ pub fn render(program: &Program, diags: &[Diagnostic]) -> String {
     out
 }
 
-/// Runs [`rudoop_ir::validate`] and reports every violation as an `E`-coded
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a batch of diagnostics as a JSON array, one object per
+/// diagnostic in the same stable order as [`render`].
+///
+/// The schema is part of the CLI contract and only grows, never changes:
+/// every object carries exactly the keys `code`, `level`, `span`,
+/// `message`, `location`, and `notes`, in that order. `span` is
+/// `"line:col"` or `null` when the program has no source text; `location`
+/// is the rendered anchor (`"Class.method/arity @ 4:3"`) or `null`;
+/// `notes` is an array of strings.
+pub fn render_json(program: &Program, diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<Diagnostic> = diags.to_vec();
+    sort_diagnostics(&mut sorted);
+    let mut out = String::from("[");
+    for (i, d) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let span = if d.span.is_known() {
+            format!("\"{}\"", d.span)
+        } else {
+            "null".to_owned()
+        };
+        let location = match d.location(program) {
+            Some(loc) => format!("\"{}\"", json_escape(&loc)),
+            None => "null".to_owned(),
+        };
+        let notes: Vec<String> = d
+            .notes
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect();
+        out.push_str(&format!(
+            "\n  {{\"code\":\"{}\",\"level\":\"{}\",\"span\":{},\"message\":\"{}\",\
+             \"location\":{},\"notes\":[{}]}}",
+            d.code,
+            d.severity,
+            span,
+            json_escape(&d.message),
+            location,
+            notes.join(",")
+        ));
+    }
+    if !sorted.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Runs [`rudoop_ir::validate`](fn@rudoop_ir::validate) and reports every violation as an `E`-coded
 /// [`Severity::Error`] diagnostic. An empty result means the program is
 /// well-formed.
 pub fn validate_diagnostics(program: &Program) -> Vec<Diagnostic> {
@@ -258,6 +324,30 @@ mod tests {
         let d = Diagnostic::new("I004", Severity::Warning, "msg").note("extra context");
         let text = render(&p, &[d]);
         assert_eq!(text, "warning[I004]: msg\n    note: extra context\n");
+    }
+
+    #[test]
+    fn json_render_is_sorted_escaped_and_stable() {
+        let (p, main) = tiny();
+        let d1 = Diagnostic::new("L002", Severity::Warning, "has \"quotes\"\nand newline")
+            .at_instr(&p, main, 0)
+            .note("a note");
+        let d2 = Diagnostic::new("E001", Severity::Error, "first");
+        let text = render_json(&p, &[d1, d2]);
+        assert_eq!(
+            text,
+            "[\n  {\"code\":\"E001\",\"level\":\"error\",\"span\":null,\"message\":\"first\",\
+             \"location\":null,\"notes\":[]},\n  \
+             {\"code\":\"L002\",\"level\":\"warning\",\"span\":null,\
+             \"message\":\"has \\\"quotes\\\"\\nand newline\",\
+             \"location\":\"Object.main/0 @ #0\",\"notes\":[\"a note\"]}\n]\n"
+        );
+    }
+
+    #[test]
+    fn json_render_of_empty_batch_is_an_empty_array() {
+        let (p, _) = tiny();
+        assert_eq!(render_json(&p, &[]), "[]\n");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Tier-2 lints: backed by a [`PointsToResult`], typically the
+//! Tier-2 lints: backed by a [`PointsToResult`](rudoop_core::PointsToResult), typically the
 //! context-insensitive pre-analysis of the introspective pipeline.
 //!
 //! These lints are the "diagnostics view" of the paper's precision clients
@@ -321,6 +321,7 @@ mod tests {
             program: p,
             hierarchy: h,
             points_to: Some(r),
+            taint: None,
         };
         let mut out = Vec::new();
         for lint in lints() {

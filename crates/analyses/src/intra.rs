@@ -297,6 +297,7 @@ mod tests {
             program: p,
             hierarchy: &h,
             points_to: None,
+            taint: None,
         };
         let mut out = Vec::new();
         for lint in lints() {

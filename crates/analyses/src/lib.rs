@@ -7,7 +7,7 @@
 //!
 //! - [`diagnostics`] — the [`Diagnostic`] type (stable code, severity,
 //!   method, source span, message, notes), a deterministic text renderer,
-//!   and a bridge that reports [`rudoop_ir::validate`] violations as
+//!   and a bridge that reports [`rudoop_ir::validate`](fn@rudoop_ir::validate) violations as
 //!   `E`-coded diagnostics, so well-formedness errors and lint findings
 //!   surface uniformly;
 //! - [`lint`] — the [`Lint`] trait, the [`LintContext`] handed to every
@@ -23,7 +23,12 @@
 //!     monomorphic-call-site hints. The cast and dead-method lints agree
 //!     exactly with the paper's precision clients in
 //!     [`rudoop_core::clients`]: `#I001 + #I002 = casts_may_fail` and
-//!     `#I004 = |methods| - reachable_methods`.
+//!     `#I004 = |methods| - reachable_methods`;
+//!   - [`taint`] — the **taint tier**, consuming a
+//!     [`TaintResult`](rudoop_core::TaintResult) (`T001`–`T004`):
+//!     unsanitized source→sink flows with derivation traces, sanitizers
+//!     bypassed through heap aliases, flows crossing merged heap contexts,
+//!     and dead sanitizers.
 //!
 //! # Examples
 //!
@@ -43,7 +48,12 @@
 //! let hierarchy = ClassHierarchy::new(&program);
 //! let result = analyze(&program, &hierarchy, &Insensitive, &SolverConfig::default());
 //! let registry = LintRegistry::with_defaults();
-//! let cx = LintContext { program: &program, hierarchy: &hierarchy, points_to: Some(&result) };
+//! let cx = LintContext {
+//!     program: &program,
+//!     hierarchy: &hierarchy,
+//!     points_to: Some(&result),
+//!     taint: None,
+//! };
 //! let diags = registry.run(&cx);
 //! // `a = a` is a self-move (L005).
 //! assert!(diags.iter().any(|d| d.code == "L005"));
@@ -58,6 +68,7 @@ pub mod diagnostics;
 pub mod inter;
 pub mod intra;
 pub mod lint;
+pub mod taint;
 
-pub use diagnostics::{render, validate_diagnostics, Diagnostic, Severity};
+pub use diagnostics::{render, render_json, validate_diagnostics, Diagnostic, Severity};
 pub use lint::{Level, Lint, LintContext, LintRegistry};

@@ -3,17 +3,20 @@
 //! reporting levels.
 
 use rudoop_core::solver::PointsToResult;
+use rudoop_core::taint::TaintResult;
 use rudoop_ir::{ClassHierarchy, Program};
 
 use crate::diagnostics::{sort_diagnostics, Diagnostic, Severity};
-use crate::{inter, intra};
+use crate::{inter, intra, taint};
 
 /// Everything a lint may inspect.
 ///
 /// Tier-1 lints use only `program` (and occasionally `hierarchy`); tier-2
 /// lints additionally read `points_to`, the projection of an analysis run —
 /// typically the context-insensitive pre-analysis, though any policy's
-/// result works (findings then reflect that policy's precision).
+/// result works (findings then reflect that policy's precision). The taint
+/// lints (`T001`–`T004`) read `taint`, the output of
+/// [`rudoop_core::analyze_taint`] over the same run.
 pub struct LintContext<'a> {
     /// The program under analysis.
     pub program: &'a Program,
@@ -21,6 +24,8 @@ pub struct LintContext<'a> {
     pub hierarchy: &'a ClassHierarchy,
     /// Points-to facts; `None` disables tier-2 lints.
     pub points_to: Option<&'a PointsToResult>,
+    /// Taint facts; `None` disables the `T`-series lints.
+    pub taint: Option<&'a TaintResult>,
 }
 
 /// Per-lint reporting level, in the spirit of `rustc`'s `-A/-W/-D`.
@@ -52,6 +57,12 @@ pub trait Lint {
     fn needs_points_to(&self) -> bool {
         false
     }
+    /// Whether the lint reads [`LintContext::taint`]. Such lints are
+    /// skipped (not errored) when no taint result is supplied — notably
+    /// when the supervisor exhausted its ladder and taint was not run.
+    fn needs_taint(&self) -> bool {
+        false
+    }
     /// Runs the lint, appending findings to `out`. The registry overwrites
     /// each finding's severity according to the configured level, so lints
     /// may emit with any severity they like.
@@ -69,14 +80,18 @@ impl LintRegistry {
         LintRegistry { lints: Vec::new() }
     }
 
-    /// The full built-in suite — tier 1 (`L001`–`L005`) and tier 2
-    /// (`I001`–`I005`) — all at [`Level::Warn`].
+    /// The full built-in suite — tier 1 (`L001`–`L005`), tier 2
+    /// (`I001`–`I005`), and the taint tier (`T001`–`T004`) — all at
+    /// [`Level::Warn`].
     pub fn with_defaults() -> Self {
         let mut r = LintRegistry::new();
         for lint in intra::lints() {
             r.register(lint);
         }
         for lint in inter::lints() {
+            r.register(lint);
+        }
+        for lint in taint::lints() {
             r.register(lint);
         }
         r
@@ -124,6 +139,9 @@ impl LintRegistry {
             if lint.needs_points_to() && cx.points_to.is_none() {
                 continue;
             }
+            if lint.needs_taint() && cx.taint.is_none() {
+                continue;
+            }
             let start = out.len();
             lint.check(cx, &mut out);
             let severity = match level {
@@ -162,10 +180,10 @@ mod tests {
     }
 
     #[test]
-    fn default_registry_has_ten_lints_with_unique_codes() {
+    fn default_registry_has_fourteen_lints_with_unique_codes() {
         let r = LintRegistry::with_defaults();
         let codes: Vec<_> = r.iter().map(|(c, ..)| c).collect();
-        assert_eq!(codes.len(), 10);
+        assert_eq!(codes.len(), 14);
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -180,6 +198,7 @@ mod tests {
             program: &p,
             hierarchy: &h,
             points_to: None,
+            taint: None,
         };
 
         let mut r = LintRegistry::with_defaults();
@@ -208,6 +227,7 @@ mod tests {
             program: &p,
             hierarchy: &h,
             points_to: None,
+            taint: None,
         };
         let diags = LintRegistry::with_defaults().run(&cx);
         assert!(diags.iter().all(|d| d.code.starts_with('L')), "{diags:?}");

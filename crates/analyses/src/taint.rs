@@ -1,0 +1,214 @@
+//! Taint-tier lints: backed by a [`TaintResult`] from
+//! [`rudoop_core::analyze_taint`], itself layered on a points-to run.
+//!
+//! These lints are the diagnostics view of the taint client. `T001` is the
+//! flow report proper (one finding per leak, with the shortest derivation
+//! trace as notes); the other three interpret the leak set and sanitizer
+//! observations:
+//!
+//! | code | name | finding |
+//! |------|------|---------|
+//! | `T001` | `tainted-flow` | a source's value reaches a sink unsanitized |
+//! | `T002` | `sanitizer-bypassed` | a source is sanitized on one path but leaks through the heap on another |
+//! | `T003` | `merged-context-flow` | the flow crosses a context-merged heap object, so it may be an artifact of context collapse |
+//! | `T004` | `dead-sanitizer` | a reachable sanitizer call never sees tainted data |
+//!
+//! All four are skipped (not errored) when [`LintContext::taint`] is `None`
+//! — in particular when the analysis supervisor exhausted its ladder and
+//! taint was skipped, so a degraded run never masquerades as "no leaks".
+
+use rudoop_core::taint::TaintResult;
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lint::{Lint, LintContext};
+
+/// All taint-tier lints, in code order.
+pub fn lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(TaintedFlow),
+        Box::new(SanitizerBypassed),
+        Box::new(MergedContextFlow),
+        Box::new(DeadSanitizer),
+    ]
+}
+
+fn taint_of<'a>(cx: &'a LintContext<'_>) -> &'a TaintResult {
+    cx.taint.expect("taint lint without taint result")
+}
+
+/// Anchors a diagnostic at a call site, falling back to program level when
+/// the invocation cannot be located (never expected for leak endpoints).
+fn at_invoke(d: Diagnostic, cx: &LintContext<'_>, invoke: rudoop_ir::InvokeId) -> Diagnostic {
+    match cx.program.invoke_site(invoke) {
+        Some((method, index)) => d.at_instr(cx.program, method, index),
+        None => d,
+    }
+}
+
+/// `T001`: an unsanitized source→sink flow. One finding per leak, anchored
+/// at the sink call site; the shortest derivation the analysis found is
+/// attached as notes (truncated past eight steps).
+pub struct TaintedFlow;
+
+impl Lint for TaintedFlow {
+    fn code(&self) -> &'static str {
+        "T001"
+    }
+    fn name(&self) -> &'static str {
+        "tainted-flow"
+    }
+    fn description(&self) -> &'static str {
+        "a taint source's value reaches a sink without passing a sanitizer"
+    }
+    fn needs_taint(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let taint = taint_of(cx);
+        for leak in &taint.leaks {
+            let mut d = Diagnostic::new(
+                "T001",
+                Severity::Warning,
+                format!("tainted value flows to sink: {}", leak.headline(cx.program)),
+            );
+            d = at_invoke(d, cx, leak.sink);
+            const MAX_TRACE: usize = 8;
+            for step in leak.trace.iter().take(MAX_TRACE) {
+                d = d.note(format!("via {step}"));
+            }
+            if leak.trace.len() > MAX_TRACE {
+                d = d.note(format!("... {} more step(s)", leak.trace.len() - MAX_TRACE));
+            }
+            out.push(d);
+        }
+    }
+}
+
+/// `T002`: the same source is sanitized on some path yet still leaks, and
+/// the leaking flow crosses the heap — the classic "sanitize the variable,
+/// leak the alias" bug. A strict subset of `T001` with extra evidence.
+pub struct SanitizerBypassed;
+
+impl Lint for SanitizerBypassed {
+    fn code(&self) -> &'static str {
+        "T002"
+    }
+    fn name(&self) -> &'static str {
+        "sanitizer-bypassed"
+    }
+    fn description(&self) -> &'static str {
+        "a sanitized source still leaks through a heap alias"
+    }
+    fn needs_taint(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let taint = taint_of(cx);
+        for leak in &taint.leaks {
+            if leak.heap_steps == 0 || !taint.source_sanitized(leak.source) {
+                continue;
+            }
+            let d = Diagnostic::new(
+                "T002",
+                Severity::Warning,
+                format!(
+                    "sanitizer bypassed via aliasing: {}",
+                    leak.headline(cx.program)
+                ),
+            )
+            .note(format!(
+                "the flow crosses {} heap location(s) a sanitizer never touches",
+                leak.heap_steps
+            ));
+            out.push(at_invoke(d, cx, leak.sink));
+        }
+    }
+}
+
+/// `T003`: the flow crosses a heap object whose heap context was merged to
+/// the empty context — by introspective refinement or a coarse rung — so
+/// the leak may be an artifact of context collapse rather than a real
+/// flow. Suppressed under the insensitive analysis, where *every* heap
+/// context is merged and the signal is vacuous.
+pub struct MergedContextFlow;
+
+impl Lint for MergedContextFlow {
+    fn code(&self) -> &'static str {
+        "T003"
+    }
+    fn name(&self) -> &'static str {
+        "merged-context-flow"
+    }
+    fn description(&self) -> &'static str {
+        "a reported flow crosses a context-merged heap object (possible precision artifact)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Note
+    }
+    fn needs_taint(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let taint = taint_of(cx);
+        if taint.analysis == "insens" {
+            return;
+        }
+        for leak in &taint.leaks {
+            if !leak.merged_heap_step {
+                continue;
+            }
+            let d = Diagnostic::new(
+                "T003",
+                Severity::Note,
+                format!(
+                    "flow crosses a merged heap context: {}",
+                    leak.headline(cx.program)
+                ),
+            )
+            .note(format!(
+                "under the `{}` analysis this object's contexts were collapsed; \
+                 a finer abstraction may rule the flow out",
+                taint.analysis
+            ));
+            out.push(at_invoke(d, cx, leak.sink));
+        }
+    }
+}
+
+/// `T004`: a reachable sanitizer call site no tainted value ever reaches.
+/// Either the sanitizer guards nothing (dead defensive code) or the taint
+/// spec is missing a source.
+pub struct DeadSanitizer;
+
+impl Lint for DeadSanitizer {
+    fn code(&self) -> &'static str {
+        "T004"
+    }
+    fn name(&self) -> &'static str {
+        "dead-sanitizer"
+    }
+    fn description(&self) -> &'static str {
+        "a reachable sanitizer call never receives tainted data"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Note
+    }
+    fn needs_taint(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let taint = taint_of(cx);
+        for &(site, saw_taint) in &taint.sanitizer_calls {
+            if saw_taint {
+                continue;
+            }
+            let d = Diagnostic::new(
+                "T004",
+                Severity::Note,
+                "sanitizer call never receives tainted data",
+            )
+            .note("either the guard is dead code or the taint spec is missing a source");
+            out.push(at_invoke(d, cx, site));
+        }
+    }
+}

@@ -19,6 +19,7 @@ fn lint(p: &Program, h: &ClassHierarchy, r: &PointsToResult) -> Vec<Diagnostic> 
         program: p,
         hierarchy: h,
         points_to: Some(r),
+        taint: None,
     };
     LintRegistry::with_defaults().run(&cx)
 }

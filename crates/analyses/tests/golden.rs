@@ -1,15 +1,17 @@
 //! Golden-file tests: the rendered diagnostics for small `.rud` fixtures
-//! are pinned byte-for-byte. This locks the renderer format, the sort
-//! order, and each lint's message wording. To refresh after an intentional
-//! change, set `UPDATE_GOLDEN=1` and re-run.
+//! are pinned byte-for-byte — in the text format and, for the taint
+//! fixture, in the stable `--format json` schema too. This locks the
+//! renderer formats, the sort order, and each lint's message wording. To
+//! refresh after an intentional change, set `UPDATE_GOLDEN=1` and re-run.
 
 use std::path::PathBuf;
 
-use rudoop_analyses::diagnostics::render;
-use rudoop_analyses::{validate_diagnostics, LintContext, LintRegistry};
+use rudoop_analyses::diagnostics::{render, render_json};
+use rudoop_analyses::{validate_diagnostics, Diagnostic, LintContext, LintRegistry};
 use rudoop_core::policy::Insensitive;
 use rudoop_core::solver::{analyze, SolverConfig};
-use rudoop_ir::{parse_program, ClassHierarchy};
+use rudoop_core::taint::analyze_taint;
+use rudoop_ir::{parse_program, ClassHierarchy, Program, TaintSpec};
 
 fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -18,37 +20,56 @@ fn fixture(name: &str) -> PathBuf {
 }
 
 /// The exact pipeline `rudoop-lint` runs: validate; if well-formed, run the
-/// insensitive analysis and the default lint suite; render.
-fn lint_to_text(source: &str) -> String {
+/// insensitive analysis (recording contexts when a taint spec is present),
+/// the taint client, and the default lint suite.
+fn lint_diags(source: &str, taint_text: Option<&str>) -> (Program, Vec<Diagnostic>) {
     let program = parse_program(source).expect("fixture parses");
     let mut diags = validate_diagnostics(&program);
     if diags.is_empty() {
         let hierarchy = ClassHierarchy::new(&program);
-        let result = analyze(&program, &hierarchy, &Insensitive, &SolverConfig::default());
+        let config = SolverConfig {
+            record_contexts: taint_text.is_some(),
+            ..SolverConfig::default()
+        };
+        let result = analyze(&program, &hierarchy, &Insensitive, &config);
+        let taint = taint_text.map(|text| {
+            let spec = TaintSpec::parse(text, &program).expect("taint spec resolves");
+            analyze_taint(&program, &spec, &result).expect("taint analysis runs")
+        });
         let cx = LintContext {
             program: &program,
             hierarchy: &hierarchy,
             points_to: Some(&result),
+            taint: taint.as_ref(),
         };
         diags = LintRegistry::with_defaults().run(&cx);
     }
-    render(&program, &diags)
+    (program, diags)
 }
 
-fn check_golden(name: &str) {
-    let source = std::fs::read_to_string(fixture(&format!("{name}.rud"))).unwrap();
-    let actual = lint_to_text(&source);
-    let expected_path = fixture(&format!("{name}.expected"));
+fn check_against(expected_name: &str, actual: &str) {
+    let expected_path = fixture(expected_name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(&expected_path, &actual).unwrap();
+        std::fs::write(&expected_path, actual).unwrap();
         return;
     }
     let expected = std::fs::read_to_string(&expected_path)
         .unwrap_or_else(|e| panic!("missing golden file {}: {e}", expected_path.display()));
     assert_eq!(
         actual, expected,
-        "rendered diagnostics for {name}.rud diverge from {name}.expected \
+        "rendered diagnostics diverge from {expected_name} \
          (run with UPDATE_GOLDEN=1 to refresh after an intentional change)"
+    );
+}
+
+fn check_golden(name: &str) {
+    let source = std::fs::read_to_string(fixture(&format!("{name}.rud"))).unwrap();
+    let taint = std::fs::read_to_string(fixture(&format!("{name}.taint"))).ok();
+    let (program, diags) = lint_diags(&source, taint.as_deref());
+    check_against(&format!("{name}.expected"), &render(&program, &diags));
+    check_against(
+        &format!("{name}.json.expected"),
+        &render_json(&program, &diags),
     );
 }
 
@@ -65,4 +86,9 @@ fn invalid_fixture_reports_all_e_codes() {
 #[test]
 fn clean_fixture_renders_nothing() {
     check_golden("clean");
+}
+
+#[test]
+fn tainted_fixture_reports_t_codes_in_both_formats() {
+    check_golden("tainted");
 }

@@ -28,6 +28,7 @@ fn lints_run_clean_of_errors_on_generated_programs() {
             program: &program,
             hierarchy: &hierarchy,
             points_to: Some(&result),
+            taint: None,
         };
         let diags = registry.run(&cx);
         for d in &diags {
@@ -53,6 +54,7 @@ fn tier1_alone_never_panics_and_is_deterministic() {
             program: &program,
             hierarchy: &hierarchy,
             points_to: None,
+            taint: None,
         };
         let first = registry.run(&cx);
         let second = registry.run(&cx);
@@ -82,6 +84,7 @@ fn rendering_generated_diagnostics_never_panics() {
             program: &program,
             hierarchy: &hierarchy,
             points_to: Some(&result),
+            taint: None,
         };
         let diags = registry.run(&cx);
         let text = rudoop_analyses::render(&program, &diags);

@@ -1,0 +1,103 @@
+//! End-to-end checks of the taint lint tier (`T001`–`T004`) over the
+//! workload taint battery, plus the `T003` merged-context signal and the
+//! skip-when-absent contract.
+
+use rudoop_analyses::{LintContext, LintRegistry};
+use rudoop_core::policy::Insensitive;
+use rudoop_core::solver::{analyze, SolverConfig};
+use rudoop_core::taint::analyze_taint;
+use rudoop_ir::ClassHierarchy;
+use rudoop_workloads::WorkloadSpec;
+
+/// A minimal recipe: just the taint battery, no amplifiers.
+fn battery_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "taint-battery".to_owned(),
+        pool_values: 0,
+        probes_clean: 0,
+        probes_type_friendly: 0,
+        listeners: 0,
+        visitor_nodes: 0,
+        stream_depth: 0,
+        app_classes: 0,
+        taint_flows: 1,
+        ..WorkloadSpec::default()
+    }
+}
+
+#[test]
+fn taint_battery_trips_the_t_series() {
+    let spec = battery_spec();
+    let program = spec.build();
+    let taint_spec = spec.taint_spec(&program);
+    let hierarchy = ClassHierarchy::new(&program);
+    let config = SolverConfig {
+        record_contexts: true,
+        ..SolverConfig::default()
+    };
+    let result = analyze(&program, &hierarchy, &Insensitive, &config);
+    assert!(result.outcome.is_complete());
+    let taint = analyze_taint(&program, &taint_spec, &result).unwrap();
+
+    let cx = LintContext {
+        program: &program,
+        hierarchy: &hierarchy,
+        points_to: Some(&result),
+        taint: Some(&taint),
+    };
+    let diags = LintRegistry::with_defaults().run(&cx);
+    let has = |code: &str| diags.iter().any(|d| d.code == code);
+    assert!(has("T001"), "direct leak not reported: {diags:?}");
+    assert!(has("T002"), "alias bypass not reported: {diags:?}");
+    assert!(has("T004"), "dead sanitizer not reported: {diags:?}");
+    // The insensitive analysis merges *every* heap context, so the
+    // merged-context hint would be pure noise there and must stay silent.
+    assert!(!has("T003"), "T003 must be suppressed under insens");
+
+    // Without a taint result the whole tier is skipped, not errored.
+    let cx_no_taint = LintContext {
+        program: &program,
+        hierarchy: &hierarchy,
+        points_to: Some(&result),
+        taint: None,
+    };
+    let diags = LintRegistry::with_defaults().run(&cx_no_taint);
+    assert!(diags.iter().all(|d| !d.code.starts_with('T')));
+}
+
+#[test]
+fn merged_context_flow_fires_for_context_sensitive_runs() {
+    let spec = battery_spec();
+    let program = spec.build();
+    let taint_spec = spec.taint_spec(&program);
+    let hierarchy = ClassHierarchy::new(&program);
+    let config = SolverConfig {
+        record_contexts: true,
+        ..SolverConfig::default()
+    };
+    let result = analyze(&program, &hierarchy, &Insensitive, &config);
+    let mut taint = analyze_taint(&program, &taint_spec, &result).unwrap();
+
+    // Pose as a context-sensitive run that still crossed a merged heap
+    // object (what an introspective refinement produces): the hint must
+    // now fire on exactly the heap-crossing leaks.
+    taint.analysis = "intro-A/2objH".to_owned();
+    let merged: usize = taint.leaks.iter().filter(|l| l.merged_heap_step).count();
+    assert!(
+        merged > 0,
+        "insens leak traces should cross merged contexts"
+    );
+
+    let cx = LintContext {
+        program: &program,
+        hierarchy: &hierarchy,
+        points_to: Some(&result),
+        taint: Some(&taint),
+    };
+    let diags = LintRegistry::with_defaults().run(&cx);
+    let t003: Vec<_> = diags.iter().filter(|d| d.code == "T003").collect();
+    assert_eq!(t003.len(), merged, "{diags:?}");
+    assert!(t003
+        .iter()
+        .all(|d| d.notes.iter().any(|n| n.contains("intro-A/2objH"))));
+}

@@ -65,6 +65,7 @@ pub mod policy;
 pub mod solver;
 pub mod stats;
 pub mod supervisor;
+pub mod taint;
 
 pub use clients::PrecisionMetrics;
 pub use context::{CObj, ContextElem, CtxId, CtxTables, HCtxId};
@@ -86,3 +87,4 @@ pub use supervisor::{
     supervise, HeuristicChoice, LadderSpec, RungReport, RungSpec, SalvagedFacts, SupervisedRun,
     SupervisionVerdict, SupervisorConfig,
 };
+pub use taint::{analyze_taint, supervised_taint, Leak, SupervisedTaint, TaintError, TaintResult};

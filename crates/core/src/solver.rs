@@ -384,6 +384,23 @@ pub struct CsDump {
     pub reachable: Vec<(MethodId, CtxId)>,
 }
 
+impl CsDump {
+    /// Var-points-to indexed by `(var, ctx)`, each set sorted and
+    /// deduplicated — the shape clients that re-traverse value flow (the
+    /// taint analysis) consume.
+    pub fn var_pts_index(&self) -> FxHashMap<(VarId, CtxId), Vec<(AllocId, HCtxId)>> {
+        let mut index: FxHashMap<(VarId, CtxId), Vec<(AllocId, HCtxId)>> = FxHashMap::default();
+        for &(var, ctx, heap, hctx) in &self.var_points_to {
+            index.entry((var, ctx)).or_default().push((heap, hctx));
+        }
+        for objs in index.values_mut() {
+            objs.sort_unstable();
+            objs.dedup();
+        }
+        index
+    }
+}
+
 /// The output of one analysis run: projected (context-insensitive)
 /// relations for clients, statistics, and optionally the raw
 /// context-sensitive tuples.

@@ -43,7 +43,9 @@
 pub mod engine;
 pub mod model;
 pub mod rule;
+pub mod taint;
 
 pub use engine::{Engine, RunStats};
 pub use model::{run_model, ModelResult};
 pub use rule::{Atom, FuncApp, FuncId, Literal, RelId, Rule, RuleBuilder, RuleError, Term, Value};
+pub use taint::{run_taint_model, TaintModelResult};

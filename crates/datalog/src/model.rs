@@ -96,7 +96,86 @@ pub fn run_model(
 ) -> Result<ModelResult, RuleError> {
     let tables = Rc::new(RefCell::new(CtxTables::new()));
     let mut engine = Engine::new();
+    let rels = install_base_model(
+        &mut engine,
+        &tables,
+        program,
+        hierarchy,
+        default,
+        refined,
+        refinement,
+    )?;
+    let stats = engine.run()?;
+    let mut result = extract_result(&engine, &rels, stats.rounds);
+    drop(engine);
+    result.tables = Rc::try_unwrap(tables).expect("engine dropped").into_inner();
+    Ok(result)
+}
 
+/// The relation ids of the base (points-to) model that extension rule sets
+/// — the taint client — join against.
+pub(crate) struct BaseRels {
+    pub(crate) mov: RelId,
+    pub(crate) load: RelId,
+    pub(crate) store: RelId,
+    pub(crate) sload: RelId,
+    pub(crate) sstore: RelId,
+    pub(crate) vcall: RelId,
+    pub(crate) specialcall: RelId,
+    pub(crate) formalarg: RelId,
+    pub(crate) actualarg: RelId,
+    pub(crate) formalreturn: RelId,
+    pub(crate) actualreturn: RelId,
+    pub(crate) thisvar: RelId,
+    pub(crate) varpointsto: RelId,
+    pub(crate) callgraph: RelId,
+    pub(crate) fldpointsto: RelId,
+    pub(crate) reachable: RelId,
+}
+
+/// Reads the computed relations out of a finished engine.
+pub(crate) fn extract_result(engine: &Engine<'_>, rels: &BaseRels, rounds: u64) -> ModelResult {
+    let mut result = ModelResult {
+        rounds,
+        ..ModelResult::default()
+    };
+    for t in engine.tuples(rels.varpointsto) {
+        result
+            .var_points_to
+            .push((VarId(t[0]), CtxId(t[1]), AllocId(t[2]), HCtxId(t[3])));
+    }
+    for t in engine.tuples(rels.fldpointsto) {
+        result.field_points_to.push((
+            AllocId(t[0]),
+            HCtxId(t[1]),
+            FieldId(t[2]),
+            AllocId(t[3]),
+            HCtxId(t[4]),
+        ));
+    }
+    for t in engine.tuples(rels.callgraph) {
+        result
+            .call_graph
+            .push((InvokeId(t[0]), CtxId(t[1]), MethodId(t[2]), CtxId(t[3])));
+    }
+    for t in engine.tuples(rels.reachable) {
+        result.reachable.push((MethodId(t[0]), CtxId(t[1])));
+    }
+    result
+}
+
+/// Declares the Figure 2–3 relations, context-constructor functions, rules
+/// and program facts on `engine`, returning the relation handles extension
+/// rule sets need.
+pub(crate) fn install_base_model<'a>(
+    engine: &mut Engine<'a>,
+    tables: &Rc<RefCell<CtxTables>>,
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    default: &'a dyn ContextPolicy,
+    refined: &'a dyn ContextPolicy,
+    refinement: &RefinementSet,
+) -> Result<BaseRels, RuleError> {
     // ---- EDB relations (Figure 2's input relations) ----
     let alloc = engine.relation("ALLOC", 3); // var, heap, inMeth
     let mov = engine.relation("MOVE", 2); // to, from
@@ -196,7 +275,7 @@ pub fn run_model(
 
     // INTERPROCASSIGN from arguments.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("interproc-args")
             .head(interprocassign, &["to", "calleeCtx", "from", "callerCtx"])
             .pos(callgraph, &["invo", "callerCtx", "meth", "calleeCtx"])
@@ -206,7 +285,7 @@ pub fn run_model(
     )?;
     // INTERPROCASSIGN from returns.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("interproc-ret")
             .head(interprocassign, &["to", "callerCtx", "from", "calleeCtx"])
             .pos(callgraph, &["invo", "callerCtx", "meth", "calleeCtx"])
@@ -216,7 +295,7 @@ pub fn run_model(
     )?;
     // ALLOC, default context.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("alloc")
             .head(varpointsto, &["var", "ctx", "heap", "hctx"])
             .pos(reachable, &["meth", "ctx"])
@@ -227,7 +306,7 @@ pub fn run_model(
     )?;
     // ALLOC, refined duplicate.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("alloc-refined")
             .head(varpointsto, &["var", "ctx", "heap", "hctx"])
             .pos(reachable, &["meth", "ctx"])
@@ -238,7 +317,7 @@ pub fn run_model(
     )?;
     // MOVE.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("move")
             .head(varpointsto, &["to", "ctx", "heap", "hctx"])
             .pos(mov, &["to", "from"])
@@ -247,7 +326,7 @@ pub fn run_model(
     )?;
     // INTERPROCASSIGN propagation.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("interproc-flow")
             .head(varpointsto, &["to", "toCtx", "heap", "hctx"])
             .pos(interprocassign, &["to", "toCtx", "from", "fromCtx"])
@@ -256,7 +335,7 @@ pub fn run_model(
     )?;
     // LOAD.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("load")
             .head(varpointsto, &["to", "ctx", "heap", "hctx"])
             .pos(load, &["to", "base", "fld"])
@@ -266,7 +345,7 @@ pub fn run_model(
     )?;
     // STORE.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("store")
             .head(fldpointsto, &["baseH", "baseHCtx", "fld", "heap", "hctx"])
             .pos(store, &["base", "fld", "from"])
@@ -276,7 +355,7 @@ pub fn run_model(
     )?;
     // VCALL, default and refined.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("vcall")
             .head(reachable, &["toMeth", "calleeCtx"])
             .head(varpointsto, &["this", "calleeCtx", "heap", "hctx"])
@@ -296,7 +375,7 @@ pub fn run_model(
             .build(),
     )?;
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("vcall-refined")
             .head(reachable, &["toMeth", "calleeCtx"])
             .head(varpointsto, &["this", "calleeCtx", "heap", "hctx"])
@@ -317,7 +396,7 @@ pub fn run_model(
     )?;
     // SPECIALCALL (statically bound receiver call), default and refined.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("specialcall")
             .head(reachable, &["toMeth", "calleeCtx"])
             .head(varpointsto, &["this", "calleeCtx", "heap", "hctx"])
@@ -335,7 +414,7 @@ pub fn run_model(
             .build(),
     )?;
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("specialcall-refined")
             .head(reachable, &["toMeth", "calleeCtx"])
             .head(varpointsto, &["this", "calleeCtx", "heap", "hctx"])
@@ -354,7 +433,7 @@ pub fn run_model(
     )?;
     // STATICCALL, default and refined.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("staticcall")
             .head(reachable, &["toMeth", "calleeCtx"])
             .head(callgraph, &["invo", "callerCtx", "toMeth", "calleeCtx"])
@@ -365,7 +444,7 @@ pub fn run_model(
             .build(),
     )?;
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("staticcall-refined")
             .head(reachable, &["toMeth", "calleeCtx"])
             .head(callgraph, &["invo", "callerCtx", "toMeth", "calleeCtx"])
@@ -383,7 +462,7 @@ pub fn run_model(
     // globals are single context-insensitive slots; a load materializes the
     // slot's contents in every reachable context of the loading method.
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("global-store")
             .head(globalpointsto, &["glob", "heap", "hctx"])
             .pos(sstore, &["glob", "from"])
@@ -391,7 +470,7 @@ pub fn run_model(
             .build(),
     )?;
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("global-load")
             .head(varpointsto, &["to", "ctx", "heap", "hctx"])
             .pos(sload, &["to", "glob", "inMeth"])
@@ -402,7 +481,7 @@ pub fn run_model(
     // Entry points: reachable under the empty context (the paper's
     // REACHABLE seeding technicality).
     add(
-        &mut engine,
+        engine,
         RuleBuilder::new("entry")
             .head(reachable, &["meth", "#0"])
             .pos(entry, &["meth"])
@@ -411,7 +490,7 @@ pub fn run_model(
 
     // ---- Facts from the program ----
     load_facts(
-        &mut engine,
+        engine,
         program,
         hierarchy,
         refinement,
@@ -438,37 +517,24 @@ pub fn run_model(
         },
     );
 
-    let stats = engine.run()?;
-
-    let mut result = ModelResult {
-        rounds: stats.rounds,
-        ..ModelResult::default()
-    };
-    for t in engine.tuples(varpointsto) {
-        result
-            .var_points_to
-            .push((VarId(t[0]), CtxId(t[1]), AllocId(t[2]), HCtxId(t[3])));
-    }
-    for t in engine.tuples(fldpointsto) {
-        result.field_points_to.push((
-            AllocId(t[0]),
-            HCtxId(t[1]),
-            FieldId(t[2]),
-            AllocId(t[3]),
-            HCtxId(t[4]),
-        ));
-    }
-    for t in engine.tuples(callgraph) {
-        result
-            .call_graph
-            .push((InvokeId(t[0]), CtxId(t[1]), MethodId(t[2]), CtxId(t[3])));
-    }
-    for t in engine.tuples(reachable) {
-        result.reachable.push((MethodId(t[0]), CtxId(t[1])));
-    }
-    drop(engine);
-    result.tables = Rc::try_unwrap(tables).expect("engine dropped").into_inner();
-    Ok(result)
+    Ok(BaseRels {
+        mov,
+        load,
+        store,
+        sload,
+        sstore,
+        vcall,
+        specialcall,
+        formalarg,
+        actualarg,
+        formalreturn,
+        actualreturn,
+        thisvar,
+        varpointsto,
+        callgraph,
+        fldpointsto,
+        reachable,
+    })
 }
 
 struct Facts {

@@ -1,0 +1,237 @@
+//! Differential testing of the taint client: the optimized BFS-based
+//! analysis in `rudoop-core` must produce a leak set *byte-identical* to
+//! the Datalog reference model, on seeded arbitrary programs and on
+//! DaCapo-shaped workloads, for the insensitive, `2objH`, and
+//! introspective-A/B flavors.
+//!
+//! The suite also asserts the soundness/precision contract as supersets —
+//! not just logs it: a coarser abstraction can only *add* leaks, so
+//!
+//! ```text
+//! leaks(2objH)  ⊆  leaks(introspective 2objH)  ⊆  leaks(insensitive)
+//! ```
+//!
+//! (introspection selectively *coarsens* `2objH`, and the insensitive
+//! analysis is the coarsest of the three).
+
+use rudoop_core::driver::{analyze_introspective, Flavor};
+use rudoop_core::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
+use rudoop_core::policy::{ContextPolicy, Insensitive, ObjectSensitive, RefinementSet};
+use rudoop_core::solver::{analyze, SolverConfig};
+use rudoop_core::taint::analyze_taint;
+use rudoop_datalog::run_taint_model;
+use rudoop_ir::arbitrary::{generate_with_taint, ProgramShape};
+use rudoop_ir::{ClassHierarchy, InvokeId, Program, TaintSpec};
+use rudoop_workloads::{dacapo, WorkloadSpec};
+
+type LeakSet = Vec<(InvokeId, InvokeId, u32)>;
+
+fn record_config() -> SolverConfig {
+    SolverConfig {
+        record_contexts: true,
+        ..SolverConfig::default()
+    }
+}
+
+/// Optimized leak set under a plain (non-introspective) policy.
+fn solver_leaks(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    spec: &TaintSpec,
+    policy: &dyn ContextPolicy,
+) -> LeakSet {
+    let r = analyze(program, hierarchy, policy, &record_config());
+    assert!(r.outcome.is_complete(), "stopped early: {:?}", r.exhaustion);
+    analyze_taint(program, spec, &r).unwrap().leak_set()
+}
+
+/// Reference leak set for the same plain policy.
+fn model_leaks(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    spec: &TaintSpec,
+    policy: &dyn ContextPolicy,
+) -> LeakSet {
+    let refine_all = RefinementSet::refine_all(program);
+    run_taint_model(program, hierarchy, spec, &Insensitive, policy, &refine_all)
+        .unwrap()
+        .leaks
+}
+
+/// Optimized + reference leak sets for introspective `2objH` under the
+/// given heuristic; the model consumes the exact refinement the two-pass
+/// driver selected.
+fn introspective_leaks(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    spec: &TaintSpec,
+    heuristic: &dyn RefinementHeuristic,
+) -> (LeakSet, LeakSet) {
+    let run = analyze_introspective(
+        program,
+        hierarchy,
+        Flavor::OBJ2H,
+        heuristic,
+        &record_config(),
+    );
+    assert!(run.result.outcome.is_complete());
+    let solver = analyze_taint(program, spec, &run.result)
+        .unwrap()
+        .leak_set();
+    let model = run_taint_model(
+        program,
+        hierarchy,
+        spec,
+        &Insensitive,
+        &ObjectSensitive::new(2, 1),
+        &run.refinement,
+    )
+    .unwrap()
+    .leaks;
+    (solver, model)
+}
+
+fn assert_subset(finer: &LeakSet, coarser: &LeakSet, what: &str) {
+    for leak in finer {
+        assert!(
+            coarser.binary_search(leak).is_ok(),
+            "{what}: leak {leak:?} reported by the finer analysis is missing from the \
+             coarser one — soundness violated"
+        );
+    }
+}
+
+/// The full check battery for one `(program, spec)` pair. Returns the
+/// insensitive leak count (so callers can assert fixtures actually leak).
+fn check_program(name: &str, program: &Program, spec: &TaintSpec) -> usize {
+    let hierarchy = ClassHierarchy::new(program);
+
+    let insens_solver = solver_leaks(program, &hierarchy, spec, &Insensitive);
+    let insens_model = model_leaks(program, &hierarchy, spec, &Insensitive);
+    assert_eq!(insens_solver, insens_model, "{name}: insensitive");
+
+    let obj = ObjectSensitive::new(2, 1);
+    let obj_solver = solver_leaks(program, &hierarchy, spec, &obj);
+    let obj_model = model_leaks(program, &hierarchy, spec, &obj);
+    assert_eq!(obj_solver, obj_model, "{name}: 2objH");
+
+    let (ia_solver, ia_model) =
+        introspective_leaks(program, &hierarchy, spec, &HeuristicA::default());
+    assert_eq!(ia_solver, ia_model, "{name}: introspective-A");
+    let (ib_solver, ib_model) =
+        introspective_leaks(program, &hierarchy, spec, &HeuristicB::default());
+    assert_eq!(ib_solver, ib_model, "{name}: introspective-B");
+
+    // Soundness chain, asserted in both directions of each inclusion's
+    // contrapositive: the finer analysis must never see a leak the coarser
+    // one misses.
+    assert_subset(&obj_solver, &ia_solver, &format!("{name}: 2objH ⊆ introA"));
+    assert_subset(&obj_solver, &ib_solver, &format!("{name}: 2objH ⊆ introB"));
+    assert_subset(
+        &ia_solver,
+        &insens_solver,
+        &format!("{name}: introA ⊆ insens"),
+    );
+    assert_subset(
+        &ib_solver,
+        &insens_solver,
+        &format!("{name}: introB ⊆ insens"),
+    );
+
+    insens_solver.len()
+}
+
+// ---------------------------------------------------------------- seeded
+
+#[test]
+fn seeded_programs_agree_across_flavors() {
+    // ≥ 20 seeded arbitrary programs with annotated taint sites.
+    let shape = ProgramShape::default();
+    let mut leaking = 0usize;
+    for seed in 0..24u64 {
+        let (program, spec) = generate_with_taint(&shape, seed, 2);
+        let n = check_program(&format!("seed {seed}"), &program, &spec);
+        if n > 0 {
+            leaking += 1;
+        }
+    }
+    // The generator's scripted flows guarantee most seeds actually leak;
+    // an all-empty battery would test nothing.
+    assert!(leaking >= 20, "only {leaking}/24 seeds leaked");
+}
+
+// ------------------------------------------------------------ workloads
+
+/// A DaCapo-shaped spec shrunk to reference-model scale: the Datalog
+/// engine evaluates rules tuple-at-a-time, so the full-size specs (built
+/// to stress the optimized solver) are out of reach; the shrunk clones
+/// keep every pattern of the original enabled, just smaller, and switch
+/// the taint battery on.
+fn shrink(mut spec: WorkloadSpec) -> WorkloadSpec {
+    fn cap(v: &mut usize, at: usize) {
+        *v = (*v).min(at);
+    }
+    cap(&mut spec.pool_values, 8);
+    cap(&mut spec.pool_readers, 6);
+    cap(&mut spec.wrapper_classes, 2);
+    cap(&mut spec.creator_classes, 2);
+    cap(&mut spec.creator_instances, 3);
+    cap(&mut spec.allocator_classes, 2);
+    cap(&mut spec.wrapper_sites_per_class, 2);
+    cap(&mut spec.process_steps, 2);
+    cap(&mut spec.deep_pool_values, 6);
+    cap(&mut spec.deep_creator_classes, 2);
+    cap(&mut spec.deep_allocator_classes, 2);
+    cap(&mut spec.deep_instances, 2);
+    cap(&mut spec.deep_sites_per_class, 2);
+    cap(&mut spec.deep_steps, 2);
+    cap(&mut spec.util_consumers, 3);
+    cap(&mut spec.util_dists, 2);
+    cap(&mut spec.util_chain, 2);
+    cap(&mut spec.util_moves, 2);
+    cap(&mut spec.medium_pool, 6);
+    cap(&mut spec.probes_clean, 2);
+    cap(&mut spec.probes_type_friendly, 2);
+    cap(&mut spec.probes_medium, 2);
+    cap(&mut spec.listeners, 2);
+    cap(&mut spec.visitor_nodes, 2);
+    cap(&mut spec.visitor_kinds, 2);
+    cap(&mut spec.stream_depth, 2);
+    cap(&mut spec.app_classes, 2);
+    cap(&mut spec.app_casts, 2);
+    spec.taint_flows = 1;
+    spec
+}
+
+#[test]
+fn dacapo_workloads_agree_across_flavors() {
+    for base in dacapo::all_nine() {
+        let spec = shrink(base);
+        let program = spec.build();
+        let taint = spec.taint_spec(&program);
+        let leaks = check_program(&spec.name, &program, &taint);
+        // Every workload carries the taint battery: the direct leak and
+        // the alias bypass must be found even by the most precise flavor's
+        // superset (the insensitive count is what we have in hand here).
+        assert!(leaks >= 2, "{}: expected ≥ 2 leaks, got {leaks}", spec.name);
+    }
+}
+
+#[test]
+fn context_merge_probe_separates_flavors() {
+    // On the taint battery, the insensitive analysis must report strictly
+    // more leaks than 2objH (the context-merge probe is a false positive
+    // of merging), demonstrating the precision half of the contract.
+    let spec = shrink(dacapo::antlr());
+    let program = spec.build();
+    let taint = spec.taint_spec(&program);
+    let hierarchy = ClassHierarchy::new(&program);
+    let insens = solver_leaks(&program, &hierarchy, &taint, &Insensitive);
+    let obj = solver_leaks(&program, &hierarchy, &taint, &ObjectSensitive::new(2, 1));
+    assert!(
+        obj.len() < insens.len(),
+        "2objH ({}) should be strictly more precise than insensitive ({})",
+        obj.len(),
+        insens.len()
+    );
+}

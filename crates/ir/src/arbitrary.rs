@@ -16,6 +16,7 @@
 use crate::builder::ProgramBuilder;
 use crate::program::Program;
 use crate::rng::SplitMix64;
+use crate::taint::TaintSpec;
 
 /// Size bounds for [`generate`].
 #[derive(Debug, Clone, Copy)]
@@ -152,6 +153,28 @@ fn draw_instrs(rng: &mut SplitMix64, max_vars: usize, lo: usize, hi: usize) -> V
 /// Generates a random well-formed [`Program`], a pure function of
 /// `(shape, seed)`.
 pub fn generate(shape: &ProgramShape, seed: u64) -> Program {
+    generate_with_taint(shape, seed, 0).0
+}
+
+/// Like [`generate`], but additionally emits `taint_sites` annotated taint
+/// flows and returns the matching [`TaintSpec`].
+///
+/// The program gains a `Taint` class with three static methods — `src`
+/// (source), `san` (sanitizer, returns its argument), `snk` (sink on
+/// argument 0) — and `main` gains one seeded flow per site: direct
+/// source→sink, sanitized, through a static field, through a heap field of
+/// a fresh object, or through one of the randomly generated helper methods.
+/// Each flow also labels one random generated method as an extra source and
+/// one as an extra sink, so taint threads through arbitrary bodies, not
+/// just the scripted epilogue. With `taint_sites = 0` the output program is
+/// byte-identical to [`generate`]'s and the spec is empty.
+///
+/// Everything is a pure function of `(shape, seed, taint_sites)`.
+pub fn generate_with_taint(
+    shape: &ProgramShape,
+    seed: u64,
+    taint_sites: usize,
+) -> (Program, TaintSpec) {
     let mut rng = SplitMix64::new(seed);
     let max_vars = 6usize;
     let n_classes = rng.range(1, shape.max_classes.max(1) + 1);
@@ -175,6 +198,17 @@ pub fn generate(shape: &ProgramShape, seed: u64) -> Program {
         })
         .collect();
     let main_body = draw_instrs(&mut rng, max_vars, 1, shape.max_body);
+    // Taint draws come last so a zero-site run consumes the exact same
+    // stream as `generate` always has.
+    let taint_seeds: Vec<TaintFlowSeed> = (0..taint_sites)
+        .map(|_| TaintFlowSeed {
+            kind: rng.below(5),
+            a: rng.next_u64() as usize,
+            b: rng.next_u64() as usize,
+            extra_source: rng.next_u64() as usize,
+            extra_sink: rng.next_u64() as usize,
+        })
+        .collect();
 
     build_program(
         n_classes,
@@ -184,10 +218,27 @@ pub fn generate(shape: &ProgramShape, seed: u64) -> Program {
         &method_seeds,
         &main_body,
         max_vars,
+        &taint_seeds,
     )
 }
 
 type MethodSeed = (usize, bool, usize, Vec<InstrSeed>);
+
+/// One seeded taint flow appended to `main` (plus two organic labels).
+#[derive(Debug, Clone)]
+struct TaintFlowSeed {
+    /// Flow shape: 0 direct, 1 sanitized, 2 via global, 3 via heap field,
+    /// 4 via a generated helper method.
+    kind: usize,
+    /// Auxiliary index (global / field / helper choice).
+    a: usize,
+    /// Auxiliary index (box class choice).
+    b: usize,
+    /// Generated method additionally labeled as a source.
+    extra_source: usize,
+    /// Generated method additionally labeled as a sink.
+    extra_sink: usize,
+}
 
 #[allow(clippy::too_many_arguments)]
 fn build_program(
@@ -198,7 +249,8 @@ fn build_program(
     method_seeds: &[MethodSeed],
     main_body: &[InstrSeed],
     max_vars: usize,
-) -> Program {
+    taint_seeds: &[TaintFlowSeed],
+) -> (Program, TaintSpec) {
     let mut b = ProgramBuilder::new();
     let root = b.class("Object", None);
     let mut classes = vec![root];
@@ -347,7 +399,69 @@ fn build_program(
     }
     emit_body(&mut b, main, main_body);
 
-    b.finish()
+    let mut spec = TaintSpec::new();
+    if !taint_seeds.is_empty() {
+        let taint_cls = b.class("Taint", Some(root));
+        let src = b.method(taint_cls, "src", &[], true);
+        let sv = b.var(src, "d");
+        b.alloc(src, sv, taint_cls);
+        b.ret(src, sv);
+        let san = b.method(taint_cls, "san", &["x"], true);
+        let sanp = b.param(san, 0);
+        b.ret(san, sanp);
+        let snk = b.method(taint_cls, "snk", &["x"], true);
+        let _ = snk;
+        spec.add_source(src);
+        spec.add_sanitizer(san);
+        spec.add_sink(snk, Some(0));
+
+        for (k, seed) in taint_seeds.iter().enumerate() {
+            let t = b.var(main, &format!("taint{k}"));
+            b.scall(main, Some(t), src, &[]);
+            match seed.kind {
+                1 => {
+                    let c = b.var(main, &format!("clean{k}"));
+                    b.scall(main, Some(c), san, &[t]);
+                    b.scall(main, None, snk, &[c]);
+                }
+                2 if !globals.is_empty() => {
+                    let g = globals[seed.a % globals.len()];
+                    let u = b.var(main, &format!("gload{k}"));
+                    b.store_global(main, g, t);
+                    b.load_global(main, u, g);
+                    b.scall(main, None, snk, &[u]);
+                }
+                3 if !fields.is_empty() => {
+                    let bx = b.var(main, &format!("box{k}"));
+                    let u = b.var(main, &format!("fload{k}"));
+                    let fld = fields[seed.a % fields.len()];
+                    b.alloc(main, bx, classes[seed.b % classes.len()]);
+                    b.store(main, bx, fld, t);
+                    b.load(main, u, bx, fld);
+                    b.scall(main, None, snk, &[u]);
+                }
+                4 if !methods.is_empty() => {
+                    let helper = methods[seed.a % methods.len()];
+                    let r = b.var(main, &format!("helped{k}"));
+                    if b.peek().methods[helper].is_static {
+                        b.scall(main, Some(r), helper, &[t]);
+                    } else {
+                        b.specialcall(main, Some(r), t, helper, &[t]);
+                    }
+                    b.scall(main, None, snk, &[r]);
+                }
+                _ => {
+                    b.scall(main, None, snk, &[t]);
+                }
+            }
+            if !methods.is_empty() {
+                spec.add_source(methods[seed.extra_source % methods.len()]);
+                spec.add_sink(methods[seed.extra_sink % methods.len()], None);
+            }
+        }
+    }
+
+    (b.finish(), spec)
 }
 
 /// A deterministic receiver choice for special calls derived from a seed.
@@ -384,5 +498,37 @@ mod tests {
             crate::text::print_program(&a),
             crate::text::print_program(&b)
         );
+    }
+
+    #[test]
+    fn zero_taint_sites_matches_plain_generate() {
+        for seed in 0..16 {
+            let plain = generate(&ProgramShape::default(), seed);
+            let (tainted, spec) = generate_with_taint(&ProgramShape::default(), seed, 0);
+            assert_eq!(
+                crate::text::print_program(&plain),
+                crate::text::print_program(&tainted),
+                "seed {seed}"
+            );
+            assert!(spec.is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn taint_programs_are_well_formed_and_deterministic() {
+        for seed in 0..32 {
+            let (p, spec) = generate_with_taint(&ProgramShape::default(), seed, 3);
+            assert_eq!(validate(&p), Ok(()), "seed {seed}");
+            assert!(!spec.sources().is_empty(), "seed {seed}");
+            assert!(!spec.sinks().is_empty(), "seed {seed}");
+            assert!(!spec.sanitizers().is_empty(), "seed {seed}");
+            let (q, spec2) = generate_with_taint(&ProgramShape::default(), seed, 3);
+            assert_eq!(
+                crate::text::print_program(&p),
+                crate::text::print_program(&q),
+                "seed {seed}"
+            );
+            assert_eq!(spec.render(&p), spec2.render(&q), "seed {seed}");
+        }
     }
 }

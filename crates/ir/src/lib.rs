@@ -49,6 +49,7 @@ pub mod ids;
 pub mod program;
 pub mod rng;
 pub mod span;
+pub mod taint;
 pub mod text;
 pub mod validate;
 
@@ -60,5 +61,6 @@ pub use program::{
     Signature, Var,
 };
 pub use span::Span;
+pub use taint::{TaintSpec, TaintSpecError};
 pub use text::{parse_program, print_program, ParseError};
 pub use validate::{validate, ValidateError};

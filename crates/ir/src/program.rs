@@ -303,6 +303,19 @@ impl Program {
         }
     }
 
+    /// The body position of an invocation site: the enclosing method and
+    /// the index of its `Call` instruction. Used by diagnostics to anchor
+    /// findings about call sites (every invoke built by the builder or
+    /// parser has exactly one `Call` instruction).
+    pub fn invoke_site(&self, invoke: InvokeId) -> Option<(MethodId, usize)> {
+        let method = self.invokes[invoke].method;
+        self.methods[method]
+            .body
+            .iter()
+            .position(|i| matches!(*i, Instruction::Call { invoke: iv } if iv == invoke))
+            .map(|index| (method, index))
+    }
+
     /// Human-readable qualified name of a method, e.g. `List.add/1`.
     pub fn method_display(&self, method: MethodId) -> String {
         let m = &self.methods[method];

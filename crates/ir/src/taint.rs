@@ -1,0 +1,424 @@
+//! Taint specifications: which methods are sources, sinks, and sanitizers.
+//!
+//! A [`TaintSpec`] is the input contract of the taint client in
+//! `rudoop-core`: *sources* are methods whose return value is attacker
+//! controlled, *sinks* are methods whose (selected) arguments must never
+//! receive tainted values, and *sanitizers* are methods whose return value
+//! is considered clean regardless of what flowed in. The spec lives in this
+//! crate because it names program elements ([`MethodId`]s) and is consumed
+//! by every layer above: the optimized taint analysis, the Datalog
+//! reference model, the workload generators and the lint suite.
+//!
+//! # Textual format
+//!
+//! One directive per line; `#` starts a comment:
+//!
+//! ```text
+//! # qualified method references, optionally arity-disambiguated
+//! source    TaintKit.source
+//! sanitizer TaintKit.sanitize/1
+//! sink      TaintKit.sink 0      # only argument 0 is checked
+//! sink      Logger.log           # no index: every argument is checked
+//! ```
+//!
+//! A method reference `Class.method` without `/arity` matches every method
+//! of that class with that name; with `/arity` it matches exactly one
+//! declared arity. Parsing resolves references against a [`Program`] and
+//! fails on references that match nothing, so a stale spec surfaces
+//! immediately instead of silently checking nothing.
+
+use std::fmt;
+
+use crate::ids::MethodId;
+use crate::program::Program;
+
+/// A resolved taint specification over one program.
+///
+/// All member lists are sorted and deduplicated, so equality and rendering
+/// are deterministic regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaintSpec {
+    sources: Vec<MethodId>,
+    sanitizers: Vec<MethodId>,
+    sinks: Vec<(MethodId, Option<u32>)>,
+}
+
+impl TaintSpec {
+    /// An empty specification (no sources, sinks, or sanitizers).
+    pub fn new() -> Self {
+        TaintSpec::default()
+    }
+
+    /// Marks `method` as a source: its return value is tainted at every
+    /// call site.
+    pub fn add_source(&mut self, method: MethodId) {
+        if let Err(at) = self.sources.binary_search(&method) {
+            self.sources.insert(at, method);
+        }
+    }
+
+    /// Marks `method` as a sanitizer: its return value is clean even when
+    /// tainted values flow in.
+    pub fn add_sanitizer(&mut self, method: MethodId) {
+        if let Err(at) = self.sanitizers.binary_search(&method) {
+            self.sanitizers.insert(at, method);
+        }
+    }
+
+    /// Marks `method` as a sink. With `arg = Some(i)` only argument `i` is
+    /// checked; with `None` every argument is.
+    pub fn add_sink(&mut self, method: MethodId, arg: Option<u32>) {
+        let entry = (method, arg);
+        if let Err(at) = self.sinks.binary_search(&entry) {
+            self.sinks.insert(at, entry);
+        }
+    }
+
+    /// Whether the spec constrains nothing (no leak can ever be reported).
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty() && self.sinks.is_empty() && self.sanitizers.is_empty()
+    }
+
+    /// Whether `method` is a source.
+    pub fn is_source(&self, method: MethodId) -> bool {
+        self.sources.binary_search(&method).is_ok()
+    }
+
+    /// Whether `method` is a sanitizer.
+    pub fn is_sanitizer(&self, method: MethodId) -> bool {
+        self.sanitizers.binary_search(&method).is_ok()
+    }
+
+    /// Whether `method` appears in any sink entry.
+    pub fn is_sink(&self, method: MethodId) -> bool {
+        self.sinks.iter().any(|&(m, _)| m == method)
+    }
+
+    /// The checked argument indices of sink `method`, given its declared
+    /// arity — sorted, deduplicated, and clamped to `0..arity`. Empty when
+    /// `method` is not a sink.
+    pub fn sink_args(&self, method: MethodId, arity: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for &(m, arg) in &self.sinks {
+            if m != method {
+                continue;
+            }
+            match arg {
+                Some(i) if (i as usize) < arity => out.push(i),
+                Some(_) => {}
+                None => out.extend(0..arity as u32),
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The source methods, sorted.
+    pub fn sources(&self) -> &[MethodId] {
+        &self.sources
+    }
+
+    /// The sanitizer methods, sorted.
+    pub fn sanitizers(&self) -> &[MethodId] {
+        &self.sanitizers
+    }
+
+    /// The sink entries `(method, checked argument)`, sorted.
+    pub fn sinks(&self) -> &[(MethodId, Option<u32>)] {
+        &self.sinks
+    }
+
+    /// Parses the textual spec format against `program` (see the module
+    /// docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaintSpecError`] on unknown directives, malformed method
+    /// references or argument indices, and references matching no method.
+    pub fn parse(text: &str, program: &Program) -> Result<TaintSpec, TaintSpecError> {
+        let mut spec = TaintSpec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut parts = content.split_whitespace();
+            let directive = parts.next().expect("non-empty line");
+            let reference = parts
+                .next()
+                .ok_or(TaintSpecError::MissingReference { line })?;
+            let methods = resolve(program, reference)
+                .map_err(|reason| TaintSpecError::BadReference { line, reason })?;
+            if methods.is_empty() {
+                return Err(TaintSpecError::UnknownMethod {
+                    line,
+                    reference: reference.to_owned(),
+                });
+            }
+            match directive {
+                "source" => {
+                    reject_extra(parts.next(), line)?;
+                    methods.into_iter().for_each(|m| spec.add_source(m));
+                }
+                "sanitizer" => {
+                    reject_extra(parts.next(), line)?;
+                    methods.into_iter().for_each(|m| spec.add_sanitizer(m));
+                }
+                "sink" => {
+                    let arg =
+                        match parts.next() {
+                            None => None,
+                            Some(word) => Some(word.parse::<u32>().map_err(|_| {
+                                TaintSpecError::BadArgIndex {
+                                    line,
+                                    found: word.to_owned(),
+                                }
+                            })?),
+                        };
+                    reject_extra(parts.next(), line)?;
+                    methods.into_iter().for_each(|m| spec.add_sink(m, arg));
+                }
+                other => {
+                    return Err(TaintSpecError::UnknownDirective {
+                        line,
+                        directive: other.to_owned(),
+                    })
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Renders the spec back into the textual format (round-trips through
+    /// [`TaintSpec::parse`] for specs whose references are unambiguous).
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = String::new();
+        for &m in &self.sources {
+            out.push_str(&format!("source {}\n", reference_of(program, m)));
+        }
+        for &m in &self.sanitizers {
+            out.push_str(&format!("sanitizer {}\n", reference_of(program, m)));
+        }
+        for &(m, arg) in &self.sinks {
+            match arg {
+                Some(i) => out.push_str(&format!("sink {} {i}\n", reference_of(program, m))),
+                None => out.push_str(&format!("sink {}\n", reference_of(program, m))),
+            }
+        }
+        out
+    }
+}
+
+fn reject_extra(extra: Option<&str>, line: usize) -> Result<(), TaintSpecError> {
+    match extra {
+        None => Ok(()),
+        Some(word) => Err(TaintSpecError::TrailingInput {
+            line,
+            found: word.to_owned(),
+        }),
+    }
+}
+
+/// The arity-disambiguated reference of a method, e.g. `List.add/1`.
+fn reference_of(program: &Program, method: MethodId) -> String {
+    let m = &program.methods[method];
+    format!(
+        "{}.{}/{}",
+        program.classes[m.class].name, m.name, program.sigs[m.sig].arity
+    )
+}
+
+/// Resolves `Class.method` or `Class.method/arity` to all matching methods.
+fn resolve(program: &Program, reference: &str) -> Result<Vec<MethodId>, String> {
+    let (qualified, arity) = match reference.rsplit_once('/') {
+        Some((head, tail)) => {
+            let arity: usize = tail
+                .parse()
+                .map_err(|_| format!("bad arity {tail:?} in {reference:?}"))?;
+            (head, Some(arity))
+        }
+        None => (reference, None),
+    };
+    let (class, name) = qualified
+        .rsplit_once('.')
+        .ok_or_else(|| format!("expected Class.method, found {reference:?}"))?;
+    if class.is_empty() || name.is_empty() {
+        return Err(format!("expected Class.method, found {reference:?}"));
+    }
+    Ok(program
+        .methods
+        .iter()
+        .filter(|(_, m)| {
+            program.classes[m.class].name == class
+                && m.name == name
+                && arity.is_none_or(|a| program.sigs[m.sig].arity == a)
+        })
+        .map(|(mid, _)| mid)
+        .collect())
+}
+
+/// Why a textual taint spec failed to parse or resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaintSpecError {
+    /// A directive line without a method reference.
+    MissingReference {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The first word of a line is not `source`/`sink`/`sanitizer`.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized directive.
+        directive: String,
+    },
+    /// A method reference that is not `Class.method[/arity]`.
+    BadReference {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A sink argument index that is not a number.
+    BadArgIndex {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        found: String,
+    },
+    /// Unexpected trailing tokens after a directive.
+    TrailingInput {
+        /// 1-based line number.
+        line: usize,
+        /// The first unexpected token.
+        found: String,
+    },
+    /// A well-formed reference matching no method of the program.
+    UnknownMethod {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved reference.
+        reference: String,
+    },
+}
+
+impl fmt::Display for TaintSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaintSpecError::MissingReference { line } => {
+                write!(f, "line {line}: directive without a method reference")
+            }
+            TaintSpecError::UnknownDirective { line, directive } => {
+                write!(
+                    f,
+                    "line {line}: unknown directive {directive:?} (expected source, sink, \
+                     or sanitizer)"
+                )
+            }
+            TaintSpecError::BadReference { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            TaintSpecError::BadArgIndex { line, found } => {
+                write!(f, "line {line}: bad sink argument index {found:?}")
+            }
+            TaintSpecError::TrailingInput { line, found } => {
+                write!(f, "line {line}: unexpected trailing input {found:?}")
+            }
+            TaintSpecError::UnknownMethod { line, reference } => {
+                write!(f, "line {line}: no method matches {reference:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaintSpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn kit_program() -> (Program, MethodId, MethodId, MethodId) {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let kit = b.class("Kit", Some(obj));
+        let src = b.method(kit, "input", &[], true);
+        let sv = b.var(src, "v");
+        b.alloc(src, sv, obj);
+        b.ret(src, sv);
+        let san = b.method(kit, "clean", &["x"], true);
+        let sp = b.param(san, 0);
+        b.ret(san, sp);
+        let snk = b.method(kit, "exec", &["a", "b"], true);
+        let main = b.method(obj, "main", &[], true);
+        b.entry(main);
+        (b.finish(), src, san, snk)
+    }
+
+    #[test]
+    fn parse_resolves_and_classifies() {
+        let (p, src, san, snk) = kit_program();
+        let spec = TaintSpec::parse(
+            "# demo spec\n\
+             source Kit.input\n\
+             sanitizer Kit.clean/1\n\
+             sink Kit.exec 1\n",
+            &p,
+        )
+        .unwrap();
+        assert!(spec.is_source(src));
+        assert!(spec.is_sanitizer(san));
+        assert!(spec.is_sink(snk));
+        assert_eq!(spec.sink_args(snk, 2), vec![1]);
+        assert_eq!(spec.sink_args(src, 2), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn sink_without_index_checks_every_argument() {
+        let (p, _, _, snk) = kit_program();
+        let spec = TaintSpec::parse("source Kit.input\nsink Kit.exec\n", &p).unwrap();
+        assert_eq!(spec.sink_args(snk, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn unknown_method_is_an_error() {
+        let (p, ..) = kit_program();
+        let err = TaintSpec::parse("source Kit.nope\n", &p).unwrap_err();
+        assert!(matches!(err, TaintSpecError::UnknownMethod { line: 1, .. }));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        let (p, ..) = kit_program();
+        assert!(matches!(
+            TaintSpec::parse("source\n", &p),
+            Err(TaintSpecError::MissingReference { line: 1 })
+        ));
+        assert!(matches!(
+            TaintSpec::parse("taint Kit.input\n", &p),
+            Err(TaintSpecError::UnknownDirective { line: 1, .. })
+        ));
+        assert!(matches!(
+            TaintSpec::parse("sink Kit.exec x\n", &p),
+            Err(TaintSpecError::BadArgIndex { line: 1, .. })
+        ));
+        assert!(matches!(
+            TaintSpec::parse("source KitInput\n", &p),
+            Err(TaintSpecError::BadReference { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let (p, src, san, snk) = kit_program();
+        let mut spec = TaintSpec::new();
+        spec.add_source(src);
+        spec.add_sanitizer(san);
+        spec.add_sink(snk, Some(0));
+        let text = spec.render(&p);
+        let reparsed = TaintSpec::parse(&text, &p).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+}

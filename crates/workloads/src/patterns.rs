@@ -876,6 +876,108 @@ pub fn app_mass(
     }
 }
 
+/// The taint-bearing fragment: a `{prefix}Kit` class with `source` /
+/// `sanitize` / `sink` static methods plus `flows` repetitions of a fixed
+/// battery of flow shapes in `main`:
+///
+/// 1. a direct source→sink leak,
+/// 2. a sanitized flow (no leak),
+/// 3. a *sanitizer bypass via aliasing* — the tainted value is sanitized,
+///    but an alias of it reaches the sink through a `{prefix}Box` field,
+/// 4. a *context-merge probe* — two `{prefix}Wrap` instances pass a tainted
+///    and a clean value through the same box-allocating method; only a
+///    heap-context-merging analysis (insensitive, or introspectively
+///    collapsed) reports the clean path as a leak,
+/// 5. a *dead sanitizer* — a sanitizer call whose argument is never
+///    tainted.
+///
+/// The matching spec is
+/// [`WorkloadSpec::taint_spec`](crate::WorkloadSpec::taint_spec).
+pub fn taint_kit(b: &mut ProgramBuilder, std: &Std, main: MethodId, prefix: &str, flows: usize) {
+    let kit = b.class(&format!("{prefix}Kit"), Some(std.object));
+    let source = b.method(kit, "source", &[], true);
+    {
+        let v = b.var(source, "v");
+        b.alloc(source, v, kit);
+        b.ret(source, v);
+    }
+    let sanitize = b.method(kit, "sanitize", &["x"], true);
+    {
+        let x = b.param(sanitize, 0);
+        b.ret(sanitize, x);
+    }
+    let sink = b.method(kit, "sink", &["x"], true);
+
+    let box_cls = b.class(&format!("{prefix}Box"), Some(std.object));
+    let box_val = b.field(box_cls, "val");
+    let box_set = b.method(box_cls, "set", &["x"], false);
+    {
+        let this = b.this(box_set);
+        let x = b.param(box_set, 0);
+        b.store(box_set, this, box_val, x);
+    }
+    let box_get = b.method(box_cls, "get", &[], false);
+    {
+        let this = b.this(box_get);
+        let r = b.var(box_get, "r");
+        b.load(box_get, r, this, box_val);
+        b.ret(box_get, r);
+    }
+    // Wrap.pass(x): round-trip x through a Box allocated *here*, so the
+    // box's heap context is the wrapper instance — separable by an
+    // object-sensitive heap, merged by an insensitive one.
+    let wrap_cls = b.class(&format!("{prefix}Wrap"), Some(std.object));
+    let pass = b.method(wrap_cls, "pass", &["x"], false);
+    {
+        let x = b.param(pass, 0);
+        let bx = b.var(pass, "bx");
+        let out = b.var(pass, "out");
+        b.alloc(pass, bx, box_cls);
+        b.vcall(pass, None, bx, "set", &[x]);
+        b.vcall(pass, Some(out), bx, "get", &[]);
+        b.ret(pass, out);
+    }
+
+    for k in 0..flows {
+        // 1. Direct leak.
+        let t = b.var(main, &format!("{prefix}_t{k}"));
+        b.scall(main, Some(t), source, &[]);
+        b.scall(main, None, sink, &[t]);
+        // 2. Sanitized flow: clean by construction.
+        let c = b.var(main, &format!("{prefix}_c{k}"));
+        b.scall(main, Some(c), sanitize, &[t]);
+        b.scall(main, None, sink, &[c]);
+        // 3. Alias bypass: sanitize one name, leak the aliased heap cell.
+        let bx = b.var(main, &format!("{prefix}_bx{k}"));
+        let alias = b.var(main, &format!("{prefix}_al{k}"));
+        let got = b.var(main, &format!("{prefix}_got{k}"));
+        b.alloc(main, bx, box_cls);
+        b.vcall(main, None, bx, "set", &[t]);
+        b.mov(main, alias, bx);
+        b.vcall(main, Some(got), alias, "get", &[]);
+        b.scall(main, None, sink, &[got]);
+        // 4. Context-merge probe: leaks only under a merged heap context.
+        let w1 = b.var(main, &format!("{prefix}_w1_{k}"));
+        let w2 = b.var(main, &format!("{prefix}_w2_{k}"));
+        let clean = b.var(main, &format!("{prefix}_cl{k}"));
+        let r1 = b.var(main, &format!("{prefix}_r1_{k}"));
+        let r2 = b.var(main, &format!("{prefix}_r2_{k}"));
+        b.alloc(main, w1, wrap_cls);
+        b.alloc(main, w2, wrap_cls);
+        b.alloc(main, clean, std.object);
+        b.vcall(main, Some(r1), w1, "pass", &[t]);
+        b.vcall(main, Some(r2), w2, "pass", &[clean]);
+        b.scall(main, None, sink, &[r2]);
+        // 5. Dead sanitizer: nothing tainted ever reaches it.
+        let d = b.var(main, &format!("{prefix}_d{k}"));
+        let e = b.var(main, &format!("{prefix}_e{k}"));
+        b.alloc(main, d, std.object);
+        b.scall(main, Some(e), sanitize, &[d]);
+        b.scall(main, None, sink, &[e]);
+    }
+    let _ = sink;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

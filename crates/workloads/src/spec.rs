@@ -2,7 +2,7 @@
 //! into one benchmark program.
 
 use rudoop_ir::rng::SplitMix64;
-use rudoop_ir::{Program, ProgramBuilder};
+use rudoop_ir::{Program, ProgramBuilder, TaintSpec};
 
 use crate::patterns::{self, ProbeCounts};
 use crate::stdlib;
@@ -94,6 +94,11 @@ pub struct WorkloadSpec {
     pub app_classes: usize,
     /// Always-failing casts in the application bulk.
     pub app_casts: usize,
+
+    /// Repetitions of the taint-flow battery
+    /// ([`patterns::taint_kit`]); 0 (the default) emits nothing, keeping
+    /// programs byte-identical to pre-taint builds.
+    pub taint_flows: usize,
 }
 
 impl Default for WorkloadSpec {
@@ -132,6 +137,7 @@ impl Default for WorkloadSpec {
             stream_depth: 5,
             app_classes: 20,
             app_casts: 6,
+            taint_flows: 0,
         }
     }
 }
@@ -265,8 +271,32 @@ impl WorkloadSpec {
         if self.app_classes > 0 {
             patterns::app_mass(&mut b, &std, main, "App", self.app_classes, self.app_casts);
         }
+        if self.taint_flows > 0 {
+            patterns::taint_kit(&mut b, &std, main, "Taint", self.taint_flows);
+        }
 
         b.finish()
+    }
+
+    /// The canonical textual taint spec matching [`patterns::taint_kit`]'s
+    /// `Taint` prefix (what [`WorkloadSpec::build`] emits).
+    pub const TAINT_SPEC_TEXT: &'static str = "# taint-kit contract\n\
+         source TaintKit.source/0\n\
+         sanitizer TaintKit.sanitize/1\n\
+         sink TaintKit.sink/1 0\n";
+
+    /// The resolved taint spec for a program built from this recipe: empty
+    /// when `taint_flows` is 0, the canonical `TaintKit` spec otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was not built by this spec (the references
+    /// cannot resolve) — a usage error, not an input condition.
+    pub fn taint_spec(&self, program: &Program) -> TaintSpec {
+        if self.taint_flows == 0 {
+            return TaintSpec::new();
+        }
+        TaintSpec::parse(Self::TAINT_SPEC_TEXT, program).expect("canonical spec resolves")
     }
 
     /// The probe tallies this spec emits (for asserting chart shapes).

@@ -38,6 +38,7 @@ fn main() {
         program: &program,
         hierarchy: &hierarchy,
         points_to: Some(&result),
+        taint: None,
     };
     let diagnostics = registry.run(&cx);
     print!("{}", render(&program, &diagnostics));

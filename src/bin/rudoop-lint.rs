@@ -15,6 +15,13 @@
 //!   --timeout <secs>     wall-clock deadline for the backing analysis
 //!                        (watchdog-cancelled). If it fires, tier-2 lints
 //!                        are skipped and the exit code is 2.
+//!   --taint-spec <file>  taint sources/sinks/sanitizers (see
+//!                        `rudoop_ir::TaintSpec` for the grammar); enables
+//!                        the T001–T004 taint lints. For @benchmarks the
+//!                        special value `builtin` uses the workload's
+//!                        canonical TaintKit spec.
+//!   --format <fmt>       text (default) or json — a stable array of
+//!                        {code, level, span, message, location, notes}
 //!   --allow <CODE>       suppress a lint (repeatable)
 //!   --warn <CODE>        report a lint at its default severity (default)
 //!   --deny <CODE>        escalate a lint to an error (repeatable)
@@ -27,7 +34,7 @@
 //!                could run.
 //! ```
 //!
-//! Well-formedness violations (`E` codes) and lint findings (`L`/`I`
+//! Well-formedness violations (`E` codes) and lint findings (`L`/`I`/`T`
 //! codes) are rendered uniformly, sorted by source position.
 
 use std::process::ExitCode;
@@ -37,8 +44,9 @@ use std::time::Duration;
 
 use rudoop::analysis::driver::{analyze_flavor, Flavor};
 use rudoop::analysis::solver::{Budget, CancelToken, SolverConfig};
-use rudoop::ir::{parse_program, ClassHierarchy, Program};
-use rudoop::lints::diagnostics::{has_errors, render, validate_diagnostics};
+use rudoop::analysis::taint::analyze_taint;
+use rudoop::ir::{parse_program, ClassHierarchy, Program, TaintSpec};
+use rudoop::lints::diagnostics::{has_errors, render, render_json, validate_diagnostics};
 use rudoop::lints::{Level, LintContext, LintRegistry};
 use rudoop::workloads::dacapo;
 
@@ -49,12 +57,15 @@ struct Options {
     timeout: Option<Duration>,
     levels: Vec<(String, Level)>,
     list: bool,
+    taint_spec: Option<String>,
+    json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: rudoop-lint <program.rud | @benchmark> [--analysis NAME] \
-         [--no-points-to] [--timeout SECS] [--allow CODE] [--warn CODE] \
+         [--no-points-to] [--timeout SECS] [--taint-spec FILE|builtin] \
+         [--format text|json] [--allow CODE] [--warn CODE] \
          [--deny CODE] [--list]"
     );
     std::process::exit(2);
@@ -69,6 +80,8 @@ fn parse_args() -> Options {
         timeout: None,
         levels: Vec::new(),
         list: false,
+        taint_spec: None,
+        json: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -100,6 +113,17 @@ fn parse_args() -> Options {
                 let code = args.next().unwrap_or_else(|| usage());
                 opts.levels.push((code, Level::Deny));
             }
+            "--taint-spec" => {
+                opts.taint_spec = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--format" => match args.next().unwrap_or_else(|| usage()).as_str() {
+                "text" => opts.json = false,
+                "json" => opts.json = true,
+                other => {
+                    eprintln!("unknown format {other:?} (expected text or json)");
+                    usage();
+                }
+            },
             "--list" => opts.list = true,
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with('-') => {
@@ -117,14 +141,26 @@ fn parse_args() -> Options {
     opts
 }
 
-fn load_program(input: &str) -> Result<Program, String> {
+/// Loads the program plus, for `--taint-spec builtin` on a `@benchmark`,
+/// the workload's canonical TaintKit spec (switching the taint battery on
+/// in the build, since the default recipes omit it).
+fn load_program(input: &str, builtin_taint: bool) -> Result<(Program, Option<TaintSpec>), String> {
     if let Some(name) = input.strip_prefix('@') {
-        return dacapo::by_name(name)
-            .map(|spec| spec.build())
-            .ok_or_else(|| format!("unknown benchmark {name:?} (try @pmd, @hsqldb, …)"));
+        let mut spec = dacapo::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark {name:?} (try @pmd, @hsqldb, …)"))?;
+        if builtin_taint {
+            spec.taint_flows = spec.taint_flows.max(1);
+        }
+        let program = spec.build();
+        let taint = builtin_taint.then(|| spec.taint_spec(&program));
+        return Ok((program, taint));
+    }
+    if builtin_taint {
+        return Err("--taint-spec builtin requires a @benchmark input".to_owned());
     }
     let source = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
-    parse_program(&source).map_err(|e| format!("{input}: {e}"))
+    let program = parse_program(&source).map_err(|e| format!("{input}: {e}"))?;
+    Ok((program, None))
 }
 
 fn main() -> ExitCode {
@@ -144,11 +180,32 @@ fn main() -> ExitCode {
         }
     }
 
-    let program = match load_program(&opts.input) {
-        Ok(p) => p,
+    let builtin_taint = opts.taint_spec.as_deref() == Some("builtin");
+    let (program, builtin_spec) = match load_program(&opts.input, builtin_taint) {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
+        }
+    };
+    let taint_spec = match &opts.taint_spec {
+        None => None,
+        Some(_) if builtin_taint => builtin_spec,
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match TaintSpec::parse(&text, &program) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
     };
 
@@ -166,6 +223,8 @@ fn main() -> ExitCode {
                     .map(Budget::duration)
                     .unwrap_or_else(Budget::unlimited),
                 cancel: Some(cancel.clone()),
+                // The taint client walks per-context points-to facts.
+                record_contexts: taint_spec.is_some(),
                 ..SolverConfig::default()
             };
             // Watchdog: enforce the deadline even if a worklist step stalls
@@ -196,30 +255,46 @@ fn main() -> ExitCode {
         // A partial analysis would make tier-2 lints unsound to trust
         // (missing points-to facts look like clean code): skip them.
         degraded = result.as_ref().is_some_and(|r| r.outcome.is_partial());
+        let complete = result.as_ref().filter(|r| r.outcome.is_complete());
+        let taint = match (&taint_spec, complete) {
+            (Some(spec), Some(r)) => match analyze_taint(&program, spec, r) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    eprintln!("error: taint analysis failed: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => None,
+        };
         let cx = LintContext {
             program: &program,
             hierarchy: &hierarchy,
-            points_to: result.as_ref().filter(|r| r.outcome.is_complete()),
+            points_to: complete,
+            taint: taint.as_ref(),
         };
         diags = registry.run(&cx);
     }
 
-    print!("{}", render(&program, &diags));
-    let errors = diags
-        .iter()
-        .filter(|d| d.severity == rudoop::Severity::Error)
-        .count();
-    let warnings = diags
-        .iter()
-        .filter(|d| d.severity == rudoop::Severity::Warning)
-        .count();
-    println!(
-        "{}: {} error(s), {} warning(s), {} note(s)",
-        opts.input,
-        errors,
-        warnings,
-        diags.len() - errors - warnings
-    );
+    if opts.json {
+        print!("{}", render_json(&program, &diags));
+    } else {
+        print!("{}", render(&program, &diags));
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == rudoop::Severity::Error)
+            .count();
+        let warnings = diags
+            .iter()
+            .filter(|d| d.severity == rudoop::Severity::Warning)
+            .count();
+        println!(
+            "{}: {} error(s), {} warning(s), {} note(s)",
+            opts.input,
+            errors,
+            warnings,
+            diags.len() - errors - warnings
+        );
+    }
 
     if degraded {
         eprintln!(

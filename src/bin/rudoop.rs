@@ -23,7 +23,20 @@
 //!   --stats              print the points-to distribution dashboard
 //!   --pts <var>          print the points-to set of Class.method::var
 //!   --dump               print projected var-points-to for all variables
-//! ```
+//!
+//! taint subcommand:
+//!
+//!   rudoop taint <program.rdp | @benchmark> --spec <file|builtin> [options]
+//!
+//! Runs the points-to analysis under the supervisor (the `--ladder` spec,
+//! or the canonical ladder for `--analysis`/`--introspective`), then the
+//! taint client of the given spec on the completed rung. `builtin` (for
+//! @benchmarks) switches the workload's taint battery on and uses its
+//! canonical TaintKit spec. Leaks print with their shortest derivation
+//! trace. When every rung exhausts, salvaged points-to facts are reported
+//! but taint is *skipped* with a note — a partial leak list never
+//! masquerades as a complete one. Exit contract is the ladder's:
+//! 0 complete / 3 degraded / 4 exhausted.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -32,12 +45,15 @@ use rudoop::analysis::driver::{analyze_flavor, analyze_introspective, Flavor};
 use rudoop::analysis::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
 use rudoop::analysis::solver::{Budget, SolverConfig};
 use rudoop::analysis::supervisor::{supervise, LadderSpec, SupervisorConfig};
+use rudoop::analysis::taint::{supervised_taint, SupervisedTaint};
 use rudoop::analysis::{render_supervised, PrecisionMetrics, ResultStats};
-use rudoop::ir::{parse_program, validate, ClassHierarchy, Program};
+use rudoop::ir::{parse_program, validate, ClassHierarchy, Program, TaintSpec};
 use rudoop::workloads::dacapo;
 
 struct Options {
     input: String,
+    taint_cmd: bool,
+    spec: Option<String>,
     flavor: Flavor,
     introspective: Option<char>,
     ladder: Option<LadderSpec>,
@@ -52,8 +68,9 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rudoop <program.rdp | @benchmark> [--analysis NAME] \
-         [--introspective A|B] [--ladder SPEC] [--budget N] [--max-bytes N] \
+        "usage: rudoop [taint] <program.rdp | @benchmark> [--analysis NAME] \
+         [--introspective A|B] [--ladder SPEC] [--spec FILE|builtin] \
+         [--budget N] [--max-bytes N] \
          [--timeout SECS] [--filter-casts] [--stats] \
          [--pts Class.method::var] [--dump]"
     );
@@ -64,6 +81,8 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
         input: String::new(),
+        taint_cmd: false,
+        spec: None,
         flavor: Flavor::OBJ2H,
         introspective: None,
         ladder: None,
@@ -115,11 +134,13 @@ fn parse_args() -> Options {
                 }
                 opts.timeout = Some(Duration::from_secs_f64(secs));
             }
+            "--spec" => opts.spec = Some(args.next().unwrap_or_else(|| usage())),
             "--filter-casts" => opts.filter_casts = true,
             "--stats" => opts.stats = true,
             "--pts" => opts.pts.push(args.next().unwrap_or_else(|| usage())),
             "--dump" => opts.dump = true,
             "--help" | "-h" => usage(),
+            "taint" if !opts.taint_cmd && opts.input.is_empty() => opts.taint_cmd = true,
             other if opts.input.is_empty() && !other.starts_with('-') => {
                 opts.input = other.to_owned();
             }
@@ -132,23 +153,44 @@ fn parse_args() -> Options {
     if opts.input.is_empty() {
         usage();
     }
+    if opts.taint_cmd && opts.spec.is_none() {
+        eprintln!("the taint subcommand needs --spec FILE (or --spec builtin for @benchmarks)");
+        usage();
+    }
+    if !opts.taint_cmd && opts.spec.is_some() {
+        eprintln!("--spec only makes sense with the taint subcommand");
+        usage();
+    }
     opts
 }
 
-fn load_program(input: &str) -> Result<Program, String> {
+/// Loads the program plus, for `--spec builtin` on a `@benchmark`, the
+/// workload's canonical TaintKit spec (switching the taint battery on in
+/// the build, since the default recipes omit it).
+fn load_program(input: &str, builtin_taint: bool) -> Result<(Program, Option<TaintSpec>), String> {
     if let Some(name) = input.strip_prefix('@') {
-        return dacapo::by_name(name)
-            .map(|spec| spec.build())
-            .ok_or_else(|| format!("unknown benchmark {name:?} (try @pmd, @hsqldb, …)"));
+        let mut spec = dacapo::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark {name:?} (try @pmd, @hsqldb, …)"))?;
+        if builtin_taint {
+            spec.taint_flows = spec.taint_flows.max(1);
+        }
+        let program = spec.build();
+        let taint = builtin_taint.then(|| spec.taint_spec(&program));
+        return Ok((program, taint));
+    }
+    if builtin_taint {
+        return Err("--spec builtin requires a @benchmark input".to_owned());
     }
     let source = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
-    parse_program(&source).map_err(|e| format!("{input}: {e}"))
+    let program = parse_program(&source).map_err(|e| format!("{input}: {e}"))?;
+    Ok((program, None))
 }
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let program = match load_program(&opts.input) {
-        Ok(p) => p,
+    let builtin_taint = opts.taint_cmd && opts.spec.as_deref() == Some("builtin");
+    let (program, builtin_spec) = match load_program(&opts.input, builtin_taint) {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -175,8 +217,34 @@ fn main() -> ExitCode {
     let config = SolverConfig {
         budget,
         filter_casts: opts.filter_casts,
+        // The taint client walks per-context points-to facts.
+        record_contexts: opts.taint_cmd,
         ..SolverConfig::default()
     };
+
+    if opts.taint_cmd {
+        let spec = match &opts.spec {
+            Some(_) if builtin_taint => builtin_spec.expect("builtin spec was loaded"),
+            Some(path) => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match TaintSpec::parse(&text, &program) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => unreachable!("parse_args requires --spec with taint"),
+        };
+        return run_taint(&program, &hierarchy, &spec, budget, config, &opts);
+    }
 
     if let Some(ladder) = opts.ladder.clone() {
         return run_ladder(&program, &hierarchy, ladder, budget, config, &opts);
@@ -225,6 +293,63 @@ fn main() -> ExitCode {
     );
     print_reports(&program, &hierarchy, &result, &opts);
     ExitCode::SUCCESS
+}
+
+/// The `taint` subcommand: supervise the points-to analysis down the
+/// ladder, then run the taint client on the completed rung. An exhausted
+/// ladder skips taint with a note (the 0/3/4 exit contract is the
+/// supervisor's).
+fn run_taint(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    spec: &TaintSpec,
+    budget: Budget,
+    solver: SolverConfig,
+    opts: &Options,
+) -> ExitCode {
+    let ladder = match (opts.ladder.clone(), opts.introspective) {
+        (Some(l), _) => l,
+        (None, Some(which)) => {
+            let rung = format!("intro{which}:{}", opts.flavor.spec_name());
+            LadderSpec::parse(&rung).expect("canonical introspective rung parses")
+        }
+        (None, None) => LadderSpec::default_for(opts.flavor),
+    };
+    let cfg = SupervisorConfig {
+        ladder,
+        budget,
+        solver,
+        watchdog: opts.timeout.is_some(),
+    };
+    let run = supervise(program, hierarchy, &cfg);
+    print!("{}", render_supervised(&run));
+    match supervised_taint(program, spec, &run) {
+        SupervisedTaint::Analyzed(taint) => {
+            println!(
+                "taint ({}): {} source site(s), {} sink site(s), {} sanitizer call(s), \
+                 {} leak(s)",
+                taint.analysis,
+                taint.source_sites,
+                taint.sink_sites,
+                taint.sanitizer_calls.len(),
+                taint.leaks.len(),
+            );
+            const MAX_LEAKS: usize = 20;
+            for leak in taint.leaks.iter().take(MAX_LEAKS) {
+                println!("leak: {}", leak.headline(program));
+                for step in &leak.trace {
+                    println!("    via {step}");
+                }
+            }
+            if taint.leaks.len() > MAX_LEAKS {
+                println!("... {} more leak(s)", taint.leaks.len() - MAX_LEAKS);
+            }
+        }
+        SupervisedTaint::Skipped { reason } => {
+            println!("taint: SKIPPED — {reason}");
+        }
+    }
+    ExitCode::from(run.exit_code())
 }
 
 /// Runs the degradation ladder and maps the verdict onto the exit-code

@@ -57,7 +57,10 @@ pub use rudoop_workloads as workloads;
 pub use rudoop_analyses::{Diagnostic, LintContext, LintRegistry, Severity};
 
 pub use rudoop_core::{
-    analyze, analyze_flavor, analyze_introspective, Flavor, HeuristicA, HeuristicB,
-    IntrospectionMetrics, Outcome, PointsToResult, PrecisionMetrics, SolverConfig,
+    analyze, analyze_flavor, analyze_introspective, analyze_taint, supervised_taint, Flavor,
+    HeuristicA, HeuristicB, IntrospectionMetrics, Outcome, PointsToResult, PrecisionMetrics,
+    SolverConfig, SupervisedTaint, TaintResult,
 };
-pub use rudoop_ir::{parse_program, print_program, ClassHierarchy, Program, ProgramBuilder};
+pub use rudoop_ir::{
+    parse_program, print_program, ClassHierarchy, Program, ProgramBuilder, TaintSpec,
+};
