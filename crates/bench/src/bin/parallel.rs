@@ -1,0 +1,106 @@
+//! Sequential-vs-sharded scaling table for the parallel propagation
+//! engine: per workload × flavor × thread count, wall-clock time, total
+//! derivations (engine-invariant by construction) and the max/mean shard
+//! imbalance ratio.
+//!
+//! The root crate's `examples/bench_parallel.rs` is the no-network twin of
+//! this bin and is what regenerates the committed `BENCH_parallel.json`;
+//! this variant renders the same measurements as a table and takes the
+//! workload list on the command line.
+//!
+//! Usage: `cargo run --release -p rudoop-bench --bin parallel [bench ...]`
+
+use std::time::Instant;
+
+use rudoop_bench::table;
+use rudoop_core::driver::{analyze_flavor, Flavor};
+use rudoop_core::solver::{Budget, SolverConfig};
+use rudoop_core::Parallelism;
+use rudoop_ir::ClassHierarchy;
+use rudoop_workloads::dacapo;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        vec!["antlr", "lusearch", "pmd"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    for name in &names {
+        let spec = dacapo::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        let program = spec.build();
+        let hierarchy = ClassHierarchy::new(&program);
+        for (flavor, label) in [(Flavor::Insensitive, "insens"), (Flavor::OBJ2H, "2objH")] {
+            let mut seq_stats = None;
+            let mut seq_time = 0.0;
+            for threads in [1usize, 2, 4, 8] {
+                let config = SolverConfig {
+                    budget: Budget::unlimited(),
+                    parallelism: Parallelism::threads(threads),
+                    ..SolverConfig::default()
+                };
+                let start = Instant::now();
+                let result = analyze_flavor(&program, &hierarchy, flavor, &config);
+                let seconds = start.elapsed().as_secs_f64();
+                assert!(result.outcome.is_complete(), "{name}/{label} must complete");
+                match &seq_stats {
+                    None => {
+                        seq_stats = Some(result.stats.canonical());
+                        seq_time = seconds;
+                    }
+                    Some(reference) => assert_eq!(
+                        reference,
+                        &result.stats.canonical(),
+                        "{name}/{label}/t{threads}: engines disagree"
+                    ),
+                }
+                let imbalance = result
+                    .shard_work
+                    .as_ref()
+                    .map(|work| {
+                        let max = *work.iter().max().unwrap_or(&0) as f64;
+                        let mean = work.iter().sum::<u64>() as f64 / work.len().max(1) as f64;
+                        if mean > 0.0 {
+                            format!("{:.2}x", max / mean)
+                        } else {
+                            "1.00x".into()
+                        }
+                    })
+                    .unwrap_or_else(|| "-".into());
+                rows.push(vec![
+                    (*name).to_owned(),
+                    label.to_owned(),
+                    threads.to_string(),
+                    format!("{seconds:.3}s"),
+                    table::mega(result.stats.derivations),
+                    imbalance,
+                    format!("{:.2}x", seq_time / seconds),
+                ]);
+            }
+        }
+    }
+    println!("Parallel propagation scaling ({host_cpus} host CPUs):");
+    println!();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "bench",
+                "flavor",
+                "threads",
+                "time",
+                "derivs",
+                "imbalance",
+                "speedup"
+            ],
+            &rows
+        )
+    );
+    println!("Derivation counts and results are engine-invariant (asserted above);");
+    println!("only wall-clock varies, and speedup above 1x needs more than one CPU.");
+}

@@ -61,7 +61,9 @@ pub mod driver;
 pub mod hash;
 pub mod heuristics;
 pub mod introspection;
+pub mod parallel;
 pub mod policy;
+pub mod shard;
 pub mod solver;
 pub mod stats;
 pub mod supervisor;
@@ -74,6 +76,7 @@ pub use heuristics::{
     CustomHeuristic, HeuristicA, HeuristicB, Metric, RefinementHeuristic, RefinementStats,
 };
 pub use introspection::IntrospectionMetrics;
+pub use parallel::Parallelism;
 pub use policy::{
     CallSiteSensitive, ContextPolicy, HybridObjectSensitive, Insensitive, Introspective,
     ObjectSensitive, RefinementSet, TypeSensitive,
@@ -84,7 +87,7 @@ pub use solver::{
 };
 pub use stats::{render_supervised, ResultStats, SizeHistogram};
 pub use supervisor::{
-    supervise, HeuristicChoice, LadderSpec, RungReport, RungSpec, SalvagedFacts, SupervisedRun,
-    SupervisionVerdict, SupervisorConfig,
+    supervise, HeuristicChoice, LadderSpec, RungKind, RungReport, RungSpec, SalvagedFacts,
+    SupervisedRun, SupervisionVerdict, SupervisorConfig,
 };
 pub use taint::{analyze_taint, supervised_taint, Leak, SupervisedTaint, TaintError, TaintResult};

@@ -1,0 +1,1122 @@
+//! The sharded parallel propagation engine.
+//!
+//! This module runs the same Andersen-style semi-naive solver as
+//! [`crate::solver`], but partitioned into `N` shards (one worker thread
+//! each, see [`crate::shard::ShardMap`]) that propagate in lock-step
+//! *epochs*. The design goal is not "fast but approximately right" — it is
+//! **byte-for-byte equivalence** with the sequential solver at every thread
+//! count, so that budgets, the supervisor ladder, differential tests and
+//! golden fixtures never need to know which engine produced a result.
+//!
+//! # Architecture
+//!
+//! Every propagation-graph node is **owned** by exactly one shard (the
+//! shard of its anchoring method). Within an epoch each worker, in
+//! parallel and without any locks:
+//!
+//! 1. applies its **inbox** — points-to messages routed to it at the last
+//!    barrier — in deterministic (sender shard, send order) order,
+//! 2. drains its local worklist semi-naive style: deltas propagate along
+//!    copy edges immediately when the target is local, and are appended to
+//!    a per-destination **outbox** when it is not,
+//! 3. records every derivation that needs global state — field loads and
+//!    stores (field-node creation), receiver calls (context merging, call
+//!    graph growth) — as a **pending event** instead of performing it.
+//!
+//! Between epochs the coordinator (the caller's thread, holding `&mut` to
+//! everything) runs the **barrier**: it replays pending events in (shard
+//! index, local order) order — creating field nodes, adding edges, merging
+//! contexts, instantiating newly reachable methods — then routes all
+//! outboxes into inboxes, again in shard-index order. Because workers only
+//! ever mutate shard-local state and all cross-shard effects funnel
+//! through these two ordered channels, **each epoch is a deterministic
+//! function of the previous epoch's shard contents**, independent of
+//! thread scheduling. Workers are plain [`std::thread::scope`] threads; the
+//! crate-wide `forbid(unsafe_code)` holds because disjoint `&mut ShardState`
+//! borrows are handed to the scope, not shared.
+//!
+//! # Deterministic budgets: merge, then replay
+//!
+//! All of [`crate::solver::SolverStats`]' counters are *monotone* and
+//! *order-independent at the fixpoint*: derivations are exactly
+//! `Σ |points-to sets| + |call-graph edges|`, and nodes/edges/contexts/
+//! reachable are fixpoint sets. Two consequences, which together give the
+//! equivalence guarantee:
+//!
+//! - if the merged counters (per-shard counters folded in shard-index
+//!   order, plus the coordinator's call-graph counter) stay within the
+//!   [`crate::solver::Budget`] through the final barrier, the sequential
+//!   solver would also have completed, and both engines report identical
+//!   `SolverStats::canonical()` and identical projected relations;
+//! - if a budget or capacity limit is crossed, the *exact* sequential
+//!   exhaustion point (which mid-run state the paper-style partial result
+//!   contains) is a function of sequential processing order that a
+//!   parallel engine cannot reproduce directly — so the engine **discards
+//!   the parallel attempt and replays the run sequentially** with the
+//!   original configuration. The replay *is* the sequential solver, hence
+//!   byte-identical stats, partial facts and [`ExhaustionCause`] at every
+//!   thread count. The wasted work is bounded by the budget itself (plus
+//!   one epoch of overshoot, bounded by the per-epoch drain chunk).
+//!
+//! Wall-clock budgets and [`CancelToken`] cancellation are inherently
+//! timing-dependent — sequential runs do not reproduce byte-identically
+//! under them either — so those stop the parallel engine cooperatively at
+//! the next check without a replay, preserving the outcome contract
+//! (`Outcome`, `ExhaustionCause`, supervisor exit codes) rather than exact
+//! partial facts.
+//!
+//! `--threads 1` does not even construct this engine: [`crate::solver::analyze`]
+//! routes single-threaded configurations to the unmodified sequential
+//! solver, which is why `Parallelism::sequential()` is *definitionally*
+//! today's solver.
+
+use std::collections::VecDeque;
+use std::thread;
+use std::time::Instant;
+
+use rudoop_ir::{
+    AllocId, ClassHierarchy, ClassId, FieldId, GlobalId, IdxVec, Instruction, InvokeId, InvokeKind,
+    MethodId, Program, VarId,
+};
+
+use crate::bitset::IdBitSet;
+use crate::context::{CObj, CtxId, CtxTables};
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::policy::ContextPolicy;
+use crate::shard::ShardMap;
+use crate::solver::{
+    model_bytes, CancelToken, CsDump, ExhaustionCause, Outcome, PointsToResult, SolverConfig,
+    SolverError, SolverStats,
+};
+
+/// Thread-count configuration for one solver run.
+///
+/// The default (`threads == 1`) runs the unmodified sequential solver;
+/// higher counts run the sharded engine of this module with one shard per
+/// thread. Results are byte-identical either way (see the module docs),
+/// so this is purely a performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Upper bound on worker threads; requests are clamped into range.
+    pub const MAX_THREADS: usize = 256;
+
+    /// Run with `n` threads (clamped to `1..=MAX_THREADS`).
+    pub fn threads(n: usize) -> Self {
+        Parallelism {
+            threads: n.clamp(1, Self::MAX_THREADS),
+        }
+    }
+
+    /// The sequential engine (one thread).
+    pub fn sequential() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// Configured thread count (≥ 1).
+    pub fn thread_count(self) -> usize {
+        self.threads
+    }
+
+    /// Whether the sharded engine (rather than the sequential solver) runs.
+    pub fn is_parallel(self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::sequential()
+    }
+}
+
+/// Node identifier: owning shard in the high half, index into the shard's
+/// local tables in the low half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PNode(u64);
+
+impl PNode {
+    fn new(shard: u32, idx: u32) -> Self {
+        PNode((u64::from(shard) << 32) | u64::from(idx))
+    }
+
+    fn shard(self) -> usize {
+        (self.0 >> 32) as usize
+    }
+
+    fn idx(self) -> usize {
+        self.0 as u32 as usize
+    }
+}
+
+/// What a node denotes; mirrors the sequential solver's node kinds.
+#[derive(Debug, Clone, Copy)]
+enum PKind {
+    Var(VarId, CtxId),
+    Field(CObj, FieldId),
+    Global(GlobalId),
+}
+
+/// A derivation discovered by a worker that needs coordinator-owned state
+/// (field-node interning, context merging, call-graph growth). Replayed at
+/// the barrier in (shard index, push order) order.
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    /// `obj` arrived at a load base: connect `obj.field → to`.
+    Load { field: FieldId, to: PNode, obj: u64 },
+    /// `obj` arrived at a store base: connect `from → obj.field`.
+    Store {
+        from: PNode,
+        field: FieldId,
+        obj: u64,
+    },
+    /// `obj` arrived at the receiver of `invoke` under `caller`.
+    Call {
+        invoke: InvokeId,
+        caller: CtxId,
+        obj: u64,
+    },
+}
+
+/// Per-shard solver state. Only the owning worker (during an epoch) or the
+/// coordinator (between epochs) touches it — never both at once.
+#[derive(Debug, Default)]
+struct ShardState {
+    kinds: Vec<PKind>,
+    pts: Vec<FxHashSet<u64>>,
+    delta: Vec<Vec<u64>>,
+    succ: Vec<Vec<PNode>>,
+    filter_succ: Vec<Vec<(ClassId, PNode)>>,
+    loads: Vec<Vec<(FieldId, PNode)>>,
+    stores: Vec<Vec<(FieldId, PNode)>>,
+    calls: Vec<Vec<InvokeId>>,
+    node_ctx: Vec<CtxId>,
+    in_worklist: Vec<bool>,
+    worklist: VecDeque<u32>,
+    /// Messages to apply next epoch, pre-ordered by the coordinator.
+    inbox: Vec<(PNode, u64)>,
+    /// Messages for other shards, one queue per destination.
+    outbox: Vec<Vec<(PNode, u64)>>,
+    /// Derivations needing the coordinator, in discovery order.
+    pending: Vec<Pending>,
+    /// Lifetime tuple insertions into this shard (the budget currency and
+    /// the imbalance metric).
+    derivations: u64,
+}
+
+impl ShardState {
+    /// Inserts `obj` into the local node `idx`'s points-to set; on a new
+    /// tuple, bumps the shard counter and schedules semi-naive follow-up.
+    fn add_local(&mut self, idx: usize, obj: u64) {
+        if self.pts[idx].insert(obj) {
+            self.derivations += 1;
+            self.delta[idx].push(obj);
+            if !self.in_worklist[idx] {
+                self.in_worklist[idx] = true;
+                self.worklist.push_back(idx as u32);
+            }
+        }
+    }
+}
+
+/// Per-epoch drain chunk when a derivation or byte budget is set: bounds
+/// how far past the budget a single epoch can overshoot before the barrier
+/// detects it and triggers the sequential replay. A deterministic function
+/// of shard-local state, so it cannot break equivalence.
+const BUDGETED_EPOCH_CHUNK: u64 = 32_768;
+
+/// How often (in worklist pops / barrier events) cooperative cancellation
+/// and wall-clock deadlines are polled.
+const POLL_MASK: u64 = 0xFF;
+
+/// One worker epoch: apply the inbox, then drain the local worklist.
+fn run_epoch(
+    shard: &mut ShardState,
+    me: usize,
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    cancel: Option<&CancelToken>,
+    chunk: u64,
+) {
+    let start_derivations = shard.derivations;
+    let inbox = std::mem::take(&mut shard.inbox);
+    for (node, obj) in inbox {
+        debug_assert_eq!(node.shard(), me);
+        shard.add_local(node.idx(), obj);
+    }
+    let mut steps = 0u64;
+    loop {
+        if shard.derivations - start_derivations >= chunk {
+            break;
+        }
+        steps += 1;
+        if steps & POLL_MASK == 0 {
+            if let Some(c) = cancel {
+                if c.is_cancelled() {
+                    break;
+                }
+            }
+        }
+        let Some(i) = shard.worklist.pop_front() else {
+            break;
+        };
+        let i = i as usize;
+        shard.in_worklist[i] = false;
+        let d = std::mem::take(&mut shard.delta[i]);
+        if d.is_empty() {
+            continue;
+        }
+        let succs = shard.succ[i].clone();
+        for s in succs {
+            if s.shard() == me {
+                for &o in &d {
+                    shard.add_local(s.idx(), o);
+                }
+            } else {
+                for &o in &d {
+                    shard.outbox[s.shard()].push((s, o));
+                }
+            }
+        }
+        if !shard.filter_succ[i].is_empty() {
+            let filtered = shard.filter_succ[i].clone();
+            for (class, s) in filtered {
+                for &o in &d {
+                    let heap_class = program.allocs[CObj(o).heap()].class;
+                    if !hierarchy.is_subtype(heap_class, class) {
+                        continue;
+                    }
+                    if s.shard() == me {
+                        shard.add_local(s.idx(), o);
+                    } else {
+                        shard.outbox[s.shard()].push((s, o));
+                    }
+                }
+            }
+        }
+        let loads = shard.loads[i].clone();
+        for (field, to) in loads {
+            for &o in &d {
+                shard.pending.push(Pending::Load { field, to, obj: o });
+            }
+        }
+        let stores = shard.stores[i].clone();
+        for (field, from) in stores {
+            for &o in &d {
+                shard.pending.push(Pending::Store {
+                    from,
+                    field,
+                    obj: o,
+                });
+            }
+        }
+        if !shard.calls[i].is_empty() {
+            let caller = shard.node_ctx[i];
+            let calls = shard.calls[i].clone();
+            for invoke in calls {
+                for &o in &d {
+                    shard.pending.push(Pending::Call {
+                        invoke,
+                        caller,
+                        obj: o,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// What the barrier decided about the run.
+enum Verdict {
+    /// More work queued; run another epoch.
+    Continue,
+    /// Fixpoint: every worklist, inbox and queue is empty.
+    Done,
+    /// Stop cooperatively (cancellation / wall clock); keep partial facts.
+    Stop(ExhaustionCause),
+    /// A deterministic limit (derivations, bytes, capacity) was crossed:
+    /// discard this attempt and replay sequentially.
+    Replay,
+}
+
+struct Engine<'p> {
+    program: &'p Program,
+    hierarchy: &'p ClassHierarchy,
+    policy: &'p dyn ContextPolicy,
+    config: SolverConfig,
+    map: ShardMap,
+    shards: Vec<ShardState>,
+    /// Coordinator-originated messages (edge flushes, alloc seeds), routed
+    /// after all shard outboxes so application order stays deterministic.
+    coord_outbox: Vec<Vec<(PNode, u64)>>,
+    tables: CtxTables,
+    var_nodes: FxHashMap<u64, PNode>,
+    field_nodes: FxHashMap<(u64, u32), PNode>,
+    global_nodes: FxHashMap<u32, PNode>,
+    edge_set: FxHashSet<(u64, u64)>,
+    reachable: FxHashSet<u64>,
+    cg_edges: FxHashSet<(u64, u64)>,
+    inst_queue: VecDeque<(MethodId, CtxId)>,
+    /// Call-graph derivations (the coordinator's share of the budget
+    /// currency; shard counters hold the points-to share).
+    cg_derivations: u64,
+    cg_edge_count: u64,
+    node_count: usize,
+    node_cap: usize,
+    start: Instant,
+    exhausted: Option<ExhaustionCause>,
+}
+
+/// Why `solve` gave up on the parallel attempt.
+struct ReplayNeeded;
+
+impl<'p> Engine<'p> {
+    fn new(
+        program: &'p Program,
+        hierarchy: &'p ClassHierarchy,
+        policy: &'p dyn ContextPolicy,
+        config: SolverConfig,
+    ) -> Self {
+        let n = config.parallelism.thread_count();
+        let map = ShardMap::partition(program, n);
+        let node_cap = config
+            .max_nodes
+            .unwrap_or(u32::MAX as usize)
+            .min(u32::MAX as usize);
+        let mut tables = CtxTables::new();
+        if let Some(limit) = config.max_contexts {
+            tables.set_capacity(limit);
+        }
+        let shards = (0..n)
+            .map(|_| ShardState {
+                outbox: (0..n).map(|_| Vec::new()).collect(),
+                ..ShardState::default()
+            })
+            .collect();
+        Engine {
+            program,
+            hierarchy,
+            policy,
+            config,
+            map,
+            shards,
+            coord_outbox: (0..n).map(|_| Vec::new()).collect(),
+            tables,
+            var_nodes: FxHashMap::default(),
+            field_nodes: FxHashMap::default(),
+            global_nodes: FxHashMap::default(),
+            edge_set: FxHashSet::default(),
+            reachable: FxHashSet::default(),
+            cg_edges: FxHashSet::default(),
+            inst_queue: VecDeque::new(),
+            cg_derivations: 0,
+            cg_edge_count: 0,
+            node_count: 0,
+            node_cap,
+            start: Instant::now(),
+            exhausted: None,
+        }
+    }
+
+    fn new_node(&mut self, shard: u32, kind: PKind, ctx: CtxId) -> Result<PNode, SolverError> {
+        if self.node_count >= self.node_cap {
+            return Err(SolverError::NodeCapacity {
+                limit: self.node_cap,
+            });
+        }
+        let s = &mut self.shards[shard as usize];
+        let idx = s.kinds.len() as u32;
+        s.kinds.push(kind);
+        s.pts.push(FxHashSet::default());
+        s.delta.push(Vec::new());
+        s.succ.push(Vec::new());
+        s.filter_succ.push(Vec::new());
+        s.loads.push(Vec::new());
+        s.stores.push(Vec::new());
+        s.calls.push(Vec::new());
+        s.node_ctx.push(ctx);
+        s.in_worklist.push(false);
+        self.node_count += 1;
+        Ok(PNode::new(shard, idx))
+    }
+
+    fn var_node(&mut self, var: VarId, ctx: CtxId) -> Result<PNode, SolverError> {
+        let key = (u64::from(var.0) << 32) | u64::from(ctx.0);
+        if let Some(&n) = self.var_nodes.get(&key) {
+            return Ok(n);
+        }
+        let shard = self.map.of_var(self.program, var);
+        let n = self.new_node(shard, PKind::Var(var, ctx), ctx)?;
+        self.var_nodes.insert(key, n);
+        Ok(n)
+    }
+
+    fn field_node(&mut self, obj: CObj, field: FieldId) -> Result<PNode, SolverError> {
+        let key = (obj.0, field.0);
+        if let Some(&n) = self.field_nodes.get(&key) {
+            return Ok(n);
+        }
+        let shard = self.map.of_alloc(self.program, obj.heap());
+        let n = self.new_node(shard, PKind::Field(obj, field), CtxId::EMPTY)?;
+        self.field_nodes.insert(key, n);
+        Ok(n)
+    }
+
+    fn global_node(&mut self, global: GlobalId) -> Result<PNode, SolverError> {
+        if let Some(&n) = self.global_nodes.get(&global.0) {
+            return Ok(n);
+        }
+        let shard = self.map.of_global(global);
+        let n = self.new_node(shard, PKind::Global(global), CtxId::EMPTY)?;
+        self.global_nodes.insert(global.0, n);
+        Ok(n)
+    }
+
+    /// Coordinator-side tuple derivation: routed as a message so the hash
+    /// insertion happens on the owning worker next epoch.
+    fn send_obj(&mut self, node: PNode, obj: u64) {
+        self.coord_outbox[node.shard()].push((node, obj));
+    }
+
+    fn add_edge(&mut self, from: PNode, to: PNode) {
+        if from == to || !self.edge_set.insert((from.0, to.0)) {
+            return;
+        }
+        self.shards[from.shard()].succ[from.idx()].push(to);
+        // Flush: objects already at `from` must traverse the new edge.
+        // Objects still in flight to `from` (inbox or outbox messages) are
+        // not lost — they enter `from`'s delta when applied and the drain
+        // walks the successor list, which now includes this edge.
+        for &o in &self.shards[from.shard()].pts[from.idx()] {
+            self.coord_outbox[to.shard()].push((to, o));
+        }
+    }
+
+    fn add_filtered_edge(&mut self, from: PNode, to: PNode, class: ClassId) {
+        self.shards[from.shard()].filter_succ[from.idx()].push((class, to));
+        for &o in &self.shards[from.shard()].pts[from.idx()] {
+            let heap_class = self.program.allocs[CObj(o).heap()].class;
+            if self.hierarchy.is_subtype(heap_class, class) {
+                self.coord_outbox[to.shard()].push((to, o));
+            }
+        }
+    }
+
+    fn ensure_reachable(&mut self, method: MethodId, ctx: CtxId) {
+        let key = (u64::from(method.0) << 32) | u64::from(ctx.0);
+        if self.reachable.insert(key) {
+            self.inst_queue.push_back((method, ctx));
+        }
+    }
+
+    fn add_call_edge(
+        &mut self,
+        invoke: InvokeId,
+        caller: CtxId,
+        target: MethodId,
+        callee: CtxId,
+    ) -> Result<(), SolverError> {
+        let key = (
+            (u64::from(invoke.0) << 32) | u64::from(caller.0),
+            (u64::from(target.0) << 32) | u64::from(callee.0),
+        );
+        if !self.cg_edges.insert(key) {
+            return Ok(());
+        }
+        self.cg_edge_count += 1;
+        self.cg_derivations += 1;
+        self.ensure_reachable(target, callee);
+        let inv = &self.program.invokes[invoke];
+        let callee_m = &self.program.methods[target];
+        let n_args = inv.args.len().min(callee_m.params.len());
+        for i in 0..n_args {
+            let from = self.var_node(self.program.invokes[invoke].args[i], caller)?;
+            let to = self.var_node(self.program.methods[target].params[i], callee)?;
+            self.add_edge(from, to);
+        }
+        if let (Some(result), Some(ret)) = (
+            self.program.invokes[invoke].result,
+            self.program.methods[target].ret,
+        ) {
+            let from = self.var_node(ret, callee)?;
+            let to = self.var_node(result, caller)?;
+            self.add_edge(from, to);
+        }
+        Ok(())
+    }
+
+    fn process_receiver_call(
+        &mut self,
+        invoke: InvokeId,
+        caller: CtxId,
+        obj: CObj,
+    ) -> Result<(), SolverError> {
+        let target = match self.program.invokes[invoke].kind {
+            InvokeKind::Virtual { sig, .. } => {
+                let class = self.program.allocs[obj.heap()].class;
+                match self.hierarchy.lookup(class, sig) {
+                    Some(t) => t,
+                    None => return Ok(()),
+                }
+            }
+            InvokeKind::Special { target, .. } => target,
+            InvokeKind::Static { .. } => {
+                debug_assert!(false, "static calls are not receiver calls");
+                return Ok(());
+            }
+        };
+        let callee = self.policy.merge(
+            &mut self.tables,
+            obj.heap(),
+            obj.hctx(),
+            invoke,
+            target,
+            caller,
+        );
+        if let Some(this) = self.program.methods[target].this {
+            let tnode = self.var_node(this, callee)?;
+            self.send_obj(tnode, obj.0);
+        }
+        self.add_call_edge(invoke, caller, target, callee)
+    }
+
+    fn instantiate(&mut self, method: MethodId, ctx: CtxId) -> Result<(), SolverError> {
+        let body_len = self.program.methods[method].body.len();
+        for idx in 0..body_len {
+            let instr = self.program.methods[method].body[idx].clone();
+            match instr {
+                Instruction::Alloc { var, alloc } => {
+                    let hctx = self.policy.record(&mut self.tables, alloc, ctx);
+                    let node = self.var_node(var, ctx)?;
+                    self.send_obj(node, CObj::new(alloc, hctx).0);
+                }
+                Instruction::Move { to, from } => {
+                    let f = self.var_node(from, ctx)?;
+                    let t = self.var_node(to, ctx)?;
+                    self.add_edge(f, t);
+                }
+                Instruction::Cast { to, from, class } => {
+                    let f = self.var_node(from, ctx)?;
+                    let t = self.var_node(to, ctx)?;
+                    if self.config.filter_casts {
+                        self.add_filtered_edge(f, t, class);
+                    } else {
+                        self.add_edge(f, t);
+                    }
+                }
+                Instruction::Load { to, base, field } => {
+                    let b = self.var_node(base, ctx)?;
+                    let t = self.var_node(to, ctx)?;
+                    self.shards[b.shard()].loads[b.idx()].push((field, t));
+                    let existing: Vec<u64> = self.shards[b.shard()].pts[b.idx()]
+                        .iter()
+                        .copied()
+                        .collect();
+                    for o in existing {
+                        let fnode = self.field_node(CObj(o), field)?;
+                        self.add_edge(fnode, t);
+                    }
+                }
+                Instruction::Store { base, field, from } => {
+                    let b = self.var_node(base, ctx)?;
+                    let f = self.var_node(from, ctx)?;
+                    self.shards[b.shard()].stores[b.idx()].push((field, f));
+                    let existing: Vec<u64> = self.shards[b.shard()].pts[b.idx()]
+                        .iter()
+                        .copied()
+                        .collect();
+                    for o in existing {
+                        let fnode = self.field_node(CObj(o), field)?;
+                        self.add_edge(f, fnode);
+                    }
+                }
+                Instruction::LoadGlobal { to, global } => {
+                    let g = self.global_node(global)?;
+                    let t = self.var_node(to, ctx)?;
+                    self.add_edge(g, t);
+                }
+                Instruction::StoreGlobal { global, from } => {
+                    let f = self.var_node(from, ctx)?;
+                    let g = self.global_node(global)?;
+                    self.add_edge(f, g);
+                }
+                Instruction::Return { var } => {
+                    if let Some(ret) = self.program.methods[method].ret {
+                        let f = self.var_node(var, ctx)?;
+                        let t = self.var_node(ret, ctx)?;
+                        self.add_edge(f, t);
+                    }
+                }
+                Instruction::Call { invoke } => match self.program.invokes[invoke].kind {
+                    InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => {
+                        let b = self.var_node(base, ctx)?;
+                        self.shards[b.shard()].calls[b.idx()].push(invoke);
+                        let existing: Vec<u64> = self.shards[b.shard()].pts[b.idx()]
+                            .iter()
+                            .copied()
+                            .collect();
+                        for o in existing {
+                            self.process_receiver_call(invoke, ctx, CObj(o))?;
+                        }
+                    }
+                    InvokeKind::Static { target } => {
+                        let callee =
+                            self.policy
+                                .merge_static(&mut self.tables, invoke, target, ctx);
+                        self.add_call_edge(invoke, ctx, target, callee)?;
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-shard counters folded in shard-index order, plus the
+    /// coordinator's call-graph derivations — the deterministic merged
+    /// budget currency.
+    fn total_derivations(&self) -> u64 {
+        let mut total = 0u64;
+        for s in &self.shards {
+            total += s.derivations;
+        }
+        total + self.cg_derivations
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.config
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+    }
+
+    fn over_deadline(&self) -> bool {
+        self.config
+            .budget
+            .max_duration
+            .is_some_and(|max| self.start.elapsed() > max)
+    }
+
+    /// The inter-epoch barrier: replay pending events, instantiate newly
+    /// reachable method bodies, route messages, then evaluate the stop
+    /// conditions on the merged counters.
+    fn barrier(&mut self) -> Result<Verdict, SolverError> {
+        if self.is_cancelled() {
+            return Ok(Verdict::Stop(ExhaustionCause::Cancelled));
+        }
+        let mut pending: Vec<Pending> = Vec::new();
+        for s in &mut self.shards {
+            pending.append(&mut s.pending);
+        }
+        let mut polled = 0u64;
+        let poll = |engine: &Engine<'_>, polled: &mut u64| -> Option<Verdict> {
+            *polled += 1;
+            if *polled & POLL_MASK != 0 {
+                return None;
+            }
+            if engine.is_cancelled() {
+                return Some(Verdict::Stop(ExhaustionCause::Cancelled));
+            }
+            if engine.over_deadline() {
+                return Some(Verdict::Stop(ExhaustionCause::WallClock));
+            }
+            None
+        };
+        for ev in pending {
+            if let Some(stop) = poll(self, &mut polled) {
+                return Ok(stop);
+            }
+            match ev {
+                Pending::Load { field, to, obj } => {
+                    let fnode = self.field_node(CObj(obj), field)?;
+                    self.add_edge(fnode, to);
+                }
+                Pending::Store { from, field, obj } => {
+                    let fnode = self.field_node(CObj(obj), field)?;
+                    self.add_edge(from, fnode);
+                }
+                Pending::Call {
+                    invoke,
+                    caller,
+                    obj,
+                } => {
+                    self.process_receiver_call(invoke, caller, CObj(obj))?;
+                }
+            }
+        }
+        while let Some((m, c)) = self.inst_queue.pop_front() {
+            if let Some(stop) = poll(self, &mut polled) {
+                return Ok(stop);
+            }
+            self.instantiate(m, c)?;
+        }
+        // Route: every destination receives sender 0..n's messages in
+        // order, then the coordinator's — a fixed, schedule-independent
+        // application order for the next epoch.
+        let n = self.shards.len();
+        for d in 0..n {
+            let mut inbox = std::mem::take(&mut self.shards[d].inbox);
+            for s in 0..n {
+                let msgs = std::mem::take(&mut self.shards[s].outbox[d]);
+                inbox.extend(msgs);
+            }
+            inbox.append(&mut self.coord_outbox[d]);
+            self.shards[d].inbox = inbox;
+        }
+        // Stop checks, in the sequential solver's priority order.
+        if self.is_cancelled() {
+            return Ok(Verdict::Stop(ExhaustionCause::Cancelled));
+        }
+        if self.tables.overflowed() {
+            return Ok(Verdict::Replay);
+        }
+        if let Some(max) = self.config.budget.max_derivations {
+            if self.total_derivations() > max {
+                return Ok(Verdict::Replay);
+            }
+        }
+        if let Some(max) = self.config.budget.max_bytes {
+            let bytes = model_bytes(
+                self.node_count as u64,
+                self.edge_set.len() as u64,
+                self.total_derivations(),
+                self.tables.ctx_count() as u64,
+                self.tables.hctx_count() as u64,
+                self.reachable.len() as u64,
+            );
+            if bytes > max {
+                return Ok(Verdict::Replay);
+            }
+        }
+        if self.over_deadline() {
+            return Ok(Verdict::Stop(ExhaustionCause::WallClock));
+        }
+        let idle = self
+            .shards
+            .iter()
+            .all(|s| s.worklist.is_empty() && s.inbox.is_empty());
+        if idle {
+            Ok(Verdict::Done)
+        } else {
+            Ok(Verdict::Continue)
+        }
+    }
+
+    /// One parallel epoch across all shards.
+    fn run_parallel_epoch(&mut self) {
+        let chunk = if self.config.budget.max_derivations.is_some()
+            || self.config.budget.max_bytes.is_some()
+        {
+            BUDGETED_EPOCH_CHUNK
+        } else {
+            u64::MAX
+        };
+        let program = self.program;
+        let hierarchy = self.hierarchy;
+        let cancel = self.config.cancel.clone();
+        thread::scope(|scope| {
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                let cancel = cancel.clone();
+                scope.spawn(move || {
+                    run_epoch(shard, i, program, hierarchy, cancel.as_ref(), chunk);
+                });
+            }
+        });
+    }
+
+    fn solve(&mut self) -> Result<(), ReplayNeeded> {
+        for &entry in &self.program.entry_points {
+            self.ensure_reachable(entry, CtxId::EMPTY);
+        }
+        loop {
+            match self.barrier() {
+                Err(_) => return Err(ReplayNeeded),
+                Ok(Verdict::Replay) => return Err(ReplayNeeded),
+                Ok(Verdict::Done) => return Ok(()),
+                Ok(Verdict::Stop(cause)) => {
+                    self.exhausted = Some(cause);
+                    return Ok(());
+                }
+                Ok(Verdict::Continue) => {}
+            }
+            self.run_parallel_epoch();
+        }
+    }
+
+    fn finish(self) -> PointsToResult {
+        let duration = self.start.elapsed();
+
+        let mut var_pts: IdxVec<VarId, Vec<AllocId>> =
+            (0..self.program.vars.len()).map(|_| Vec::new()).collect();
+        let mut field_pts: FxHashMap<(AllocId, FieldId), Vec<AllocId>> = FxHashMap::default();
+        let mut global_pts: FxHashMap<GlobalId, Vec<AllocId>> = FxHashMap::default();
+        let mut cs_var = 0u64;
+        let mut cs_field = 0u64;
+        let mut dump = self.config.record_contexts.then(CsDump::default);
+
+        for shard in &self.shards {
+            for (i, kind) in shard.kinds.iter().enumerate() {
+                match *kind {
+                    PKind::Var(v, ctx) => {
+                        cs_var += shard.pts[i].len() as u64;
+                        let set = &mut var_pts[v];
+                        for &o in &shard.pts[i] {
+                            let obj = CObj(o);
+                            set.push(obj.heap());
+                            if let Some(d) = dump.as_mut() {
+                                d.var_points_to.push((v, ctx, obj.heap(), obj.hctx()));
+                            }
+                        }
+                    }
+                    PKind::Global(global) => {
+                        let set = global_pts.entry(global).or_default();
+                        for &o in &shard.pts[i] {
+                            set.push(CObj(o).heap());
+                        }
+                    }
+                    PKind::Field(base, field) => {
+                        cs_field += shard.pts[i].len() as u64;
+                        let set = field_pts.entry((base.heap(), field)).or_default();
+                        for &o in &shard.pts[i] {
+                            let obj = CObj(o);
+                            set.push(obj.heap());
+                            if let Some(d) = dump.as_mut() {
+                                d.field_points_to.push((
+                                    base.heap(),
+                                    base.hctx(),
+                                    field,
+                                    obj.heap(),
+                                    obj.hctx(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for set in var_pts.values_mut() {
+            set.sort_unstable();
+            set.dedup();
+        }
+        for set in field_pts.values_mut() {
+            set.sort_unstable();
+            set.dedup();
+        }
+        for set in global_pts.values_mut() {
+            set.sort_unstable();
+            set.dedup();
+        }
+
+        let mut call_targets: FxHashMap<InvokeId, Vec<MethodId>> = FxHashMap::default();
+        for &(ic, mc) in &self.cg_edges {
+            let invoke = InvokeId((ic >> 32) as u32);
+            let target = MethodId((mc >> 32) as u32);
+            call_targets.entry(invoke).or_default().push(target);
+            if let Some(d) = dump.as_mut() {
+                d.call_graph
+                    .push((invoke, CtxId(ic as u32), target, CtxId(mc as u32)));
+            }
+        }
+        for set in call_targets.values_mut() {
+            set.sort_unstable();
+            set.dedup();
+        }
+
+        let mut reachable_methods = IdBitSet::new(self.program.methods.len());
+        for &key in &self.reachable {
+            let m = MethodId((key >> 32) as u32);
+            reachable_methods.insert(m);
+            if let Some(d) = dump.as_mut() {
+                d.reachable.push((m, CtxId(key as u32)));
+            }
+        }
+
+        let stats = SolverStats {
+            derivations: self.total_derivations(),
+            cs_var_points_to: cs_var,
+            cs_field_points_to: cs_field,
+            call_graph_edges: self.cg_edge_count,
+            reachable_contexts: self.reachable.len() as u64,
+            contexts: self.tables.ctx_count() as u64,
+            heap_contexts: self.tables.hctx_count() as u64,
+            nodes: self.node_count as u64,
+            edges: self.edge_set.len() as u64,
+            duration,
+        };
+
+        PointsToResult {
+            analysis: self.policy.name(),
+            outcome: match self.exhausted {
+                None => Outcome::Complete,
+                Some(cause) if cause.is_capacity() => Outcome::CapacityExceeded,
+                Some(_) => Outcome::BudgetExhausted,
+            },
+            exhaustion: self.exhausted,
+            stats,
+            var_pts,
+            field_pts,
+            global_pts,
+            call_targets,
+            reachable_methods,
+            tables: self.tables,
+            cs_dump: dump,
+            shard_work: Some(self.shards.iter().map(|s| s.derivations).collect()),
+        }
+    }
+}
+
+/// Runs the sharded engine; falls back to a full sequential replay when a
+/// deterministic limit is crossed (see the module docs for why that is the
+/// equivalence-preserving choice).
+pub(crate) fn analyze_parallel(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    policy: &dyn ContextPolicy,
+    config: &SolverConfig,
+) -> PointsToResult {
+    debug_assert!(config.parallelism.is_parallel());
+    let mut engine = Engine::new(program, hierarchy, policy, config.clone());
+    match engine.solve() {
+        Ok(()) => engine.finish(),
+        Err(ReplayNeeded) => {
+            let mut sequential = config.clone();
+            sequential.parallelism = Parallelism::sequential();
+            crate::solver::analyze_sequential(program, hierarchy, policy, &sequential)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Insensitive, ObjectSensitive};
+    use crate::solver::{analyze, Budget};
+    use rudoop_ir::ProgramBuilder;
+
+    fn chain_program(n: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let mut prev = b.var(main, "v0");
+        b.alloc(main, prev, obj);
+        for i in 1..n {
+            let v = b.var(main, &format!("v{i}"));
+            b.alloc(main, v, obj);
+            b.mov(main, v, prev);
+            prev = v;
+        }
+        b.entry(main);
+        b.finish()
+    }
+
+    fn config(threads: usize) -> SolverConfig {
+        SolverConfig {
+            parallelism: Parallelism::threads(threads),
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_chain() {
+        let p = chain_program(40);
+        let h = ClassHierarchy::new(&p);
+        let seq = analyze(&p, &h, &Insensitive, &config(1));
+        for threads in [2, 4] {
+            let par = analyze(&p, &h, &Insensitive, &config(threads));
+            assert_eq!(par.stats.canonical(), seq.stats.canonical());
+            assert_eq!(par.var_pts, seq.var_pts);
+            assert!(par.outcome.is_complete());
+        }
+    }
+
+    #[test]
+    fn parallel_replays_budget_exhaustion_exactly() {
+        let p = chain_program(60);
+        let h = ClassHierarchy::new(&p);
+        let mut seq_cfg = config(1);
+        seq_cfg.budget = Budget::derivations(25);
+        let seq = analyze(&p, &h, &Insensitive, &seq_cfg);
+        assert_eq!(seq.outcome, Outcome::BudgetExhausted);
+        for threads in [2, 4] {
+            let mut cfg = config(threads);
+            cfg.budget = Budget::derivations(25);
+            let par = analyze(&p, &h, &Insensitive, &cfg);
+            assert_eq!(par.outcome, seq.outcome);
+            assert_eq!(par.exhaustion, seq.exhaustion);
+            assert_eq!(par.stats.canonical(), seq.stats.canonical());
+            assert_eq!(par.var_pts, seq.var_pts);
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_work() {
+        let p = chain_program(30);
+        let h = ClassHierarchy::new(&p);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut cfg = config(4);
+        cfg.cancel = Some(token);
+        let r = analyze(&p, &h, &Insensitive, &cfg);
+        assert_eq!(r.exhaustion, Some(ExhaustionCause::Cancelled));
+        assert_eq!(r.stats.derivations, 0);
+    }
+
+    #[test]
+    fn object_sensitive_virtual_calls_match() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let box_c = b.class("Box", Some(obj));
+        let f = b.field(box_c, "val");
+        let set_m = b.method(box_c, "set", &["v"], false);
+        let set_this = b.this(set_m);
+        let set_v = b.param(set_m, 0);
+        b.store(set_m, set_this, f, set_v);
+        let get_m = b.method(box_c, "get", &[], false);
+        let get_this = b.this(get_m);
+        let gr = b.var(get_m, "r");
+        b.load(get_m, gr, get_this, f);
+        b.ret(get_m, gr);
+        let main = b.method(obj, "main", &[], true);
+        let b1 = b.var(main, "b1");
+        let b2 = b.var(main, "b2");
+        let v1 = b.var(main, "v1");
+        let v2 = b.var(main, "v2");
+        let o1 = b.var(main, "o1");
+        let o2 = b.var(main, "o2");
+        b.alloc(main, b1, box_c);
+        b.alloc(main, b2, box_c);
+        let h1 = b.alloc(main, v1, obj);
+        let h2 = b.alloc(main, v2, obj);
+        b.vcall(main, None, b1, "set", &[v1]);
+        b.vcall(main, None, b2, "set", &[v2]);
+        b.vcall(main, Some(o1), b1, "get", &[]);
+        b.vcall(main, Some(o2), b2, "get", &[]);
+        b.entry(main);
+        let p = b.finish();
+        let h = ClassHierarchy::new(&p);
+        let policy = ObjectSensitive::new(1, 0);
+        let seq = analyze(&p, &h, &policy, &config(1));
+        let par = analyze(&p, &h, &policy, &config(3));
+        assert_eq!(par.stats.canonical(), seq.stats.canonical());
+        assert_eq!(par.points_to(o1), &[h1]);
+        assert_eq!(par.points_to(o2), &[h2]);
+        assert_eq!(seq.points_to(o1), par.points_to(o1));
+    }
+
+    #[test]
+    fn shard_work_is_reported_only_for_parallel_runs() {
+        let p = chain_program(10);
+        let h = ClassHierarchy::new(&p);
+        let seq = analyze(&p, &h, &Insensitive, &config(1));
+        assert!(seq.shard_work.is_none());
+        let par = analyze(&p, &h, &Insensitive, &config(2));
+        let work = par.shard_work.expect("parallel runs report shard work");
+        assert_eq!(work.len(), 2);
+        assert_eq!(
+            work.iter().sum::<u64>() + par.stats.call_graph_edges,
+            par.stats.derivations
+        );
+    }
+}

@@ -287,6 +287,9 @@ pub struct SolverConfig {
     /// Capacity cap on each context table (default: the `u32` intrinsic
     /// limit). Exceeding it yields [`Outcome::CapacityExceeded`].
     pub max_contexts: Option<usize>,
+    /// Thread count (default: sequential). More than one thread runs the
+    /// byte-identical sharded engine in [`crate::parallel`].
+    pub parallelism: crate::parallel::Parallelism,
 }
 
 /// Counters describing the work and output size of a run.
@@ -326,9 +329,10 @@ const BYTES_PER_CTX: u64 = 96;
 const BYTES_PER_REACHABLE: u64 = 16;
 
 /// The modeled memory footprint given the live counters of a run. Shared
-/// between [`SolverStats::bytes_estimate`] and the solver's in-loop budget
-/// check so the two always agree.
-fn model_bytes(
+/// between [`SolverStats::bytes_estimate`], the solver's in-loop budget
+/// check, and the parallel engine's barrier check so the three always
+/// agree.
+pub(crate) fn model_bytes(
     nodes: u64,
     edges: u64,
     derivations: u64,
@@ -436,6 +440,11 @@ pub struct PointsToResult {
     pub tables: CtxTables,
     /// Raw context-sensitive tuples, when requested.
     pub cs_dump: Option<CsDump>,
+    /// Per-shard tuple-insertion counts when the sharded engine ran
+    /// (`None` for sequential runs and for parallel runs that fell back to
+    /// a sequential replay). Feeds the work-imbalance column of
+    /// [`crate::stats::render_supervised`].
+    pub shard_work: Option<Vec<u64>>,
 }
 
 impl PointsToResult {
@@ -467,8 +476,26 @@ enum NodeKind {
 /// Runs the analysis of `program` under `policy`.
 ///
 /// This is the crate's main entry point for a single pass; the two-pass
-/// introspective flow lives in [`crate::driver`].
+/// introspective flow lives in [`crate::driver`]. With
+/// [`SolverConfig::parallelism`] above one thread the byte-identical
+/// sharded engine ([`crate::parallel`]) runs instead of the sequential
+/// worklist.
 pub fn analyze(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    policy: &dyn ContextPolicy,
+    config: &SolverConfig,
+) -> PointsToResult {
+    if config.parallelism.is_parallel() {
+        crate::parallel::analyze_parallel(program, hierarchy, policy, config)
+    } else {
+        Solver::new(program, hierarchy, policy, config.clone()).run()
+    }
+}
+
+/// The sequential worklist solver, unconditionally — the parallel engine's
+/// replay path calls this to reproduce exact budget-exhaustion states.
+pub(crate) fn analyze_sequential(
     program: &Program,
     hierarchy: &ClassHierarchy,
     policy: &dyn ContextPolicy,
@@ -1054,6 +1081,7 @@ impl<'p> Solver<'p> {
             reachable_methods,
             tables: self.tables,
             cs_dump: dump,
+            shard_work: None,
         }
     }
 }

@@ -160,9 +160,21 @@ pub fn render_supervised(run: &SupervisedRun) -> String {
             None => "complete".to_owned(),
             Some(cause) => format!("stopped: {cause}"),
         };
+        // Sharded rungs get an imbalance column: the busiest shard's
+        // derivation count relative to the per-shard mean (1.00x = a
+        // perfectly balanced partition).
+        let imbalance = match &a.shard_work {
+            Some(work) if !work.is_empty() => {
+                let max = *work.iter().max().expect("non-empty");
+                let mean = work.iter().sum::<u64>() as f64 / work.len() as f64;
+                let ratio = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+                format!("  threads={} imbalance={ratio:.2}x", work.len())
+            }
+            _ => String::new(),
+        };
         let _ = writeln!(
             out,
-            "{marker} [{i}] {:<18} {:<28} derivations={:<10} bytes~{:<12} salvaged: {} vars / {} calls / {} methods",
+            "{marker} [{i}] {:<18} {:<28} derivations={:<10} bytes~{:<12} salvaged: {} vars / {} calls / {} methods{imbalance}",
             a.rung.spec(),
             status,
             a.stats.derivations,

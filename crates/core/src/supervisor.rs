@@ -34,6 +34,7 @@ use rudoop_ir::{ClassHierarchy, Program};
 
 use crate::driver::{analyze_flavor, analyze_introspective_from, Flavor};
 use crate::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
+use crate::parallel::Parallelism;
 use crate::policy::Insensitive;
 use crate::solver::{
     analyze, Budget, CancelToken, ExhaustionCause, Outcome, PointsToResult, SolverConfig,
@@ -78,9 +79,9 @@ impl HeuristicChoice {
     }
 }
 
-/// One rung of the degradation ladder.
+/// The analysis a rung runs (its shape, without resource overrides).
 #[derive(Debug, Clone, Copy)]
-pub enum RungSpec {
+pub enum RungKind {
     /// A plain single-pass analysis under `Flavor`.
     Direct(Flavor),
     /// The two-pass introspective variant: insensitive pass (shared across
@@ -93,25 +94,79 @@ pub enum RungSpec {
     },
 }
 
+/// One rung of the degradation ladder: an analysis shape plus optional
+/// per-rung overrides (currently the worker-thread count).
+#[derive(Debug, Clone, Copy)]
+pub struct RungSpec {
+    /// Which analysis the rung runs.
+    pub kind: RungKind,
+    /// Worker threads for this rung; `None` inherits the supervisor's
+    /// [`SolverConfig::parallelism`]. Spelled `@tN` in spec strings
+    /// (`2objH@t4`). Results are byte-identical at any thread count, so
+    /// this only trades wall-clock for cores — e.g. run the expensive
+    /// first rung wide and the cheap fallback rungs sequentially.
+    pub threads: Option<usize>,
+}
+
 impl RungSpec {
-    /// The program-independent spec string (`2objH`, `introB:2objH`, …),
-    /// accepted back by [`RungSpec::parse`].
+    /// A single-pass rung under `flavor`.
+    pub fn direct(flavor: Flavor) -> RungSpec {
+        RungSpec {
+            kind: RungKind::Direct(flavor),
+            threads: None,
+        }
+    }
+
+    /// A two-pass introspective rung.
+    pub fn introspective(flavor: Flavor, heuristic: HeuristicChoice) -> RungSpec {
+        RungSpec {
+            kind: RungKind::Introspective { flavor, heuristic },
+            threads: None,
+        }
+    }
+
+    /// This rung with a worker-thread override.
+    pub fn with_threads(mut self, threads: usize) -> RungSpec {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The program-independent spec string (`2objH`, `introB:2objH`,
+    /// `2objH@t4`, …), accepted back by [`RungSpec::parse`].
     pub fn spec(&self) -> String {
-        match self {
-            RungSpec::Direct(f) => f.spec_name(),
-            RungSpec::Introspective { flavor, heuristic } => {
+        let base = match &self.kind {
+            RungKind::Direct(f) => f.spec_name(),
+            RungKind::Introspective { flavor, heuristic } => {
                 format!("intro{}:{}", heuristic.letter(), flavor.spec_name())
             }
+        };
+        match self.threads {
+            Some(n) => format!("{base}@t{n}"),
+            None => base,
         }
     }
 
     /// Parses one rung: a flavor name (`2objH`, `insens`) or an
-    /// introspective rung `introA:<flavor>` / `introspectiveB:<flavor>`.
+    /// introspective rung `introA:<flavor>` / `introspectiveB:<flavor>`,
+    /// optionally suffixed with a thread override `@tN`.
     pub fn parse(s: &str) -> Result<RungSpec, String> {
-        let intro = s
+        let (base, threads) = match s.rsplit_once('@') {
+            Some((base, suffix)) => {
+                let n = suffix
+                    .strip_prefix('t')
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        format!("malformed thread override {suffix:?} in rung {s:?} (want @tN)")
+                    })?;
+                (base, Some(n))
+            }
+            None => (s, None),
+        };
+        let intro = base
             .strip_prefix("introspective")
-            .or_else(|| s.strip_prefix("intro"));
-        if let Some(rest) = intro {
+            .or_else(|| base.strip_prefix("intro"));
+        let kind = if let Some(rest) = intro {
             let (letter, flavor) = rest.split_once(':').ok_or_else(|| {
                 format!("malformed introspective rung {s:?} (want introA:FLAVOR)")
             })?;
@@ -126,11 +181,13 @@ impl RungSpec {
             };
             let flavor = Flavor::parse(flavor)
                 .ok_or_else(|| format!("unknown flavor {flavor:?} in rung {s:?}"))?;
-            return Ok(RungSpec::Introspective { flavor, heuristic });
-        }
-        Flavor::parse(s)
-            .map(RungSpec::Direct)
-            .ok_or_else(|| format!("unknown rung {s:?} (flavor name or introA:FLAVOR)"))
+            RungKind::Introspective { flavor, heuristic }
+        } else {
+            Flavor::parse(base)
+                .map(RungKind::Direct)
+                .ok_or_else(|| format!("unknown rung {s:?} (flavor name or introA:FLAVOR)"))?
+        };
+        Ok(RungSpec { kind, threads })
     }
 }
 
@@ -153,16 +210,10 @@ impl LadderSpec {
     pub fn default_for(flavor: Flavor) -> Self {
         LadderSpec {
             rungs: vec![
-                RungSpec::Direct(flavor),
-                RungSpec::Introspective {
-                    flavor,
-                    heuristic: HeuristicChoice::b(),
-                },
-                RungSpec::Introspective {
-                    flavor,
-                    heuristic: HeuristicChoice::a(),
-                },
-                RungSpec::Direct(Flavor::Insensitive),
+                RungSpec::direct(flavor),
+                RungSpec::introspective(flavor, HeuristicChoice::b()),
+                RungSpec::introspective(flavor, HeuristicChoice::a()),
+                RungSpec::direct(Flavor::Insensitive),
             ],
         }
     }
@@ -186,12 +237,19 @@ impl LadderSpec {
             return Err("empty ladder".to_owned());
         }
         if rungs.len() == 1 {
-            if let RungSpec::Introspective { flavor, .. } = rungs[0] {
+            if let RungKind::Introspective { flavor, .. } = rungs[0].kind {
+                // The thread override of the lone rung carries over to the
+                // expanded ladder.
+                let threads = rungs[0].threads;
+                let with = |r: RungSpec| match threads {
+                    Some(n) => r.with_threads(n),
+                    None => r,
+                };
                 return Ok(LadderSpec {
                     rungs: vec![
-                        RungSpec::Direct(flavor),
+                        with(RungSpec::direct(flavor)),
                         rungs[0],
-                        RungSpec::Direct(Flavor::Insensitive),
+                        with(RungSpec::direct(Flavor::Insensitive)),
                     ],
                 });
             }
@@ -278,6 +336,9 @@ pub struct RungReport {
     /// Whether this rung computed the shared insensitive first pass (at
     /// most one rung per supervised run does).
     pub ran_first_pass: bool,
+    /// Per-shard derivation counts when the rung ran on the sharded
+    /// engine (see [`PointsToResult::shard_work`]).
+    pub shard_work: Option<Vec<u64>>,
 }
 
 /// The overall outcome of a supervised run, and the CLI exit-code
@@ -445,6 +506,10 @@ pub fn supervise(
         let rung_config = SolverConfig {
             budget: cfg.budget,
             cancel: Some(rung_token.clone()),
+            parallelism: rung
+                .threads
+                .map(Parallelism::threads)
+                .unwrap_or(cfg.solver.parallelism),
             ..cfg.solver.clone()
         };
         let needs_watchdog =
@@ -458,12 +523,12 @@ pub fn supervise(
         });
 
         let mut ran_first_pass = false;
-        let (result, selection_time) = match rung {
-            RungSpec::Direct(flavor) => (
+        let (result, selection_time) = match &rung.kind {
+            RungKind::Direct(flavor) => (
                 analyze_flavor(program, hierarchy, *flavor, &rung_config),
                 None,
             ),
-            RungSpec::Introspective { flavor, heuristic } => {
+            RungKind::Introspective { flavor, heuristic } => {
                 if matches!(first_pass, FirstPass::NotRun) {
                     let fp = analyze(program, hierarchy, &Insensitive, &rung_config);
                     first_pass_runs += 1;
@@ -513,6 +578,7 @@ pub fn supervise(
                             ),
                             selection_time: None,
                             ran_first_pass,
+                            shard_work: None,
                         });
                         continue;
                     }
@@ -529,6 +595,7 @@ pub fn supervise(
             salvaged: SalvagedFacts::of(&result),
             selection_time,
             ran_first_pass,
+            shard_work: result.shard_work.clone(),
         };
         let is_complete = result.outcome.is_complete();
         attempts.push(report);

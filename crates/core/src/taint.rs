@@ -35,7 +35,7 @@ use rudoop_ir::{
 
 use crate::context::{CtxId, CtxTables, HCtxId};
 use crate::hash::{FxHashMap, FxHashSet};
-use crate::solver::PointsToResult;
+use crate::solver::{CsDump, PointsToResult};
 use crate::supervisor::SupervisedRun;
 
 /// One taint propagation node: a variable under a calling context, a field
@@ -218,12 +218,31 @@ pub fn analyze_taint(
         return Err(TaintError::IncompleteAnalysis(pts.analysis.clone()));
     }
     let dump = pts.cs_dump.as_ref().ok_or(TaintError::MissingContextDump)?;
-    let vpt = dump.var_pts_index();
+    let canon = CtxCanon::build(dump, &pts.tables);
 
-    let mut reachable = dump.reachable.clone();
+    let mut vpt: FxHashMap<(VarId, CtxId), Vec<(AllocId, HCtxId)>> = FxHashMap::default();
+    for &(var, ctx, heap, hctx) in &dump.var_points_to {
+        vpt.entry((var, canon.ctx(ctx)))
+            .or_default()
+            .push((heap, canon.hctx(hctx)));
+    }
+    for objs in vpt.values_mut() {
+        objs.sort_unstable();
+        objs.dedup();
+    }
+
+    let mut reachable: Vec<(MethodId, CtxId)> = dump
+        .reachable
+        .iter()
+        .map(|&(m, c)| (m, canon.ctx(c)))
+        .collect();
     reachable.sort_unstable();
     reachable.dedup();
-    let mut call_graph = dump.call_graph.clone();
+    let mut call_graph: Vec<(InvokeId, CtxId, MethodId, CtxId)> = dump
+        .call_graph
+        .iter()
+        .map(|&(i, cc, m, ec)| (i, canon.ctx(cc), m, canon.ctx(ec)))
+        .collect();
     call_graph.sort_unstable();
     call_graph.dedup();
 
@@ -378,6 +397,7 @@ pub fn analyze_taint(
                     leaks.push(build_leak(
                         program,
                         &pts.tables,
+                        &canon,
                         &graph.nodes,
                         &parent,
                         n,
@@ -439,6 +459,7 @@ fn source_method_of(
 fn build_leak(
     program: &Program,
     tables: &CtxTables,
+    canon: &CtxCanon,
     nodes: &[Node],
     parent: &[u32],
     end: u32,
@@ -466,16 +487,17 @@ fn build_leak(
                 format!(
                     "{} {}",
                     program.var_display(v),
-                    tables.display_ctx(ctx, program)
+                    tables.display_ctx(canon.orig_ctx(ctx), program)
                 )
             }
             Node::Field(heap, hctx, fld) => {
                 heap_steps += 1;
-                if tables.hctx_elems(hctx).is_empty() {
+                let orig = canon.orig_hctx(hctx);
+                if tables.hctx_elems(orig).is_empty() {
                     merged_heap_step = true;
                 }
                 let elems: Vec<String> = tables
-                    .hctx_elems(hctx)
+                    .hctx_elems(orig)
                     .iter()
                     .map(|e| e.to_string())
                     .collect();
@@ -505,6 +527,200 @@ fn build_leak(
         trace,
         heap_steps,
         merged_heap_step,
+    }
+}
+
+/// Renders a supervised taint outcome as a JSON document for `rudoop
+/// taint --format json`.
+///
+/// The schema is part of the CLI contract and only grows, never changes.
+/// The document always carries exactly the keys `analysis`, `skipped`,
+/// `source_sites`, `sink_sites`, `leaks`, and `sanitizers`, in that order.
+/// When taint was skipped, `analysis` is `null`, `skipped` holds the
+/// reason, and both arrays are empty. Each leak object carries `source`,
+/// `source_span`, `sink`, `sink_span`, `sink_arg`, `sanitized_source`,
+/// `heap_steps`, `merged_heap_step`, and `trace` (the rendered shortest
+/// derivation, one string per propagation step); spans are `"line:col"`
+/// or `null` for programs without source text. Each sanitizer object
+/// carries `caller`, `span`, and `witnessed_taint` — the sanitizer
+/// witnesses the T-series lints consume, so scripts can tell a sanitizer
+/// that actually intercepted taint from dead sanitization.
+pub fn render_json(program: &Program, taint: &SupervisedTaint) -> String {
+    let mut out = String::from("{\n");
+    match taint {
+        SupervisedTaint::Skipped { reason } => {
+            out.push_str(&format!(
+                "  \"analysis\": null,\n  \"skipped\": \"{}\",\n  \"source_sites\": 0,\n  \
+                 \"sink_sites\": 0,\n  \"leaks\": [],\n  \"sanitizers\": []\n",
+                json_escape(reason)
+            ));
+        }
+        SupervisedTaint::Analyzed(t) => {
+            out.push_str(&format!(
+                "  \"analysis\": \"{}\",\n  \"skipped\": null,\n  \"source_sites\": {},\n  \
+                 \"sink_sites\": {},\n",
+                json_escape(&t.analysis),
+                t.source_sites,
+                t.sink_sites
+            ));
+            out.push_str("  \"leaks\": [");
+            for (i, leak) in t.leaks.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let trace: Vec<String> = leak
+                    .trace
+                    .iter()
+                    .map(|s| format!("\"{}\"", json_escape(s)))
+                    .collect();
+                out.push_str(&format!(
+                    "\n    {{\"source\":\"{}\",\"source_span\":{},\"sink\":\"{}\",\
+                     \"sink_span\":{},\"sink_arg\":{},\"sanitized_source\":{},\
+                     \"heap_steps\":{},\"merged_heap_step\":{},\"trace\":[{}]}}",
+                    json_escape(&program.method_display(leak.source_method)),
+                    invoke_span_json(program, leak.source),
+                    json_escape(&program.method_display(leak.sink_method)),
+                    invoke_span_json(program, leak.sink),
+                    leak.sink_arg,
+                    t.source_sanitized(leak.source),
+                    leak.heap_steps,
+                    leak.merged_heap_step,
+                    trace.join(",")
+                ));
+            }
+            if t.leaks.is_empty() {
+                out.push_str("],\n");
+            } else {
+                out.push_str("\n  ],\n");
+            }
+            out.push_str("  \"sanitizers\": [");
+            for (i, &(invo, hit)) in t.sanitizer_calls.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let caller = program.invokes[invo].method;
+                out.push_str(&format!(
+                    "\n    {{\"caller\":\"{}\",\"span\":{},\"witnessed_taint\":{}}}",
+                    json_escape(&program.method_display(caller)),
+                    invoke_span_json(program, invo),
+                    hit
+                ));
+            }
+            if t.sanitizer_calls.is_empty() {
+                out.push_str("]\n");
+            } else {
+                out.push_str("\n  ]\n");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The source span of a call site as a JSON value: the span of its `call`
+/// instruction in the enclosing method body, `null` when unknown.
+fn invoke_span_json(program: &Program, invo: InvokeId) -> String {
+    let m = &program.methods[program.invokes[invo].method];
+    for (i, instr) in m.body.iter().enumerate() {
+        if matches!(*instr, Instruction::Call { invoke } if invoke == invo) {
+            let span = m.span_of(i);
+            if span.is_known() {
+                return format!("\"{span}\"");
+            }
+            return "null".to_owned();
+        }
+    }
+    "null".to_owned()
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Content-based renumbering of the context ids used by a dump.
+///
+/// The sharded engine reaches the same fixpoint as the sequential solver
+/// but may intern contexts in a different order, so raw [`CtxId`] /
+/// [`HCtxId`] values are not stable across engines. Everything
+/// order-sensitive in taint — sorting the dump, graph node interning, BFS
+/// tie-breaks when several shortest traces exist — runs on canonical ids:
+/// contexts ranked by their element sequences, which *are* engine-
+/// invariant. Original ids survive only for rendering trace lines.
+struct CtxCanon {
+    ctx_rank: FxHashMap<CtxId, CtxId>,
+    hctx_rank: FxHashMap<HCtxId, HCtxId>,
+    ctx_orig: Vec<CtxId>,
+    hctx_orig: Vec<HCtxId>,
+}
+
+impl CtxCanon {
+    fn build(dump: &CsDump, tables: &CtxTables) -> Self {
+        let mut ctxs: FxHashSet<CtxId> = FxHashSet::default();
+        let mut hctxs: FxHashSet<HCtxId> = FxHashSet::default();
+        for &(_, ctx, _, hctx) in &dump.var_points_to {
+            ctxs.insert(ctx);
+            hctxs.insert(hctx);
+        }
+        for &(_, caller, _, callee) in &dump.call_graph {
+            ctxs.insert(caller);
+            ctxs.insert(callee);
+        }
+        for &(_, ctx) in &dump.reachable {
+            ctxs.insert(ctx);
+        }
+
+        // Interning deduplicates, so element sequences are unique per id
+        // and sorting by contents is a total order.
+        let mut ctx_orig: Vec<CtxId> = ctxs.into_iter().collect();
+        ctx_orig.sort_unstable_by(|&a, &b| tables.ctx_elems(a).cmp(tables.ctx_elems(b)));
+        let mut hctx_orig: Vec<HCtxId> = hctxs.into_iter().collect();
+        hctx_orig.sort_unstable_by(|&a, &b| tables.hctx_elems(a).cmp(tables.hctx_elems(b)));
+
+        let ctx_rank = ctx_orig
+            .iter()
+            .enumerate()
+            .map(|(rank, &orig)| (orig, CtxId(rank as u32)))
+            .collect();
+        let hctx_rank = hctx_orig
+            .iter()
+            .enumerate()
+            .map(|(rank, &orig)| (orig, HCtxId(rank as u32)))
+            .collect();
+        CtxCanon {
+            ctx_rank,
+            hctx_rank,
+            ctx_orig,
+            hctx_orig,
+        }
+    }
+
+    fn ctx(&self, id: CtxId) -> CtxId {
+        self.ctx_rank[&id]
+    }
+
+    fn hctx(&self, id: HCtxId) -> HCtxId {
+        self.hctx_rank[&id]
+    }
+
+    fn orig_ctx(&self, canonical: CtxId) -> CtxId {
+        self.ctx_orig[canonical.0 as usize]
+    }
+
+    fn orig_hctx(&self, canonical: HCtxId) -> HCtxId {
+        self.hctx_orig[canonical.0 as usize]
     }
 }
 
@@ -615,6 +831,125 @@ mod tests {
             analyze_taint(&p, &spec, &result).unwrap_err(),
             TaintError::MissingContextDump
         );
+    }
+
+    #[test]
+    fn json_report_has_stable_schema() {
+        let (p, spec) = kit();
+        let result = run(&p, true);
+        let taint = SupervisedTaint::Analyzed(analyze_taint(&p, &spec, &result).unwrap());
+        let json = render_json(&p, &taint);
+        assert!(json.starts_with("{\n  \"analysis\": \"insens\""));
+        assert!(json.contains("\"skipped\": null"));
+        assert!(json.contains("\"source\":\"Kit.input/0\""));
+        assert!(json.contains("\"sink\":\"Kit.exec/1\""));
+        assert!(json.contains("\"sanitized_source\":true"));
+        assert!(json.contains("\"witnessed_taint\":true"));
+        assert!(json.ends_with("}\n"));
+
+        let skipped = SupervisedTaint::Skipped {
+            reason: "say \"why\"".to_owned(),
+        };
+        let json = render_json(&p, &skipped);
+        assert!(json.contains("\"analysis\": null"));
+        assert!(json.contains("\"skipped\": \"say \\\"why\\\"\""));
+        assert!(json.contains("\"leaks\": []"));
+    }
+
+    /// Renumbering the context tables (as a different solver engine might)
+    /// must not change leaks, traces, or sanitizer observations: taint
+    /// canonicalizes context ids by content before anything order-sensitive.
+    #[test]
+    fn traces_are_invariant_under_context_renumbering() {
+        use crate::context::CtxTables;
+        use crate::policy::ObjectSensitive;
+
+        // Two receivers calling the same tainted pipeline, so 2obj creates
+        // several non-empty contexts and the BFS has real ties to break.
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let kit = b.class("Kit", Some(obj));
+        let f = b.field(obj, "f");
+        let src = b.method(kit, "input", &[], true);
+        let sv = b.var(src, "v");
+        b.alloc(src, sv, obj);
+        b.ret(src, sv);
+        let snk = b.method(kit, "exec", &["a"], true);
+        let wrap = b.method(kit, "wrap", &["x"], false);
+        let wx = b.param(wrap, 0);
+        let wb = b.var(wrap, "box");
+        let wo = b.var(wrap, "out");
+        b.alloc(wrap, wb, obj);
+        b.store(wrap, wb, f, wx);
+        b.load(wrap, wo, wb, f);
+        b.ret(wrap, wo);
+        let main = b.method(obj, "main", &[], true);
+        let t = b.var(main, "t");
+        let r1 = b.var(main, "r1");
+        let r2 = b.var(main, "r2");
+        let k1 = b.var(main, "k1");
+        let k2 = b.var(main, "k2");
+        b.alloc(main, k1, kit);
+        b.alloc(main, k2, kit);
+        b.scall(main, Some(t), src, &[]);
+        b.vcall(main, Some(r1), k1, "wrap", &[t]);
+        b.vcall(main, Some(r2), k2, "wrap", &[t]);
+        b.scall(main, None, snk, &[r1]);
+        b.scall(main, None, snk, &[r2]);
+        b.entry(main);
+        let p = b.finish();
+        let mut spec = TaintSpec::new();
+        spec.add_source(src);
+        spec.add_sink(snk, None);
+
+        let h = ClassHierarchy::new(&p);
+        let config = SolverConfig {
+            record_contexts: true,
+            ..SolverConfig::default()
+        };
+        let result = analyze(&p, &h, &ObjectSensitive::new(2, 1), &config);
+        assert!(result.outcome.is_complete());
+        let dump = result.cs_dump.as_ref().unwrap();
+        assert!(
+            dump.reachable.iter().any(|&(_, c)| c != CtxId::EMPTY),
+            "fixture must exercise non-empty contexts"
+        );
+
+        // Build a permuted twin: intern the same context contents in
+        // reverse order, remap every dump tuple accordingly.
+        let mut tables = CtxTables::new();
+        let mut cmap = vec![CtxId::EMPTY; result.tables.ctx_count()];
+        for id in (0..result.tables.ctx_count() as u32).rev() {
+            cmap[id as usize] = tables.intern_ctx(result.tables.ctx_elems(CtxId(id)));
+        }
+        let mut hmap = vec![HCtxId::EMPTY; result.tables.hctx_count()];
+        for id in (0..result.tables.hctx_count() as u32).rev() {
+            hmap[id as usize] = tables.intern_hctx(result.tables.hctx_elems(HCtxId(id)));
+        }
+        let mut twin = result.clone();
+        twin.tables = tables;
+        let d = twin.cs_dump.as_mut().unwrap();
+        for t in &mut d.var_points_to {
+            t.1 = cmap[t.1 .0 as usize];
+            t.3 = hmap[t.3 .0 as usize];
+        }
+        for t in &mut d.call_graph {
+            t.1 = cmap[t.1 .0 as usize];
+            t.3 = cmap[t.3 .0 as usize];
+        }
+        for t in &mut d.reachable {
+            t.1 = cmap[t.1 .0 as usize];
+        }
+
+        let a = analyze_taint(&p, &spec, &result).unwrap();
+        let b = analyze_taint(&p, &spec, &twin).unwrap();
+        assert_eq!(a.leak_set(), b.leak_set());
+        assert_eq!(a.sanitizer_calls, b.sanitizer_calls);
+        for (la, lb) in a.leaks.iter().zip(&b.leaks) {
+            assert_eq!(la.trace, lb.trace, "traces must be engine-invariant");
+            assert_eq!(la.heap_steps, lb.heap_steps);
+            assert_eq!(la.merged_heap_step, lb.merged_heap_step);
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use rudoop_core::driver::{analyze_flavor, Flavor};
 use rudoop_core::policy::Insensitive;
 use rudoop_core::solver::{analyze, Budget, CancelToken, ExhaustionCause, Outcome, SolverConfig};
 use rudoop_core::supervisor::{
-    supervise, LadderSpec, RungSpec, SupervisionVerdict, SupervisorConfig,
+    supervise, LadderSpec, RungKind, SupervisionVerdict, SupervisorConfig,
 };
 use rudoop_ir::{ClassHierarchy, Program, ProgramBuilder};
 
@@ -95,8 +95,8 @@ fn ladder_degrades_to_introspective() {
     let completed = run.completed_rung.expect("a rung completed");
     assert!(completed > 0);
     assert!(matches!(
-        run.attempts[completed].rung,
-        RungSpec::Introspective { .. }
+        run.attempts[completed].rung.kind,
+        RungKind::Introspective { .. }
     ));
     assert_eq!(run.attempts[completed].outcome, Outcome::Complete);
     assert!(run.result.is_some());

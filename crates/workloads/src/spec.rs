@@ -99,6 +99,19 @@ pub struct WorkloadSpec {
     /// ([`patterns::taint_kit`]); 0 (the default) emits nothing, keeping
     /// programs byte-identical to pre-taint builds.
     pub taint_flows: usize,
+
+    /// Linear size multiplier. Multiplies the *instance* counts of the
+    /// pattern batteries — hub population and readers, utility consumers,
+    /// precision probes, listeners, visitor nodes, application classes —
+    /// so program volume grows roughly linearly in `scale` without
+    /// changing the benchmark's *shape*: the context-explosion
+    /// multipliers (creator instances, allocation sites per class, chain
+    /// depths) and the threshold-calibrated medium pool are deliberately
+    /// left alone, so heuristic classifications survive scaling. `1` (the
+    /// default) is the identity: builds are byte-identical to a spec
+    /// without the knob. Used to size multi-shard parallel runs (50k+ IL
+    /// instructions) out of the same recipes.
+    pub scale: usize,
 }
 
 impl Default for WorkloadSpec {
@@ -138,6 +151,7 @@ impl Default for WorkloadSpec {
             app_classes: 20,
             app_casts: 6,
             taint_flows: 0,
+            scale: 1,
         }
     }
 }
@@ -145,6 +159,10 @@ impl Default for WorkloadSpec {
 impl WorkloadSpec {
     /// Builds the benchmark program described by this spec.
     pub fn build(&self) -> Program {
+        // Linear knobs grow with `scale`; shape knobs (context
+        // multipliers, chain depths, the threshold-sized medium pool) do
+        // not. `scale == 1` must stay the identity.
+        let s = self.scale.max(1);
         let mut rng = SplitMix64::new(self.seed);
         let mut b = ProgramBuilder::new();
         let std = stdlib::build(&mut b);
@@ -158,10 +176,10 @@ impl WorkloadSpec {
                 &std,
                 main,
                 "Hub",
-                self.pool_values,
+                self.pool_values * s,
                 self.pool_value_classes,
                 self.cross_link,
-                self.pool_readers,
+                self.pool_readers * s,
                 &mut rng,
             );
             if self.creator_instances > 0 && self.wrapper_sites_per_class > 0 {
@@ -188,7 +206,7 @@ impl WorkloadSpec {
                     main,
                     "Call",
                     &pool,
-                    self.util_consumers,
+                    self.util_consumers * s,
                     self.util_dists,
                     self.util_chain,
                     self.util_moves,
@@ -246,14 +264,14 @@ impl WorkloadSpec {
             &std,
             main,
             "Pr",
-            self.probes_clean,
-            self.probes_type_friendly,
+            self.probes_clean * s,
+            self.probes_type_friendly * s,
             self.probes_medium,
             medium.as_ref(),
         );
 
         if self.listeners > 0 {
-            patterns::event_bus(&mut b, &std, main, "Ev", self.listeners);
+            patterns::event_bus(&mut b, &std, main, "Ev", self.listeners * s);
         }
         if self.visitor_nodes > 0 {
             patterns::visitor(
@@ -261,7 +279,7 @@ impl WorkloadSpec {
                 &std,
                 main,
                 "Vis",
-                self.visitor_nodes,
+                self.visitor_nodes * s,
                 self.visitor_kinds,
             );
         }
@@ -269,7 +287,14 @@ impl WorkloadSpec {
             patterns::streams(&mut b, &std, main, "St", self.stream_depth);
         }
         if self.app_classes > 0 {
-            patterns::app_mass(&mut b, &std, main, "App", self.app_classes, self.app_casts);
+            patterns::app_mass(
+                &mut b,
+                &std,
+                main,
+                "App",
+                self.app_classes * s,
+                self.app_casts,
+            );
         }
         if self.taint_flows > 0 {
             patterns::taint_kit(&mut b, &std, main, "Taint", self.taint_flows);
@@ -299,12 +324,14 @@ impl WorkloadSpec {
         TaintSpec::parse(Self::TAINT_SPEC_TEXT, program).expect("canonical spec resolves")
     }
 
-    /// The probe tallies this spec emits (for asserting chart shapes).
+    /// The probe tallies this spec emits (for asserting chart shapes),
+    /// after `scale` is applied.
     pub fn probe_counts(&self) -> ProbeCounts {
+        let s = self.scale.max(1);
         ProbeCounts {
-            clean: self.probes_clean,
+            clean: self.probes_clean * s,
             medium: self.probes_medium,
-            type_friendly: self.probes_type_friendly,
+            type_friendly: self.probes_type_friendly * s,
         }
     }
 }
@@ -339,6 +366,51 @@ mod tests {
         let p = spec.build();
         assert_eq!(validate(&p), Ok(()));
         assert!(!p.classes.values().any(|c| c.name.starts_with("Amp")));
+    }
+
+    #[test]
+    fn scale_one_is_the_identity() {
+        let base = WorkloadSpec::default().build();
+        let scaled = WorkloadSpec {
+            scale: 1,
+            ..WorkloadSpec::default()
+        }
+        .build();
+        assert_eq!(
+            rudoop_ir::print_program(&base),
+            rudoop_ir::print_program(&scaled)
+        );
+        // scale: 0 is clamped to the identity too, not an empty program.
+        let clamped = WorkloadSpec {
+            scale: 0,
+            ..WorkloadSpec::default()
+        }
+        .build();
+        assert_eq!(
+            rudoop_ir::print_program(&base),
+            rudoop_ir::print_program(&clamped)
+        );
+    }
+
+    #[test]
+    fn scale_grows_volume_linearly_without_changing_shape() {
+        let base = WorkloadSpec::default();
+        let scaled = WorkloadSpec {
+            scale: 8,
+            ..WorkloadSpec::default()
+        };
+        let p1 = base.build();
+        let p8 = scaled.build();
+        assert_eq!(validate(&p8), Ok(()));
+        assert!(
+            p8.instruction_count() >= 4 * p1.instruction_count(),
+            "scale 8: {} vs base {}",
+            p8.instruction_count(),
+            p1.instruction_count()
+        );
+        // Shape knobs are untouched: same wrapper/creator class families.
+        assert_eq!(scaled.probe_counts().clean, 8 * base.probe_counts().clean);
+        assert_eq!(scaled.probe_counts().medium, base.probe_counts().medium);
     }
 
     #[test]

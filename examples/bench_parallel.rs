@@ -1,0 +1,157 @@
+//! Sequential-vs-sharded benchmark: measures wall-clock time of the
+//! parallel propagation engine against the sequential solver and writes
+//! `BENCH_parallel.json` (schema below) to the current directory.
+//!
+//! Run with: `cargo run --release --example bench_parallel [out.json]`
+//!
+//! Every run asserts canonical-stats equality against the sequential
+//! reference before its time is recorded, so the file doubles as an
+//! equivalence receipt. `host_cpus` records what the host could actually
+//! parallelize: on a single-CPU machine the sharded engine cannot beat
+//! the sequential solver (threads time-slice one core and pay the
+//! epoch-barrier overhead), and the numbers say so rather than pretending
+//! otherwise.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rudoop::analysis::driver::{analyze_flavor, Flavor};
+use rudoop::analysis::solver::{Budget, SolverConfig};
+use rudoop::analysis::Parallelism;
+use rudoop::ir::ClassHierarchy;
+use rudoop::workloads::dacapo;
+
+struct Run {
+    workload: String,
+    scale: usize,
+    flavor: &'static str,
+    threads: usize,
+    seconds: f64,
+    derivations: u64,
+    imbalance: Option<f64>,
+    speedup_vs_seq: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_owned());
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut runs: Vec<Run> = Vec::new();
+
+    let cases: Vec<(rudoop::workloads::WorkloadSpec, usize)> = vec![
+        (dacapo::antlr(), 1),
+        (dacapo::lusearch(), 1),
+        (dacapo::pmd(), 1),
+        (
+            {
+                let mut s = dacapo::antlr();
+                s.scale = 4;
+                s
+            },
+            4,
+        ),
+    ];
+
+    for (spec, scale) in cases {
+        let program = spec.build();
+        let hierarchy = ClassHierarchy::new(&program);
+        for (flavor, name) in [(Flavor::Insensitive, "insens"), (Flavor::OBJ2H, "2objH")] {
+            let mut seq_time = 0.0;
+            let mut seq_stats = None;
+            for threads in [1usize, 2, 4] {
+                let config = SolverConfig {
+                    budget: Budget::unlimited(),
+                    parallelism: Parallelism::threads(threads),
+                    ..SolverConfig::default()
+                };
+                let start = Instant::now();
+                let result = analyze_flavor(&program, &hierarchy, flavor, &config);
+                let seconds = start.elapsed().as_secs_f64();
+                assert!(
+                    result.outcome.is_complete(),
+                    "{}/{name} must complete",
+                    spec.name
+                );
+                match &seq_stats {
+                    None => {
+                        seq_stats = Some(result.stats.canonical());
+                        seq_time = seconds;
+                    }
+                    Some(reference) => assert_eq!(
+                        reference,
+                        &result.stats.canonical(),
+                        "{}/{name}/t{threads}: engines disagree",
+                        spec.name
+                    ),
+                }
+                let imbalance = result.shard_work.as_ref().map(|work| {
+                    let max = *work.iter().max().unwrap_or(&0) as f64;
+                    let mean = work.iter().sum::<u64>() as f64 / work.len().max(1) as f64;
+                    if mean > 0.0 {
+                        max / mean
+                    } else {
+                        1.0
+                    }
+                });
+                println!(
+                    "{:<10} scale={} {:<7} threads={}  {:>8.3}s  {:>10} derivations  speedup {:.2}x",
+                    spec.name,
+                    scale,
+                    name,
+                    threads,
+                    seconds,
+                    result.stats.derivations,
+                    seq_time / seconds
+                );
+                runs.push(Run {
+                    workload: spec.name.clone(),
+                    scale,
+                    flavor: name,
+                    threads,
+                    seconds,
+                    derivations: result.stats.derivations,
+                    imbalance,
+                    speedup_vs_seq: seq_time / seconds,
+                });
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"wall-clock of a single iteration per configuration; every sharded run \
+         is asserted byte-identical (canonical stats) to its sequential reference before \
+         timing is recorded; sustained speedup > 1 at threads > 1 requires host_cpus > 1\","
+    );
+    json.push_str("  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let imbalance = match r.imbalance {
+            Some(x) => format!("{x:.3}"),
+            None => "null".to_owned(),
+        };
+        let _ = write!(
+            json,
+            "\n    {{\"workload\":\"{}\",\"scale\":{},\"flavor\":\"{}\",\"threads\":{},\
+             \"seconds\":{:.4},\"derivations\":{},\"imbalance\":{},\"speedup_vs_seq\":{:.3}}}",
+            r.workload,
+            r.scale,
+            r.flavor,
+            r.threads,
+            r.seconds,
+            r.derivations,
+            imbalance,
+            r.speedup_vs_seq
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("\nwrote {out_path}");
+}

@@ -19,6 +19,9 @@
 //!   --max-bytes <n>      per-run modeled memory budget in bytes
 //!   --timeout <secs>     per-run wall-clock deadline (watchdog-enforced
 //!                        in ladder mode)
+//!   --threads <n>        run the sharded parallel propagation engine on
+//!                        `n` worker threads (default: 1 = the sequential
+//!                        solver; results are byte-identical either way)
 //!   --filter-casts       enable assign-cast filtering
 //!   --stats              print the points-to distribution dashboard
 //!   --pts <var>          print the points-to set of Class.method::var
@@ -26,7 +29,8 @@
 //!
 //! taint subcommand:
 //!
-//!   rudoop taint <program.rdp | @benchmark> --spec <file|builtin> [options]
+//!   rudoop taint <program.rdp | @benchmark> --spec <file|builtin>
+//!                [--format text|json] [options]
 //!
 //! Runs the points-to analysis under the supervisor (the `--ladder` spec,
 //! or the canonical ladder for `--analysis`/`--introspective`), then the
@@ -37,6 +41,10 @@
 //! but taint is *skipped* with a note — a partial leak list never
 //! masquerades as a complete one. Exit contract is the ladder's:
 //! 0 complete / 3 degraded / 4 exhausted.
+//!
+//! `--format json` prints a machine-readable leak report on stdout (the
+//! ladder table moves to stderr so stdout stays a single JSON document);
+//! the schema is documented on `rudoop::analysis::taint::render_json`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -46,6 +54,7 @@ use rudoop::analysis::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
 use rudoop::analysis::solver::{Budget, SolverConfig};
 use rudoop::analysis::supervisor::{supervise, LadderSpec, SupervisorConfig};
 use rudoop::analysis::taint::{supervised_taint, SupervisedTaint};
+use rudoop::analysis::Parallelism;
 use rudoop::analysis::{render_supervised, PrecisionMetrics, ResultStats};
 use rudoop::ir::{parse_program, validate, ClassHierarchy, Program, TaintSpec};
 use rudoop::workloads::dacapo;
@@ -60,6 +69,8 @@ struct Options {
     budget: Option<u64>,
     max_bytes: Option<u64>,
     timeout: Option<Duration>,
+    threads: usize,
+    json: bool,
     filter_casts: bool,
     stats: bool,
     pts: Vec<String>,
@@ -70,8 +81,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: rudoop [taint] <program.rdp | @benchmark> [--analysis NAME] \
          [--introspective A|B] [--ladder SPEC] [--spec FILE|builtin] \
-         [--budget N] [--max-bytes N] \
-         [--timeout SECS] [--filter-casts] [--stats] \
+         [--format text|json] [--budget N] [--max-bytes N] \
+         [--timeout SECS] [--threads N] [--filter-casts] [--stats] \
          [--pts Class.method::var] [--dump]"
     );
     std::process::exit(2);
@@ -89,6 +100,8 @@ fn parse_args() -> Options {
         budget: None,
         max_bytes: None,
         timeout: None,
+        threads: 1,
+        json: false,
         filter_casts: false,
         stats: false,
         pts: Vec::new(),
@@ -134,6 +147,25 @@ fn parse_args() -> Options {
                 }
                 opts.timeout = Some(Duration::from_secs_f64(secs));
             }
+            "--threads" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.threads = n.parse().unwrap_or_else(|_| usage());
+                if opts.threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    usage();
+                }
+            }
+            "--format" => {
+                let fmt = args.next().unwrap_or_else(|| usage());
+                match fmt.as_str() {
+                    "text" => opts.json = false,
+                    "json" => opts.json = true,
+                    _ => {
+                        eprintln!("unknown format {fmt:?} (expected text or json)");
+                        usage();
+                    }
+                }
+            }
             "--spec" => opts.spec = Some(args.next().unwrap_or_else(|| usage())),
             "--filter-casts" => opts.filter_casts = true,
             "--stats" => opts.stats = true,
@@ -159,6 +191,10 @@ fn parse_args() -> Options {
     }
     if !opts.taint_cmd && opts.spec.is_some() {
         eprintln!("--spec only makes sense with the taint subcommand");
+        usage();
+    }
+    if !opts.taint_cmd && opts.json {
+        eprintln!("--format json only makes sense with the taint subcommand");
         usage();
     }
     opts
@@ -219,6 +255,7 @@ fn main() -> ExitCode {
         filter_casts: opts.filter_casts,
         // The taint client walks per-context points-to facts.
         record_contexts: opts.taint_cmd,
+        parallelism: Parallelism::threads(opts.threads),
         ..SolverConfig::default()
     };
 
@@ -322,6 +359,14 @@ fn run_taint(
         watchdog: opts.timeout.is_some(),
     };
     let run = supervise(program, hierarchy, &cfg);
+    if opts.json {
+        // Keep stdout a single JSON document; the ladder table is still
+        // useful context, so it moves to stderr.
+        eprint!("{}", render_supervised(&run));
+        let taint = supervised_taint(program, spec, &run);
+        print!("{}", rudoop::analysis::taint::render_json(program, &taint));
+        return ExitCode::from(run.exit_code());
+    }
     print!("{}", render_supervised(&run));
     match supervised_taint(program, spec, &run) {
         SupervisedTaint::Analyzed(taint) => {
