@@ -130,6 +130,20 @@ impl LintRegistry {
     /// when `cx.points_to` is `None`. [`Level::Deny`] escalates findings to
     /// [`Severity::Error`].
     pub fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        self.run_traced(cx, &None)
+    }
+
+    /// [`run`](LintRegistry::run) with telemetry: the whole pass runs under
+    /// a `lint-pass` span, each enabled lint under a nested `lint` span
+    /// (arg: its code), and per-code finding tallies land in the
+    /// deterministic counter stream as `lint.<code>.findings`. Passing
+    /// `&None` is equivalent to [`run`](LintRegistry::run).
+    pub fn run_traced(
+        &self,
+        cx: &LintContext<'_>,
+        tele: &rudoop_core::telemetry::TelemetryHandle,
+    ) -> Vec<Diagnostic> {
+        let pass_span = rudoop_core::telemetry::span_opt(tele, "lint-pass");
         let mut out = Vec::new();
         for (lint, level) in &self.lints {
             match level {
@@ -142,6 +156,10 @@ impl LintRegistry {
             if lint.needs_taint() && cx.taint.is_none() {
                 continue;
             }
+            let lint_span = rudoop_core::telemetry::span_opt(tele, "lint");
+            if let Some(s) = &lint_span {
+                s.arg("code", lint.code());
+            }
             let start = out.len();
             lint.check(cx, &mut out);
             let severity = match level {
@@ -151,8 +169,18 @@ impl LintRegistry {
             for d in &mut out[start..] {
                 d.severity = severity;
             }
+            if let Some(t) = tele.as_deref() {
+                t.counter(
+                    &format!("lint.{}.findings", lint.code()),
+                    (out.len() - start) as u64,
+                );
+            }
         }
         sort_diagnostics(&mut out);
+        if let Some(s) = &pass_span {
+            s.arg("findings", out.len());
+        }
+        drop(pass_span);
         out
     }
 }

@@ -1,7 +1,8 @@
 //! Sequential-vs-sharded scaling table for the parallel propagation
 //! engine: per workload × flavor × thread count, wall-clock time, total
-//! derivations (engine-invariant by construction) and the max/mean shard
-//! imbalance ratio.
+//! derivations (engine-invariant by construction), the max/mean shard
+//! imbalance ratio, p50/p95 per-epoch durations, and the fraction of
+//! epoch time spent in coordinator barriers (from telemetry spans).
 //!
 //! The root crate's `examples/bench_parallel.rs` is the no-network twin of
 //! this bin and is what regenerates the committed `BENCH_parallel.json`;
@@ -10,14 +11,43 @@
 //!
 //! Usage: `cargo run --release -p rudoop-bench --bin parallel [bench ...]`
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rudoop_bench::table;
 use rudoop_core::driver::{analyze_flavor, Flavor};
 use rudoop_core::solver::{Budget, SolverConfig};
-use rudoop_core::Parallelism;
+use rudoop_core::{Parallelism, Telemetry, TelemetryHandle};
 use rudoop_ir::ClassHierarchy;
 use rudoop_workloads::dacapo;
+
+/// `(p50, p95, barrier fraction)` over the run's epoch spans; `None` when
+/// the run was sequential (no epochs recorded).
+fn epoch_profile(tele: &TelemetryHandle) -> Option<(u64, u64, f64)> {
+    let spans = tele.as_deref()?.spans();
+    let mut epochs: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.name == "epoch")
+        .map(|s| s.dur_us())
+        .collect();
+    if epochs.is_empty() {
+        return None;
+    }
+    epochs.sort_unstable();
+    let pct = |q: f64| epochs[((epochs.len() - 1) as f64 * q).round() as usize];
+    let barrier: u64 = spans
+        .iter()
+        .filter(|s| s.name == "barrier")
+        .map(|s| s.dur_us())
+        .sum();
+    let total: u64 = epochs.iter().sum();
+    let frac = if total > 0 {
+        barrier as f64 / total as f64
+    } else {
+        0.0
+    };
+    Some((pct(0.5), pct(0.95), frac))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,9 +69,11 @@ fn main() {
             let mut seq_stats = None;
             let mut seq_time = 0.0;
             for threads in [1usize, 2, 4, 8] {
+                let tele: TelemetryHandle = (threads > 1).then(|| Arc::new(Telemetry::new()));
                 let config = SolverConfig {
                     budget: Budget::unlimited(),
                     parallelism: Parallelism::threads(threads),
+                    telemetry: tele.clone(),
                     ..SolverConfig::default()
                 };
                 let start = Instant::now();
@@ -72,6 +104,14 @@ fn main() {
                         }
                     })
                     .unwrap_or_else(|| "-".into());
+                let (p50, p95, barrier) = match epoch_profile(&tele) {
+                    Some((p50, p95, frac)) => (
+                        format!("{p50}us"),
+                        format!("{p95}us"),
+                        format!("{:.1}%", frac * 100.0),
+                    ),
+                    None => ("-".into(), "-".into(), "-".into()),
+                };
                 rows.push(vec![
                     (*name).to_owned(),
                     label.to_owned(),
@@ -79,6 +119,9 @@ fn main() {
                     format!("{seconds:.3}s"),
                     table::mega(result.stats.derivations),
                     imbalance,
+                    p50,
+                    p95,
+                    barrier,
                     format!("{:.2}x", seq_time / seconds),
                 ]);
             }
@@ -96,6 +139,9 @@ fn main() {
                 "time",
                 "derivs",
                 "imbalance",
+                "ep50",
+                "ep95",
+                "barrier",
                 "speedup"
             ],
             &rows

@@ -180,7 +180,9 @@ pub fn analyze_introspective(
     heuristic: &dyn RefinementHeuristic,
     config: &SolverConfig,
 ) -> IntrospectiveRun {
+    let fp_span = crate::telemetry::span_opt(&config.telemetry, "first-pass");
     let first_pass = analyze(program, hierarchy, &Insensitive, config);
+    drop(fp_span);
     analyze_introspective_from(program, hierarchy, flavor, heuristic, config, first_pass)
 }
 
@@ -196,9 +198,34 @@ pub fn analyze_introspective_from(
     first_pass: PointsToResult,
 ) -> IntrospectiveRun {
     let select_start = Instant::now();
+    let sel_span = crate::telemetry::span_opt(&config.telemetry, "introspection");
     let metrics = IntrospectionMetrics::compute(program, &first_pass);
     let refinement = heuristic.select(program, &metrics, &first_pass);
     let refinement_stats = RefinementStats::compute(program, &first_pass, &refinement);
+    if let Some(span) = &sel_span {
+        span.arg("heuristic", heuristic.label());
+    }
+    drop(sel_span);
+    if let Some(tele) = config.telemetry.as_deref() {
+        // Selection statistics are pure functions of the first pass, so
+        // they belong in the deterministic counter stream.
+        tele.counter(
+            "introspection.call_sites_not_refined",
+            refinement_stats.call_sites_not_refined as u64,
+        );
+        tele.counter(
+            "introspection.call_sites_total",
+            refinement_stats.call_sites_total as u64,
+        );
+        tele.counter(
+            "introspection.objects_not_refined",
+            refinement_stats.objects_not_refined as u64,
+        );
+        tele.counter(
+            "introspection.objects_total",
+            refinement_stats.objects_total as u64,
+        );
+    }
     let selection_time = select_start.elapsed();
 
     let result = match flavor {

@@ -68,6 +68,7 @@ pub mod solver;
 pub mod stats;
 pub mod supervisor;
 pub mod taint;
+pub mod telemetry;
 
 pub use clients::PrecisionMetrics;
 pub use context::{CObj, ContextElem, CtxId, CtxTables, HCtxId};
@@ -91,3 +92,4 @@ pub use supervisor::{
     SupervisedRun, SupervisionVerdict, SupervisorConfig,
 };
 pub use taint::{analyze_taint, supervised_taint, Leak, SupervisedTaint, TaintError, TaintResult};
+pub use telemetry::{validate_chrome_trace, Telemetry, TelemetryHandle, TraceCheck};

@@ -88,6 +88,7 @@ use crate::solver::{
     model_bytes, CancelToken, CsDump, ExhaustionCause, Outcome, PointsToResult, SolverConfig,
     SolverError, SolverStats,
 };
+use crate::telemetry::{shard_lane, Telemetry};
 
 /// Thread-count configuration for one solver run.
 ///
@@ -205,6 +206,15 @@ struct ShardState {
     /// Lifetime tuple insertions into this shard (the budget currency and
     /// the imbalance metric).
     derivations: u64,
+    /// Worklist pops during the last epoch (deterministic engine metric).
+    epoch_drains: u64,
+    /// Inbox messages applied at the start of the last epoch.
+    epoch_inbox: u64,
+    /// Worker-measured busy window of the last epoch, µs since the
+    /// telemetry origin. Written by the worker without locking and read by
+    /// the coordinator at the barrier; zero when telemetry is off.
+    busy_start_us: u64,
+    busy_end_us: u64,
 }
 
 impl ShardState {
@@ -240,9 +250,18 @@ fn run_epoch(
     hierarchy: &ClassHierarchy,
     cancel: Option<&CancelToken>,
     chunk: u64,
+    tele: Option<&Telemetry>,
 ) {
+    // Workers never lock the telemetry mutex: they stamp their busy window
+    // into shard-local fields (now_us is a lock-free clock read) and the
+    // coordinator records the spans at the barrier, in shard-index order.
+    if let Some(t) = tele {
+        shard.busy_start_us = t.now_us();
+    }
+    shard.epoch_drains = 0;
     let start_derivations = shard.derivations;
     let inbox = std::mem::take(&mut shard.inbox);
+    shard.epoch_inbox = inbox.len() as u64;
     for (node, obj) in inbox {
         debug_assert_eq!(node.shard(), me);
         shard.add_local(node.idx(), obj);
@@ -265,6 +284,7 @@ fn run_epoch(
         };
         let i = i as usize;
         shard.in_worklist[i] = false;
+        shard.epoch_drains += 1;
         let d = std::mem::take(&mut shard.delta[i]);
         if d.is_empty() {
             continue;
@@ -327,6 +347,9 @@ fn run_epoch(
             }
         }
     }
+    if let Some(t) = tele {
+        shard.busy_end_us = t.now_us();
+    }
 }
 
 /// What the barrier decided about the run.
@@ -368,6 +391,14 @@ struct Engine<'p> {
     node_cap: usize,
     start: Instant,
     exhausted: Option<ExhaustionCause>,
+    /// Index of the next epoch to run (== number of epochs completed).
+    epoch_index: u64,
+    /// Per-epoch per-shard derivation deltas — the imbalance-over-time
+    /// record behind [`PointsToResult::epoch_shard_work`]. Always
+    /// collected: one `u64` per shard per epoch.
+    epoch_shard_work: Vec<Vec<u64>>,
+    /// Per-shard derivation counters at the last epoch boundary.
+    prev_derivations: Vec<u64>,
 }
 
 /// Why `solve` gave up on the parallel attempt.
@@ -396,7 +427,7 @@ impl<'p> Engine<'p> {
                 ..ShardState::default()
             })
             .collect();
-        Engine {
+        let engine = Engine {
             program,
             hierarchy,
             policy,
@@ -418,7 +449,18 @@ impl<'p> Engine<'p> {
             node_cap,
             start: Instant::now(),
             exhausted: None,
+            epoch_index: 0,
+            epoch_shard_work: Vec::new(),
+            prev_derivations: vec![0; n],
+        };
+        if let Some(tele) = engine.config.telemetry.as_deref() {
+            let mut args: Vec<(String, String)> = vec![("shards".to_owned(), n.to_string())];
+            for (i, load) in engine.map.static_load().iter().enumerate() {
+                args.push((format!("static_load.{i}"), load.to_string()));
+            }
+            tele.instant("shard-partition", args);
         }
+        engine
     }
 
     fn new_node(&mut self, shard: u32, kind: PKind, ctx: CtxId) -> Result<PNode, SolverError> {
@@ -703,6 +745,8 @@ impl<'p> Engine<'p> {
     /// reachable method bodies, route messages, then evaluate the stop
     /// conditions on the merged counters.
     fn barrier(&mut self) -> Result<Verdict, SolverError> {
+        let tele = self.config.telemetry.clone();
+        let span = crate::telemetry::span_opt(&tele, "barrier");
         if self.is_cancelled() {
             return Ok(Verdict::Stop(ExhaustionCause::Cancelled));
         }
@@ -710,6 +754,7 @@ impl<'p> Engine<'p> {
         for s in &mut self.shards {
             pending.append(&mut s.pending);
         }
+        let pending_count = pending.len() as u64;
         let mut polled = 0u64;
         let poll = |engine: &Engine<'_>, polled: &mut u64| -> Option<Verdict> {
             *polled += 1;
@@ -756,14 +801,30 @@ impl<'p> Engine<'p> {
         // order, then the coordinator's — a fixed, schedule-independent
         // application order for the next epoch.
         let n = self.shards.len();
+        let mut routed = 0u64;
         for d in 0..n {
             let mut inbox = std::mem::take(&mut self.shards[d].inbox);
             for s in 0..n {
                 let msgs = std::mem::take(&mut self.shards[s].outbox[d]);
+                routed += msgs.len() as u64;
                 inbox.extend(msgs);
             }
+            routed += self.coord_outbox[d].len() as u64;
             inbox.append(&mut self.coord_outbox[d]);
             self.shards[d].inbox = inbox;
+        }
+        if let Some(t) = tele.as_deref() {
+            // Engine metrics: deterministic at a fixed thread count —
+            // replay order at the barrier is schedule-independent.
+            let e = self.epoch_index;
+            t.metric(&format!("barrier{e}.pending"), pending_count);
+            t.metric(&format!("barrier{e}.routed"), routed);
+            t.sample("derivations", self.total_derivations());
+            t.sample("contexts", self.tables.ctx_count() as u64);
+            if let Some(span) = &span {
+                span.arg("pending", pending_count);
+                span.arg("routed", routed);
+            }
         }
         // Stop checks, in the sequential solver's priority order.
         if self.is_cancelled() {
@@ -816,14 +877,63 @@ impl<'p> Engine<'p> {
         let program = self.program;
         let hierarchy = self.hierarchy;
         let cancel = self.config.cancel.clone();
+        let tele = self.config.telemetry.as_deref();
+        let span = tele.map(|t| {
+            let s = t.span("epoch");
+            s.arg("epoch", self.epoch_index);
+            s
+        });
         thread::scope(|scope| {
             for (i, shard) in self.shards.iter_mut().enumerate() {
                 let cancel = cancel.clone();
                 scope.spawn(move || {
-                    run_epoch(shard, i, program, hierarchy, cancel.as_ref(), chunk);
+                    run_epoch(shard, i, program, hierarchy, cancel.as_ref(), chunk, tele);
                 });
             }
         });
+        drop(span);
+        self.record_epoch();
+    }
+
+    /// Post-epoch bookkeeping: fold per-shard derivation deltas into the
+    /// imbalance-over-time record and, when telemetry is attached, emit
+    /// the workers' busy-window spans (in shard-index order) and the
+    /// epoch's deterministic engine metrics.
+    fn record_epoch(&mut self) {
+        let mut deltas = Vec::with_capacity(self.shards.len());
+        let mut total = 0u64;
+        let mut max = 0u64;
+        let mut drains = 0u64;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let delta = shard.derivations - self.prev_derivations[i];
+            self.prev_derivations[i] = shard.derivations;
+            total += delta;
+            max = max.max(delta);
+            drains += shard.epoch_drains;
+            deltas.push(delta);
+            if let Some(t) = self.config.telemetry.as_deref() {
+                t.complete_span(
+                    shard_lane(i),
+                    "drain",
+                    shard.busy_start_us,
+                    shard.busy_end_us,
+                    vec![
+                        ("epoch".to_owned(), self.epoch_index.to_string()),
+                        ("work".to_owned(), delta.to_string()),
+                        ("drains".to_owned(), shard.epoch_drains.to_string()),
+                        ("inbox".to_owned(), shard.epoch_inbox.to_string()),
+                    ],
+                );
+            }
+        }
+        if let Some(t) = self.config.telemetry.as_deref() {
+            let e = self.epoch_index;
+            t.metric(&format!("epoch{e}.work"), total);
+            t.metric(&format!("epoch{e}.max_shard_work"), max);
+            t.metric(&format!("epoch{e}.drains"), drains);
+        }
+        self.epoch_shard_work.push(deltas);
+        self.epoch_index += 1;
     }
 
     fn solve(&mut self) -> Result<(), ReplayNeeded> {
@@ -963,6 +1073,7 @@ impl<'p> Engine<'p> {
             tables: self.tables,
             cs_dump: dump,
             shard_work: Some(self.shards.iter().map(|s| s.derivations).collect()),
+            epoch_shard_work: Some(self.epoch_shard_work),
         }
     }
 }
@@ -977,10 +1088,21 @@ pub(crate) fn analyze_parallel(
     config: &SolverConfig,
 ) -> PointsToResult {
     debug_assert!(config.parallelism.is_parallel());
+    let span = crate::telemetry::span_opt(&config.telemetry, "parallel-solve");
+    if let Some(span) = &span {
+        span.arg("analysis", policy.name());
+        span.arg("threads", config.parallelism.thread_count());
+    }
     let mut engine = Engine::new(program, hierarchy, policy, config.clone());
     match engine.solve() {
         Ok(()) => engine.finish(),
         Err(ReplayNeeded) => {
+            if let Some(t) = config.telemetry.as_deref() {
+                // The parallel attempt crossed a deterministic limit; the
+                // sequential replay reproduces the exact exhaustion state.
+                t.instant("sequential-replay", vec![]);
+                t.metric("par.replay", 1);
+            }
             let mut sequential = config.clone();
             sequential.parallelism = Parallelism::sequential();
             crate::solver::analyze_sequential(program, hierarchy, policy, &sequential)

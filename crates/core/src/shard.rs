@@ -24,6 +24,7 @@ use rudoop_ir::{AllocId, GlobalId, MethodId, Program, VarId};
 pub struct ShardMap {
     shards: u32,
     of_method: Vec<u32>,
+    load: Vec<u64>,
 }
 
 impl ShardMap {
@@ -51,12 +52,24 @@ impl ShardMap {
             // Weight 1 even for empty bodies so tiny methods still spread.
             load[best] += program.methods[MethodId(m)].body.len() as u64 + 1;
         }
-        ShardMap { shards, of_method }
+        ShardMap {
+            shards,
+            of_method,
+            load,
+        }
     }
 
     /// Number of shards in the partition.
     pub fn shard_count(&self) -> usize {
         self.shards as usize
+    }
+
+    /// The static instruction-count load the packer assigned to each
+    /// shard — the *predicted* balance, which telemetry contrasts with the
+    /// measured per-epoch work to show how far the packing heuristic is
+    /// from reality.
+    pub fn static_load(&self) -> &[u64] {
+        &self.load
     }
 
     /// Shard owning `method`.

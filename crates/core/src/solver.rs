@@ -290,6 +290,9 @@ pub struct SolverConfig {
     /// Thread count (default: sequential). More than one thread runs the
     /// byte-identical sharded engine in [`crate::parallel`].
     pub parallelism: crate::parallel::Parallelism,
+    /// Optional telemetry recorder. Instrumentation never feeds back into
+    /// the analysis: results are byte-identical with and without it.
+    pub telemetry: crate::telemetry::TelemetryHandle,
 }
 
 /// Counters describing the work and output size of a run.
@@ -445,6 +448,11 @@ pub struct PointsToResult {
     /// a sequential replay). Feeds the work-imbalance column of
     /// [`crate::stats::render_supervised`].
     pub shard_work: Option<Vec<u64>>,
+    /// Per-epoch per-shard tuple-insertion deltas from the sharded engine
+    /// (outer index: epoch; inner: shard). The imbalance column reports
+    /// the *max over epochs* of each epoch's skew so a lopsided epoch
+    /// cannot hide inside a balanced cumulative total.
+    pub epoch_shard_work: Option<Vec<Vec<u64>>>,
 }
 
 impl PointsToResult {
@@ -486,11 +494,41 @@ pub fn analyze(
     policy: &dyn ContextPolicy,
     config: &SolverConfig,
 ) -> PointsToResult {
-    if config.parallelism.is_parallel() {
+    let result = if config.parallelism.is_parallel() {
         crate::parallel::analyze_parallel(program, hierarchy, policy, config)
     } else {
         Solver::new(program, hierarchy, policy, config.clone()).run()
-    }
+    };
+    record_run_counters(&config.telemetry, &result);
+    result
+}
+
+/// Records the deterministic post-run counter block for a finished
+/// analysis. Called once per [`analyze`], *after* engine selection, so the
+/// counter stream is byte-identical no matter which engine ran: every
+/// value is derived from the final result, which the sharded engine
+/// reproduces exactly (completing, or replaying deterministic exhaustion
+/// sequentially).
+fn record_run_counters(tele: &crate::telemetry::TelemetryHandle, result: &PointsToResult) {
+    let Some(tele) = tele.as_deref() else { return };
+    let name = &result.analysis;
+    let s = &result.stats;
+    tele.counter(&format!("{name}.derivations"), s.derivations);
+    tele.counter(&format!("{name}.cs_var_points_to"), s.cs_var_points_to);
+    tele.counter(&format!("{name}.cs_field_points_to"), s.cs_field_points_to);
+    tele.counter(&format!("{name}.call_graph_edges"), s.call_graph_edges);
+    tele.counter(&format!("{name}.reachable_contexts"), s.reachable_contexts);
+    tele.counter(&format!("{name}.contexts"), s.contexts);
+    tele.counter(&format!("{name}.heap_contexts"), s.heap_contexts);
+    tele.counter(&format!("{name}.nodes"), s.nodes);
+    tele.counter(&format!("{name}.edges"), s.edges);
+    tele.counter(&format!("{name}.bytes_estimate"), s.bytes_estimate());
+    let outcome = match result.outcome {
+        Outcome::Complete => 0,
+        Outcome::BudgetExhausted => 1,
+        Outcome::CapacityExceeded => 2,
+    };
+    tele.counter(&format!("{name}.outcome"), outcome);
 }
 
 /// The sequential worklist solver, unconditionally — the parallel engine's
@@ -535,6 +573,7 @@ struct Solver<'p> {
 
     derivations: u64,
     cg_edge_count: u64,
+    drains: u64,
     start: Instant,
     exhausted: Option<ExhaustionCause>,
     node_cap: usize,
@@ -581,6 +620,7 @@ impl<'p> Solver<'p> {
             in_worklist: Vec::new(),
             derivations: 0,
             cg_edge_count: 0,
+            drains: 0,
             start: Instant::now(),
             exhausted: None,
             node_cap,
@@ -892,13 +932,29 @@ impl<'p> Solver<'p> {
     }
 
     fn run(mut self) -> PointsToResult {
+        let tele = self.config.telemetry.clone();
+        let span = crate::telemetry::span_opt(&tele, "solve");
+        if let Some(span) = &span {
+            span.arg("analysis", self.policy.name());
+        }
         for &entry in &self.program.entry_points {
             self.ensure_reachable(entry, CtxId::EMPTY);
         }
         if let Err(err) = self.solve() {
             self.exhausted = Some(err.cause());
         }
-        self.finish()
+        if let Some(tele) = tele.as_deref() {
+            // Engine metric: sequential worklist drains. Not in the counter
+            // stream — the sharded engine batches the worklist differently,
+            // so drain counts are topology-dependent.
+            tele.metric("seq.worklist_drains", self.drains);
+        }
+        let result = self.finish();
+        if let Some(span) = &span {
+            span.arg("derivations", result.stats.derivations);
+            span.arg("outcome", format!("{:?}", result.outcome));
+        }
+        result
     }
 
     fn solve(&mut self) -> Result<(), SolverError> {
@@ -914,6 +970,7 @@ impl<'p> Solver<'p> {
                 break;
             };
             self.in_worklist[node.0 as usize] = false;
+            self.drains += 1;
             if let Some(cause) = self.stop_cause() {
                 self.exhausted = Some(cause);
                 break;
@@ -967,6 +1024,8 @@ impl<'p> Solver<'p> {
     }
 
     fn finish(self) -> PointsToResult {
+        let tele = self.config.telemetry.clone();
+        let _span = crate::telemetry::span_opt(&tele, "project");
         let duration = self.start.elapsed();
 
         let mut var_pts: IdxVec<VarId, Vec<AllocId>> =
@@ -1082,6 +1141,7 @@ impl<'p> Solver<'p> {
             tables: self.tables,
             cs_dump: dump,
             shard_work: None,
+            epoch_shard_work: None,
         }
     }
 }

@@ -339,6 +339,10 @@ pub struct RungReport {
     /// Per-shard derivation counts when the rung ran on the sharded
     /// engine (see [`PointsToResult::shard_work`]).
     pub shard_work: Option<Vec<u64>>,
+    /// Per-epoch per-shard derivation deltas when the rung ran on the
+    /// sharded engine (see [`PointsToResult::epoch_shard_work`]); feeds
+    /// the max-over-epochs imbalance column.
+    pub epoch_shard_work: Option<Vec<Vec<u64>>>,
 }
 
 /// The overall outcome of a supervised run, and the CLI exit-code
@@ -423,7 +427,12 @@ struct Watchdog {
 }
 
 impl Watchdog {
-    fn arm(token: CancelToken, deadline: Option<Duration>, external: Option<CancelToken>) -> Self {
+    fn arm(
+        token: CancelToken,
+        deadline: Option<Duration>,
+        external: Option<CancelToken>,
+        tele: crate::telemetry::TelemetryHandle,
+    ) -> Self {
         let disarm = Arc::new(AtomicBool::new(false));
         let disarm2 = Arc::clone(&disarm);
         let handle = thread::spawn(move || {
@@ -431,6 +440,9 @@ impl Watchdog {
             while !disarm2.load(Ordering::Relaxed) {
                 if let Some(ext) = &external {
                     if ext.is_cancelled() {
+                        if let Some(t) = tele.as_deref() {
+                            t.instant("external-cancel", vec![]);
+                        }
                         token.cancel();
                         return;
                     }
@@ -439,6 +451,12 @@ impl Watchdog {
                     Some(d) => {
                         let remaining = d.saturating_sub(start.elapsed());
                         if remaining.is_zero() {
+                            if let Some(t) = tele.as_deref() {
+                                t.instant(
+                                    "watchdog-fire",
+                                    vec![("deadline_ms".to_owned(), d.as_millis().to_string())],
+                                );
+                            }
                             token.cancel();
                             return;
                         }
@@ -488,6 +506,8 @@ pub fn supervise(
     cfg: &SupervisorConfig,
 ) -> SupervisedRun {
     let start = Instant::now();
+    let tele = cfg.solver.telemetry.clone();
+    let _run_span = crate::telemetry::span_opt(&tele, "supervise");
     let external = cfg.solver.cancel.clone();
     let mut attempts: Vec<RungReport> = Vec::new();
     let mut first_pass = FirstPass::NotRun;
@@ -499,6 +519,14 @@ pub fn supervise(
     for (i, rung) in cfg.ladder.rungs.iter().enumerate() {
         if external.as_ref().is_some_and(CancelToken::is_cancelled) {
             break;
+        }
+        // Exactly one rung-span per *attempted* rung: opened after the
+        // cancellation check, and it also covers the exhausted-by-proxy
+        // `continue` path below (the guard closes on every loop exit).
+        let rung_span = crate::telemetry::span_opt(&tele, "rung");
+        if let Some(span) = &rung_span {
+            span.arg("index", i);
+            span.arg("spec", rung.spec());
         }
         // Fresh token per rung: a watchdog firing on rung i must not
         // instantly cancel rung i+1.
@@ -519,6 +547,7 @@ pub fn supervise(
                 rung_token.clone(),
                 cfg.watchdog.then_some(cfg.budget.max_duration).flatten(),
                 external.clone(),
+                tele.clone(),
             )
         });
 
@@ -530,7 +559,12 @@ pub fn supervise(
             ),
             RungKind::Introspective { flavor, heuristic } => {
                 if matches!(first_pass, FirstPass::NotRun) {
+                    let fp_span = crate::telemetry::span_opt(&tele, "first-pass");
                     let fp = analyze(program, hierarchy, &Insensitive, &rung_config);
+                    if let Some(span) = &fp_span {
+                        span.arg("outcome", format!("{:?}", fp.outcome));
+                    }
+                    drop(fp_span);
                     first_pass_runs += 1;
                     ran_first_pass = true;
                     first_pass_stats = Some(fp.stats.clone());
@@ -579,6 +613,7 @@ pub fn supervise(
                             selection_time: None,
                             ran_first_pass,
                             shard_work: None,
+                            epoch_shard_work: None,
                         });
                         continue;
                     }
@@ -596,6 +631,7 @@ pub fn supervise(
             selection_time,
             ran_first_pass,
             shard_work: result.shard_work.clone(),
+            epoch_shard_work: result.epoch_shard_work.clone(),
         };
         let is_complete = result.outcome.is_complete();
         attempts.push(report);
@@ -603,7 +639,26 @@ pub fn supervise(
             completed = Some((i, result));
             break;
         }
-        keep_better_salvage(&mut salvaged, result);
+        if let Some(t) = tele.as_deref() {
+            t.instant(
+                "rung-degraded",
+                vec![
+                    ("rung".to_owned(), rung.spec()),
+                    (
+                        "cause".to_owned(),
+                        result
+                            .exhaustion
+                            .map(|c| format!("{c:?}"))
+                            .unwrap_or_default(),
+                    ),
+                ],
+            );
+        }
+        if keep_better_salvage(&mut salvaged, result) {
+            if let Some(t) = tele.as_deref() {
+                t.instant("salvage-kept", vec![("rung".to_owned(), rung.spec())]);
+            }
+        }
     }
 
     let (verdict, completed_rung, result) = match completed {
@@ -629,8 +684,9 @@ pub fn supervise(
 }
 
 /// Keeps whichever partial result carries more salvageable facts
-/// (projected tuples, then resolved call sites as a tiebreak).
-fn keep_better_salvage(best: &mut Option<PointsToResult>, candidate: PointsToResult) {
+/// (projected tuples, then resolved call sites as a tiebreak). Returns
+/// whether the candidate replaced the previous best.
+fn keep_better_salvage(best: &mut Option<PointsToResult>, candidate: PointsToResult) -> bool {
     let better = match best {
         None => true,
         Some(b) => {
@@ -642,4 +698,5 @@ fn keep_better_salvage(best: &mut Option<PointsToResult>, candidate: PointsToRes
     if better {
         *best = Some(candidate);
     }
+    better
 }

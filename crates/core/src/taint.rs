@@ -182,8 +182,20 @@ pub fn supervised_taint(
     spec: &TaintSpec,
     run: &SupervisedRun,
 ) -> SupervisedTaint {
-    match &run.result {
-        Some(result) => match analyze_taint(program, spec, result) {
+    supervised_taint_traced(program, spec, run, &None)
+}
+
+/// [`supervised_taint`] with telemetry: wraps the run in a `taint` span and
+/// emits a `taint-skipped` instant when the degradation contract forces a
+/// skip. Passing `&None` is equivalent to the untraced entry point.
+pub fn supervised_taint_traced(
+    program: &Program,
+    spec: &TaintSpec,
+    run: &SupervisedRun,
+    tele: &crate::telemetry::TelemetryHandle,
+) -> SupervisedTaint {
+    let outcome = match &run.result {
+        Some(result) => match analyze_taint_traced(program, spec, result, tele) {
             Ok(t) => SupervisedTaint::Analyzed(t),
             Err(e) => SupervisedTaint::Skipped {
                 reason: e.to_string(),
@@ -196,7 +208,11 @@ pub fn supervised_taint(
                 run.attempts.len()
             ),
         },
+    };
+    if let (Some(t), SupervisedTaint::Skipped { reason }) = (tele.as_deref(), &outcome) {
+        t.instant("taint-skipped", vec![("reason".into(), reason.clone())]);
     }
+    outcome
 }
 
 /// Runs the taint client of `spec` over a completed points-to result.
@@ -214,6 +230,25 @@ pub fn analyze_taint(
     spec: &TaintSpec,
     pts: &PointsToResult,
 ) -> Result<TaintResult, TaintError> {
+    analyze_taint_traced(program, spec, pts, &None)
+}
+
+/// [`analyze_taint`] with telemetry: the whole client runs under a `taint`
+/// span with a nested `taint-bfs` span covering the per-label searches, and
+/// the propagation-graph shape plus the leak/sanitizer tallies land in the
+/// deterministic counter stream (all are computed from canonicalized ids,
+/// so they are engine- and thread-count-invariant). Passing `&None` is
+/// equivalent to the untraced entry point.
+pub fn analyze_taint_traced(
+    program: &Program,
+    spec: &TaintSpec,
+    pts: &PointsToResult,
+    tele: &crate::telemetry::TelemetryHandle,
+) -> Result<TaintResult, TaintError> {
+    let span = crate::telemetry::span_opt(tele, "taint");
+    if let Some(s) = &span {
+        s.arg("analysis", &pts.analysis);
+    }
     if !pts.outcome.is_complete() {
         return Err(TaintError::IncompleteAnalysis(pts.analysis.clone()));
     }
@@ -365,6 +400,10 @@ pub fn analyze_taint(
     const SEED: u32 = u32::MAX - 1;
     let mut parent = vec![UNSEEN; graph.nodes.len()];
 
+    let bfs_span = crate::telemetry::span_opt(tele, "taint-bfs");
+    if let Some(s) = &bfs_span {
+        s.arg("labels", labels.len());
+    }
     for &label in &labels {
         parent.iter_mut().for_each(|p| *p = UNSEEN);
         let mut queue: Vec<u32> = seeds[&label].clone();
@@ -422,21 +461,33 @@ pub fn analyze_taint(
         }
     }
 
+    drop(bfs_span);
     leaks.sort_by_key(|l| (l.source, l.sink, l.sink_arg));
-    let sanitizer_calls = san_calls
+    let sanitizer_calls: Vec<(InvokeId, bool)> = san_calls
         .iter()
         .zip(san_hit)
         .map(|(&(invo, _), hit)| (invo, hit))
         .collect();
 
-    Ok(TaintResult {
+    let result = TaintResult {
         analysis: pts.analysis.clone(),
         leaks,
         sanitizer_calls,
         sanitized_sources,
         source_sites: source_sites.len(),
         sink_sites: sink_sites.len(),
-    })
+    };
+    if let Some(t) = tele.as_deref() {
+        let edges: usize = adjacency.iter().map(Vec::len).sum();
+        t.counter("taint.graph_nodes", graph.nodes.len() as u64);
+        t.counter("taint.graph_edges", edges as u64);
+        t.counter("taint.labels", labels.len() as u64);
+        t.counter("taint.leaks", result.leaks.len() as u64);
+        t.counter("taint.source_sites", result.source_sites as u64);
+        t.counter("taint.sink_sites", result.sink_sites as u64);
+        t.counter("taint.sanitizer_calls", result.sanitizer_calls.len() as u64);
+    }
+    Ok(result)
 }
 
 /// The source method a labeled call site resolves to (for display; any

@@ -13,11 +13,12 @@
 //! otherwise.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rudoop::analysis::driver::{analyze_flavor, Flavor};
 use rudoop::analysis::solver::{Budget, SolverConfig};
-use rudoop::analysis::Parallelism;
+use rudoop::analysis::{Parallelism, Telemetry, TelemetryHandle};
 use rudoop::ir::ClassHierarchy;
 use rudoop::workloads::dacapo;
 
@@ -30,6 +31,41 @@ struct Run {
     derivations: u64,
     imbalance: Option<f64>,
     speedup_vs_seq: f64,
+    epoch_p50_us: Option<u64>,
+    epoch_p95_us: Option<u64>,
+    barrier_wait_frac: Option<f64>,
+}
+
+/// p50/p95 over the per-epoch durations and the fraction of epoch time
+/// spent inside coordinator barriers (routing + bookkeeping), from the
+/// run's telemetry spans. All `None` for sequential runs (no epochs).
+fn epoch_profile(tele: &TelemetryHandle) -> (Option<u64>, Option<u64>, Option<f64>) {
+    let Some(t) = tele.as_deref() else {
+        return (None, None, None);
+    };
+    let spans = t.spans();
+    let mut epochs: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.name == "epoch")
+        .map(|s| s.dur_us())
+        .collect();
+    if epochs.is_empty() {
+        return (None, None, None);
+    }
+    epochs.sort_unstable();
+    let pct = |q: f64| epochs[((epochs.len() - 1) as f64 * q).round() as usize];
+    let barrier: u64 = spans
+        .iter()
+        .filter(|s| s.name == "barrier")
+        .map(|s| s.dur_us())
+        .sum();
+    let total: u64 = epochs.iter().sum();
+    let frac = if total > 0 {
+        barrier as f64 / total as f64
+    } else {
+        0.0
+    };
+    (Some(pct(0.5)), Some(pct(0.95)), Some(frac))
 }
 
 fn main() {
@@ -62,9 +98,11 @@ fn main() {
             let mut seq_time = 0.0;
             let mut seq_stats = None;
             for threads in [1usize, 2, 4] {
+                let tele: TelemetryHandle = (threads > 1).then(|| Arc::new(Telemetry::new()));
                 let config = SolverConfig {
                     budget: Budget::unlimited(),
                     parallelism: Parallelism::threads(threads),
+                    telemetry: tele.clone(),
                     ..SolverConfig::default()
                 };
                 let start = Instant::now();
@@ -106,6 +144,7 @@ fn main() {
                     result.stats.derivations,
                     seq_time / seconds
                 );
+                let (epoch_p50_us, epoch_p95_us, barrier_wait_frac) = epoch_profile(&tele);
                 runs.push(Run {
                     workload: spec.name.clone(),
                     scale,
@@ -115,6 +154,9 @@ fn main() {
                     derivations: result.stats.derivations,
                     imbalance,
                     speedup_vs_seq: seq_time / seconds,
+                    epoch_p50_us,
+                    epoch_p95_us,
+                    barrier_wait_frac,
                 });
             }
         }
@@ -137,10 +179,16 @@ fn main() {
             Some(x) => format!("{x:.3}"),
             None => "null".to_owned(),
         };
+        let opt_u64 = |v: Option<u64>| v.map_or("null".to_owned(), |x| x.to_string());
+        let frac = match r.barrier_wait_frac {
+            Some(x) => format!("{x:.4}"),
+            None => "null".to_owned(),
+        };
         let _ = write!(
             json,
             "\n    {{\"workload\":\"{}\",\"scale\":{},\"flavor\":\"{}\",\"threads\":{},\
-             \"seconds\":{:.4},\"derivations\":{},\"imbalance\":{},\"speedup_vs_seq\":{:.3}}}",
+             \"seconds\":{:.4},\"derivations\":{},\"imbalance\":{},\"speedup_vs_seq\":{:.3},\
+             \"epoch_p50_us\":{},\"epoch_p95_us\":{},\"barrier_wait_frac\":{}}}",
             r.workload,
             r.scale,
             r.flavor,
@@ -148,7 +196,10 @@ fn main() {
             r.seconds,
             r.derivations,
             imbalance,
-            r.speedup_vs_seq
+            r.speedup_vs_seq,
+            opt_u64(r.epoch_p50_us),
+            opt_u64(r.epoch_p95_us),
+            frac
         );
     }
     json.push_str("\n  ]\n}\n");

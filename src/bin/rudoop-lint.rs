@@ -29,6 +29,13 @@
 //!   --warn <CODE>        report a lint at its default severity (default)
 //!   --deny <CODE>        escalate a lint to an error (repeatable)
 //!   --list               list all lints with codes and exit
+//!   --trace <path>       write a Chrome trace-event file of the run
+//!   --profile <path>     write the structured JSON profile
+//!   --telemetry          print the span/counter summary table on stderr
+//!
+//! Stream contract: the rendered diagnostics (text or `--format json`) are
+//! the only stdout payload; the trailing per-file summary line, degradation
+//! notes, and telemetry summaries go to stderr.
 //!
 //! exit code: 0 — no errors (warnings and notes allowed);
 //!            1 — validity errors or denied lint findings;
@@ -47,8 +54,9 @@ use std::time::Duration;
 
 use rudoop::analysis::driver::{analyze_flavor, Flavor};
 use rudoop::analysis::solver::{Budget, CancelToken, SolverConfig};
-use rudoop::analysis::taint::analyze_taint;
-use rudoop::analysis::Parallelism;
+use rudoop::analysis::taint::analyze_taint_traced;
+use rudoop::analysis::telemetry::span_opt;
+use rudoop::analysis::{Parallelism, Telemetry, TelemetryHandle};
 use rudoop::ir::{parse_program, ClassHierarchy, Program, TaintSpec};
 use rudoop::lints::diagnostics::{has_errors, render, render_json, validate_diagnostics};
 use rudoop::lints::{Level, LintContext, LintRegistry};
@@ -64,6 +72,9 @@ struct Options {
     list: bool,
     taint_spec: Option<String>,
     json: bool,
+    trace: Option<String>,
+    profile: Option<String>,
+    telemetry: bool,
 }
 
 fn usage() -> ! {
@@ -72,7 +83,7 @@ fn usage() -> ! {
          [--no-points-to] [--timeout SECS] [--threads N] \
          [--taint-spec FILE|builtin] \
          [--format text|json] [--allow CODE] [--warn CODE] \
-         [--deny CODE] [--list]"
+         [--deny CODE] [--list] [--trace PATH] [--profile PATH] [--telemetry]"
     );
     std::process::exit(2);
 }
@@ -89,6 +100,9 @@ fn parse_args() -> Options {
         list: false,
         taint_spec: None,
         json: false,
+        trace: None,
+        profile: None,
+        telemetry: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -139,6 +153,9 @@ fn parse_args() -> Options {
                     usage();
                 }
             },
+            "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--profile" => opts.profile = Some(args.next().unwrap_or_else(|| usage())),
+            "--telemetry" => opts.telemetry = true,
             "--list" => opts.list = true,
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with('-') => {
@@ -180,7 +197,35 @@ fn load_program(input: &str, builtin_taint: bool) -> Result<(Program, Option<Tai
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    let tele: TelemetryHandle = (opts.trace.is_some() || opts.profile.is_some() || opts.telemetry)
+        .then(|| Arc::new(Telemetry::new()));
+    let code = run(&opts, &tele);
+    if let Err(e) = flush_telemetry(&tele, &opts) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    code
+}
 
+/// Writes the `--trace` / `--profile` sinks and prints the `--telemetry`
+/// summary table (on stderr, per the stream contract).
+fn flush_telemetry(tele: &TelemetryHandle, opts: &Options) -> Result<(), String> {
+    let Some(t) = tele.as_deref() else {
+        return Ok(());
+    };
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, t.chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &opts.profile {
+        std::fs::write(path, t.profile_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if opts.telemetry {
+        eprint!("{}", t.summary());
+    }
+    Ok(())
+}
+
+fn run(opts: &Options, tele: &TelemetryHandle) -> ExitCode {
     let mut registry = LintRegistry::with_defaults();
     if opts.list {
         for (code, name, description, _) in registry.iter() {
@@ -196,6 +241,10 @@ fn main() -> ExitCode {
     }
 
     let builtin_taint = opts.taint_spec.as_deref() == Some("builtin");
+    let parse_span = span_opt(tele, "parse");
+    if let Some(s) = &parse_span {
+        s.arg("input", &opts.input);
+    }
     let (program, builtin_spec) = match load_program(&opts.input, builtin_taint) {
         Ok(pair) => pair,
         Err(e) => {
@@ -203,6 +252,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    drop(parse_span);
     let taint_spec = match &opts.taint_spec {
         None => None,
         Some(_) if builtin_taint => builtin_spec,
@@ -241,6 +291,7 @@ fn main() -> ExitCode {
                 // The taint client walks per-context points-to facts.
                 record_contexts: taint_spec.is_some(),
                 parallelism: Parallelism::threads(opts.threads),
+                telemetry: tele.clone(),
                 ..SolverConfig::default()
             };
             // Watchdog: enforce the deadline even if a worklist step stalls
@@ -273,7 +324,7 @@ fn main() -> ExitCode {
         degraded = result.as_ref().is_some_and(|r| r.outcome.is_partial());
         let complete = result.as_ref().filter(|r| r.outcome.is_complete());
         let taint = match (&taint_spec, complete) {
-            (Some(spec), Some(r)) => match analyze_taint(&program, spec, r) {
+            (Some(spec), Some(r)) => match analyze_taint_traced(&program, spec, r, tele) {
                 Ok(t) => Some(t),
                 Err(e) => {
                     eprintln!("error: taint analysis failed: {e}");
@@ -288,7 +339,7 @@ fn main() -> ExitCode {
             points_to: complete,
             taint: taint.as_ref(),
         };
-        diags = registry.run(&cx);
+        diags = registry.run_traced(&cx, tele);
     }
 
     if opts.json {
@@ -303,7 +354,8 @@ fn main() -> ExitCode {
             .iter()
             .filter(|d| d.severity == rudoop::Severity::Warning)
             .count();
-        println!(
+        // Summary on stderr: stdout carries only the rendered diagnostics.
+        eprintln!(
             "{}: {} error(s), {} warning(s), {} note(s)",
             opts.input,
             errors,

@@ -26,6 +26,19 @@
 //!   --stats              print the points-to distribution dashboard
 //!   --pts <var>          print the points-to set of Class.method::var
 //!   --dump               print projected var-points-to for all variables
+//!   --trace <path>       write a Chrome trace-event file of the run
+//!                        (load chrome://tracing or https://ui.perfetto.dev)
+//!   --profile <path>     write the structured JSON profile
+//!                        (schema `rudoop-profile-v1`)
+//!   --telemetry          print the span/counter summary table on stderr
+//!   --check-trace <path> validate a Chrome trace-event file written by
+//!                        --trace and exit (0 valid / 1 invalid) — the
+//!                        same checker CI runs on generated traces
+//!
+//! Stream contract: machine-readable documents (`--format json`, `--pts`,
+//! `--dump`, `--stats`) are the only stdout payloads; progress text, the
+//! ladder table, and telemetry summaries always go to stderr. Telemetry is
+//! observational only — results are byte-identical with and without it.
 //!
 //! taint subcommand:
 //!
@@ -53,9 +66,12 @@ use rudoop::analysis::driver::{analyze_flavor, analyze_introspective, Flavor};
 use rudoop::analysis::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
 use rudoop::analysis::solver::{Budget, SolverConfig};
 use rudoop::analysis::supervisor::{supervise, LadderSpec, SupervisorConfig};
-use rudoop::analysis::taint::{supervised_taint, SupervisedTaint};
+use rudoop::analysis::taint::{supervised_taint_traced, SupervisedTaint};
+use rudoop::analysis::telemetry::span_opt;
 use rudoop::analysis::Parallelism;
-use rudoop::analysis::{render_supervised, PrecisionMetrics, ResultStats};
+use rudoop::analysis::{
+    render_supervised, PrecisionMetrics, ResultStats, Telemetry, TelemetryHandle,
+};
 use rudoop::ir::{parse_program, validate, ClassHierarchy, Program, TaintSpec};
 use rudoop::workloads::dacapo;
 
@@ -75,6 +91,9 @@ struct Options {
     stats: bool,
     pts: Vec<String>,
     dump: bool,
+    trace: Option<String>,
+    profile: Option<String>,
+    telemetry: bool,
 }
 
 fn usage() -> ! {
@@ -83,7 +102,8 @@ fn usage() -> ! {
          [--introspective A|B] [--ladder SPEC] [--spec FILE|builtin] \
          [--format text|json] [--budget N] [--max-bytes N] \
          [--timeout SECS] [--threads N] [--filter-casts] [--stats] \
-         [--pts Class.method::var] [--dump]"
+         [--pts Class.method::var] [--dump] [--trace PATH] [--profile PATH] \
+         [--telemetry]"
     );
     std::process::exit(2);
 }
@@ -106,6 +126,9 @@ fn parse_args() -> Options {
         stats: false,
         pts: Vec::new(),
         dump: false,
+        trace: None,
+        profile: None,
+        telemetry: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -167,6 +190,38 @@ fn parse_args() -> Options {
                 }
             }
             "--spec" => opts.spec = Some(args.next().unwrap_or_else(|| usage())),
+            "--check-trace" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                match rudoop::validate_chrome_trace(&text) {
+                    Ok(check) => {
+                        eprintln!(
+                            "{path}: valid — {} events, {} spans, {} instants, {} samples, \
+                             {} span names, max ts {}us",
+                            check.events,
+                            check.spans,
+                            check.instants,
+                            check.samples,
+                            check.span_names.len(),
+                            check.max_ts_us
+                        );
+                        std::process::exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("error: {path}: invalid trace: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--profile" => opts.profile = Some(args.next().unwrap_or_else(|| usage())),
+            "--telemetry" => opts.telemetry = true,
             "--filter-casts" => opts.filter_casts = true,
             "--stats" => opts.stats = true,
             "--pts" => opts.pts.push(args.next().unwrap_or_else(|| usage())),
@@ -224,7 +279,13 @@ fn load_program(input: &str, builtin_taint: bool) -> Result<(Program, Option<Tai
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    let tele: TelemetryHandle = (opts.trace.is_some() || opts.profile.is_some() || opts.telemetry)
+        .then(|| std::sync::Arc::new(Telemetry::new()));
     let builtin_taint = opts.taint_cmd && opts.spec.as_deref() == Some("builtin");
+    let parse_span = span_opt(&tele, "parse");
+    if let Some(s) = &parse_span {
+        s.arg("input", &opts.input);
+    }
     let (program, builtin_spec) = match load_program(&opts.input, builtin_taint) {
         Ok(pair) => pair,
         Err(e) => {
@@ -239,6 +300,7 @@ fn main() -> ExitCode {
         }
         return ExitCode::FAILURE;
     }
+    drop(parse_span);
     let hierarchy = ClassHierarchy::new(&program);
     let mut budget = Budget::unlimited();
     if let Some(n) = opts.budget {
@@ -256,9 +318,28 @@ fn main() -> ExitCode {
         // The taint client walks per-context points-to facts.
         record_contexts: opts.taint_cmd,
         parallelism: Parallelism::threads(opts.threads),
+        telemetry: tele.clone(),
         ..SolverConfig::default()
     };
 
+    let code = run(&program, &hierarchy, builtin_spec, budget, config, &opts);
+    if let Err(e) = flush_telemetry(&tele, &opts) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    code
+}
+
+/// Dispatches to the taint subcommand, ladder mode, or a plain single run.
+fn run(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    builtin_spec: Option<TaintSpec>,
+    budget: Budget,
+    config: SolverConfig,
+    opts: &Options,
+) -> ExitCode {
+    let builtin_taint = opts.taint_cmd && opts.spec.as_deref() == Some("builtin");
     if opts.taint_cmd {
         let spec = match &opts.spec {
             Some(_) if builtin_taint => builtin_spec.expect("builtin spec was loaded"),
@@ -270,7 +351,7 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                match TaintSpec::parse(&text, &program) {
+                match TaintSpec::parse(&text, program) {
                     Ok(s) => s,
                     Err(e) => {
                         eprintln!("error: {path}: {e}");
@@ -280,29 +361,24 @@ fn main() -> ExitCode {
             }
             None => unreachable!("parse_args requires --spec with taint"),
         };
-        return run_taint(&program, &hierarchy, &spec, budget, config, &opts);
+        return run_taint(program, hierarchy, &spec, budget, config, opts);
     }
 
     if let Some(ladder) = opts.ladder.clone() {
-        return run_ladder(&program, &hierarchy, ladder, budget, config, &opts);
+        return run_ladder(program, hierarchy, ladder, budget, config, opts);
     }
 
     let result = match opts.introspective {
-        None => analyze_flavor(&program, &hierarchy, opts.flavor, &config),
+        None => analyze_flavor(program, hierarchy, opts.flavor, &config),
         Some(which) => {
             let heuristic: Box<dyn RefinementHeuristic> = if which == 'A' {
                 Box::new(HeuristicA::default())
             } else {
                 Box::new(HeuristicB::default())
             };
-            let run = analyze_introspective(
-                &program,
-                &hierarchy,
-                opts.flavor,
-                heuristic.as_ref(),
-                &config,
-            );
-            println!(
+            let run =
+                analyze_introspective(program, hierarchy, opts.flavor, heuristic.as_ref(), &config);
+            eprintln!(
                 "selection: {:.1}% of call sites, {:.1}% of objects not refined",
                 run.refinement_stats.call_site_pct(),
                 run.refinement_stats.object_pct()
@@ -311,7 +387,7 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
+    eprintln!(
         "analysis {}: {} in {:.2}s, {} derivations, {} contexts",
         result.analysis,
         if result.outcome.is_complete() {
@@ -323,12 +399,12 @@ fn main() -> ExitCode {
         result.stats.derivations,
         result.stats.contexts,
     );
-    let pm = PrecisionMetrics::compute(&program, &hierarchy, &result);
-    println!(
+    let pm = PrecisionMetrics::compute(program, hierarchy, &result);
+    eprintln!(
         "precision: {} polymorphic virtual call sites, {} reachable methods, {} casts may fail",
         pm.polymorphic_call_sites, pm.reachable_methods, pm.casts_may_fail
     );
-    print_reports(&program, &hierarchy, &result, &opts);
+    print_reports(program, hierarchy, &result, opts);
     ExitCode::SUCCESS
 }
 
@@ -358,17 +434,18 @@ fn run_taint(
         solver,
         watchdog: opts.timeout.is_some(),
     };
+    let tele = cfg.solver.telemetry.clone();
     let run = supervise(program, hierarchy, &cfg);
     if opts.json {
         // Keep stdout a single JSON document; the ladder table is still
         // useful context, so it moves to stderr.
         eprint!("{}", render_supervised(&run));
-        let taint = supervised_taint(program, spec, &run);
+        let taint = supervised_taint_traced(program, spec, &run, &tele);
         print!("{}", rudoop::analysis::taint::render_json(program, &taint));
         return ExitCode::from(run.exit_code());
     }
-    print!("{}", render_supervised(&run));
-    match supervised_taint(program, spec, &run) {
+    eprint!("{}", render_supervised(&run));
+    match supervised_taint_traced(program, spec, &run, &tele) {
         SupervisedTaint::Analyzed(taint) => {
             println!(
                 "taint ({}): {} source site(s), {} sink site(s), {} sanitizer call(s), \
@@ -414,10 +491,10 @@ fn run_ladder(
         watchdog: opts.timeout.is_some(),
     };
     let run = supervise(program, hierarchy, &cfg);
-    print!("{}", render_supervised(&run));
+    eprint!("{}", render_supervised(&run));
     if let Some(result) = run.best_result() {
         let pm = PrecisionMetrics::compute(program, hierarchy, result);
-        println!(
+        eprintln!(
             "precision ({}): {} polymorphic virtual call sites, {} reachable methods, \
              {} casts may fail",
             result.analysis, pm.polymorphic_call_sites, pm.reachable_methods, pm.casts_may_fail
@@ -425,6 +502,24 @@ fn run_ladder(
         print_reports(program, hierarchy, result, opts);
     }
     ExitCode::from(run.exit_code())
+}
+
+/// Writes the `--trace` / `--profile` sinks and prints the `--telemetry`
+/// summary table (on stderr, per the stream contract).
+fn flush_telemetry(tele: &TelemetryHandle, opts: &Options) -> Result<(), String> {
+    let Some(t) = tele.as_deref() else {
+        return Ok(());
+    };
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, t.chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &opts.profile {
+        std::fs::write(path, t.profile_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if opts.telemetry {
+        eprint!("{}", t.summary());
+    }
+    Ok(())
 }
 
 /// The `--stats` / `--pts` / `--dump` reports over one result.

@@ -57,9 +57,10 @@ pub use rudoop_workloads as workloads;
 pub use rudoop_analyses::{Diagnostic, LintContext, LintRegistry, Severity};
 
 pub use rudoop_core::{
-    analyze, analyze_flavor, analyze_introspective, analyze_taint, supervised_taint, Flavor,
-    HeuristicA, HeuristicB, IntrospectionMetrics, Outcome, PointsToResult, PrecisionMetrics,
-    SolverConfig, SupervisedTaint, TaintResult,
+    analyze, analyze_flavor, analyze_introspective, analyze_taint, supervised_taint,
+    validate_chrome_trace, Flavor, HeuristicA, HeuristicB, IntrospectionMetrics, Outcome,
+    PointsToResult, PrecisionMetrics, SolverConfig, SupervisedTaint, TaintResult, Telemetry,
+    TelemetryHandle, TraceCheck,
 };
 pub use rudoop_ir::{
     parse_program, print_program, ClassHierarchy, Program, ProgramBuilder, TaintSpec,

@@ -12,17 +12,24 @@ fn rudoop(args: &[&str]) -> Output {
         .expect("failed to run rudoop")
 }
 
-fn stdout(out: &Output) -> String {
-    String::from_utf8(out.stdout.clone()).unwrap()
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).unwrap()
 }
+
+// The ladder table and verdict are progress reporting, so they land on
+// stderr; stdout is reserved for machine-readable payloads.
 
 #[test]
 fn completed_ladder_exits_zero() {
     let out = rudoop(&["@hsqldb", "--ladder", "insens"]);
     assert_eq!(out.status.code(), Some(0), "{out:?}");
-    let text = stdout(&out);
+    let text = stderr(&out);
     assert!(text.contains("verdict: complete"), "{text}");
     assert!(text.contains("* [0] insens"), "{text}");
+    assert!(
+        out.stdout.is_empty(),
+        "ladder without reports keeps stdout empty"
+    );
 }
 
 #[test]
@@ -31,7 +38,7 @@ fn degraded_ladder_exits_three() {
     // completes (the paper's rescue story).
     let out = rudoop(&["@hsqldb", "--ladder", "default", "--budget", "2000000"]);
     assert_eq!(out.status.code(), Some(3), "{out:?}");
-    let text = stdout(&out);
+    let text = stderr(&out);
     assert!(text.contains("verdict: degraded"), "{text}");
     assert!(
         text.contains("[0] 2objH              stopped: derivation budget exhausted"),
@@ -50,7 +57,7 @@ fn exhausted_ladder_exits_four_and_salvages() {
     // Too small even for the insensitive rung.
     let out = rudoop(&["@hsqldb", "--ladder", "2objH,insens", "--budget", "100000"]);
     assert_eq!(out.status.code(), Some(4), "{out:?}");
-    let text = stdout(&out);
+    let text = stderr(&out);
     assert!(text.contains("verdict: exhausted"), "{text}");
     assert!(text.contains("best partial result kept"), "{text}");
 }
@@ -64,7 +71,7 @@ fn lone_introspective_rung_expands_to_canonical_ladder() {
         "--budget",
         "100000",
     ]);
-    let text = stdout(&out);
+    let text = stderr(&out);
     assert!(text.contains("[0] 2objH"), "{text}");
     assert!(text.contains("[1] introB:2objH"), "{text}");
     assert!(text.contains("[2] insens"), "{text}");

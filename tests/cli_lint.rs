@@ -16,13 +16,18 @@ fn stdout(out: &Output) -> String {
     String::from_utf8(out.stdout.clone()).unwrap()
 }
 
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).unwrap()
+}
+
 #[test]
 fn clean_example_exits_zero_with_notes_only() {
     let out = rudoop_lint(&["examples/programs/clean.rud"]);
     assert!(out.status.success(), "{out:?}");
-    let text = stdout(&out);
-    assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
-    assert!(text.contains("note[I005]"), "{text}");
+    // Rendered diagnostics are the stdout payload; the summary tally is
+    // progress reporting on stderr.
+    assert!(stderr(&out).contains("0 error(s), 0 warning(s)"), "{out:?}");
+    assert!(stdout(&out).contains("note[I005]"), "{out:?}");
 }
 
 #[test]
@@ -97,7 +102,7 @@ fn list_prints_all_codes() {
 fn benchmark_input_is_linted() {
     let out = rudoop_lint(&["@antlr"]);
     assert!(out.status.success(), "{out:?}");
-    assert!(stdout(&out).contains("@antlr:"));
+    assert!(stderr(&out).contains("@antlr:"));
 }
 
 #[test]
