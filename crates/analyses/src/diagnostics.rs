@@ -288,8 +288,27 @@ pub fn validate_error_to_diagnostic(program: &Program, error: &ValidateError) ->
             Severity::Error,
             format!("dangling id {raw} in table {table}"),
         ),
+        ValidateError::MalformedSpawn(m) => Diagnostic::new(
+            "E009",
+            Severity::Error,
+            "spawn must carry a virtual run/0 call with no arguments and no result",
+        )
+        .in_method(program, m),
+        ValidateError::UnbalancedMonitor { method } => Diagnostic::new(
+            "E010",
+            Severity::Error,
+            "monitorenter/monitorexit regions must nest properly and close by the end of the body",
+        )
+        .in_method(program, method),
     }
 }
+
+/// Every `E`-code the validator bridge can emit, in code order. The
+/// documentation-exhaustiveness test compares this list (plus the lint
+/// registry) against the README code table.
+pub const VALIDATION_CODES: &[&str] = &[
+    "E001", "E002", "E003", "E004", "E005", "E006", "E007", "E008", "E009", "E010",
+];
 
 #[cfg(test)]
 mod tests {

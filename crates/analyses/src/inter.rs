@@ -184,7 +184,7 @@ impl Lint for EmptyReceiver {
                 continue;
             }
             for (i, instr) in method.body.iter().enumerate() {
-                let Instruction::Call { invoke } = *instr else {
+                let (Instruction::Call { invoke } | Instruction::Spawn { invoke }) = *instr else {
                     continue;
                 };
                 let InvokeKind::Virtual { base, .. } = p.invokes[invoke].kind else {
@@ -281,7 +281,7 @@ impl Lint for MonomorphicCall {
                 continue;
             }
             for (i, instr) in method.body.iter().enumerate() {
-                let Instruction::Call { invoke } = *instr else {
+                let (Instruction::Call { invoke } | Instruction::Spawn { invoke }) = *instr else {
                     continue;
                 };
                 if !matches!(p.invokes[invoke].kind, InvokeKind::Virtual { .. }) {
@@ -322,6 +322,7 @@ mod tests {
             hierarchy: h,
             points_to: Some(r),
             taint: None,
+            races: None,
         };
         let mut out = Vec::new();
         for lint in lints() {

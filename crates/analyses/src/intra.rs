@@ -57,6 +57,18 @@ fn uses_def(program: &Program, instr: &Instruction) -> (Vec<VarId>, Option<VarId
             uses.extend_from_slice(&inv.args);
             (uses, inv.result)
         }
+        Instruction::Spawn { invoke } => {
+            let inv = &program.invokes[invoke];
+            match inv.kind {
+                InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => {
+                    (vec![base], None)
+                }
+                InvokeKind::Static { .. } => (vec![], None),
+            }
+        }
+        Instruction::Join { var }
+        | Instruction::MonitorEnter { var }
+        | Instruction::MonitorExit { var } => (vec![var], None),
         Instruction::Return { var } => (vec![var], None),
     }
 }
@@ -298,6 +310,7 @@ mod tests {
             hierarchy: &h,
             points_to: None,
             taint: None,
+            races: None,
         };
         let mut out = Vec::new();
         for lint in lints() {

@@ -28,7 +28,11 @@
 //!     [`TaintResult`](rudoop_core::TaintResult) (`T001`–`T004`):
 //!     unsanitized source→sink flows with derivation traces, sanitizers
 //!     bypassed through heap aliases, flows crossing merged heap contexts,
-//!     and dead sanitizers.
+//!     and dead sanitizers;
+//!   - [`races`] — the **race tier**, consuming a
+//!     [`RaceResult`](rudoop_core::RaceResult) (`R001`–`R004`): data-race
+//!     witnesses with per-thread traces, suspect singleton-lock guards,
+//!     cross-thread object escapes, and dead lock regions.
 //!
 //! # Examples
 //!
@@ -53,6 +57,7 @@
 //!     hierarchy: &hierarchy,
 //!     points_to: Some(&result),
 //!     taint: None,
+//!     races: None,
 //! };
 //! let diags = registry.run(&cx);
 //! // `a = a` is a self-move (L005).
@@ -68,6 +73,7 @@ pub mod diagnostics;
 pub mod inter;
 pub mod intra;
 pub mod lint;
+pub mod races;
 pub mod taint;
 
 pub use diagnostics::{render, render_json, validate_diagnostics, Diagnostic, Severity};

@@ -2,12 +2,13 @@
 //! receives, and the [`LintRegistry`] that owns the lint set and per-lint
 //! reporting levels.
 
+use rudoop_core::races::RaceResult;
 use rudoop_core::solver::PointsToResult;
 use rudoop_core::taint::TaintResult;
 use rudoop_ir::{ClassHierarchy, Program};
 
 use crate::diagnostics::{sort_diagnostics, Diagnostic, Severity};
-use crate::{inter, intra, taint};
+use crate::{inter, intra, races, taint};
 
 /// Everything a lint may inspect.
 ///
@@ -26,6 +27,8 @@ pub struct LintContext<'a> {
     pub points_to: Option<&'a PointsToResult>,
     /// Taint facts; `None` disables the `T`-series lints.
     pub taint: Option<&'a TaintResult>,
+    /// Race facts; `None` disables the `R`-series lints.
+    pub races: Option<&'a RaceResult>,
 }
 
 /// Per-lint reporting level, in the spirit of `rustc`'s `-A/-W/-D`.
@@ -63,6 +66,13 @@ pub trait Lint {
     fn needs_taint(&self) -> bool {
         false
     }
+    /// Whether the lint reads [`LintContext::races`]. Such lints are
+    /// skipped (not errored) when no race result is supplied — notably
+    /// when the supervisor exhausted its ladder and race detection was
+    /// not run.
+    fn needs_races(&self) -> bool {
+        false
+    }
     /// Runs the lint, appending findings to `out`. The registry overwrites
     /// each finding's severity according to the configured level, so lints
     /// may emit with any severity they like.
@@ -81,8 +91,8 @@ impl LintRegistry {
     }
 
     /// The full built-in suite — tier 1 (`L001`–`L005`), tier 2
-    /// (`I001`–`I005`), and the taint tier (`T001`–`T004`) — all at
-    /// [`Level::Warn`].
+    /// (`I001`–`I005`), the taint tier (`T001`–`T004`), and the race tier
+    /// (`R001`–`R004`) — all at [`Level::Warn`].
     pub fn with_defaults() -> Self {
         let mut r = LintRegistry::new();
         for lint in intra::lints() {
@@ -92,6 +102,9 @@ impl LintRegistry {
             r.register(lint);
         }
         for lint in taint::lints() {
+            r.register(lint);
+        }
+        for lint in races::lints() {
             r.register(lint);
         }
         r
@@ -156,6 +169,9 @@ impl LintRegistry {
             if lint.needs_taint() && cx.taint.is_none() {
                 continue;
             }
+            if lint.needs_races() && cx.races.is_none() {
+                continue;
+            }
             let lint_span = rudoop_core::telemetry::span_opt(tele, "lint");
             if let Some(s) = &lint_span {
                 s.arg("code", lint.code());
@@ -208,10 +224,10 @@ mod tests {
     }
 
     #[test]
-    fn default_registry_has_fourteen_lints_with_unique_codes() {
+    fn default_registry_has_eighteen_lints_with_unique_codes() {
         let r = LintRegistry::with_defaults();
         let codes: Vec<_> = r.iter().map(|(c, ..)| c).collect();
-        assert_eq!(codes.len(), 14);
+        assert_eq!(codes.len(), 18);
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -227,6 +243,7 @@ mod tests {
             hierarchy: &h,
             points_to: None,
             taint: None,
+            races: None,
         };
 
         let mut r = LintRegistry::with_defaults();
@@ -256,6 +273,7 @@ mod tests {
             hierarchy: &h,
             points_to: None,
             taint: None,
+            races: None,
         };
         let diags = LintRegistry::with_defaults().run(&cx);
         assert!(diags.iter().all(|d| d.code.starts_with('L')), "{diags:?}");

@@ -1,0 +1,200 @@
+//! Race-tier lints: backed by a [`RaceResult`] from
+//! [`rudoop_core::analyze_races`], itself layered on a points-to run.
+//!
+//! These lints are the diagnostics view of the race client. `R001` is the
+//! race report proper (one finding per witness, with both sides' shortest
+//! thread-root-to-access traces as notes); the other three interpret the
+//! client's structural observations:
+//!
+//! | code | name | finding |
+//! |------|------|---------|
+//! | `R001` | `data-race` | two parallel conflicting accesses share no lock |
+//! | `R002` | `suspect-guard` | a lock's singleton allocation site may stand for several runtime objects |
+//! | `R003` | `thread-escape` | an object is reached from a thread that never runs its allocator |
+//! | `R004` | `dead-lock-region` | a monitor region guards no access and no call |
+//!
+//! All four are skipped (not errored) when [`LintContext::races`] is `None`
+//! — in particular when the analysis supervisor exhausted its ladder and
+//! race detection was skipped, so a degraded run never masquerades as
+//! "no races".
+
+use rudoop_core::races::RaceResult;
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lint::{Lint, LintContext};
+
+/// All race-tier lints, in code order.
+pub fn lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(DataRace),
+        Box::new(SuspectGuard),
+        Box::new(ThreadEscape),
+        Box::new(DeadLockRegion),
+    ]
+}
+
+fn races_of<'a>(cx: &'a LintContext<'_>) -> &'a RaceResult {
+    cx.races.expect("race lint without race result")
+}
+
+/// `R001`: a data race. One finding per witness, anchored at the
+/// site-ordered first access; both sides' shortest derivations are
+/// attached as notes (each truncated past eight steps).
+pub struct DataRace;
+
+impl Lint for DataRace {
+    fn code(&self) -> &'static str {
+        "R001"
+    }
+    fn name(&self) -> &'static str {
+        "data-race"
+    }
+    fn description(&self) -> &'static str {
+        "two accesses to the same field may happen in parallel, at least one writes, \
+         and they share no lock"
+    }
+    fn needs_races(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        const MAX_TRACE: usize = 8;
+        for race in &races_of(cx).races {
+            let mut d = Diagnostic::new(
+                "R001",
+                Severity::Warning,
+                format!(
+                    "data race on {}: {} in {} vs {} in {}",
+                    race.location,
+                    if race.a.is_write { "write" } else { "read" },
+                    race.a.thread,
+                    if race.b.is_write { "write" } else { "read" },
+                    race.b.thread,
+                ),
+            )
+            .at_instr(cx.program, race.a.method, race.a.index);
+            for (side, access) in [("A", &race.a), ("B", &race.b)] {
+                for step in access.trace.iter().take(MAX_TRACE) {
+                    d = d.note(format!("{side}: {step}"));
+                }
+                if access.trace.len() > MAX_TRACE {
+                    d = d.note(format!(
+                        "{side}: ... {} more step(s)",
+                        access.trace.len() - MAX_TRACE
+                    ));
+                }
+            }
+            out.push(d);
+        }
+    }
+}
+
+/// `R002`: a monitor region whose lock resolves to a single allocation
+/// site that may stand for several runtime objects (multiple heap
+/// contexts, an allocator that runs more than once, or allocation on a
+/// self-parallel thread) — the must-alias exclusion the race client
+/// granted it is suspect. This is the race analysis surfacing its own
+/// deliberate soundness gap instead of hiding it.
+pub struct SuspectGuard;
+
+impl Lint for SuspectGuard {
+    fn code(&self) -> &'static str {
+        "R002"
+    }
+    fn name(&self) -> &'static str {
+        "suspect-guard"
+    }
+    fn description(&self) -> &'static str {
+        "a lock's singleton allocation site may stand for several runtime objects"
+    }
+    fn needs_races(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for g in &races_of(cx).suspect_guards {
+            let lock_class = &cx.program.classes[cx.program.allocs[g.lock].class].name;
+            let d = Diagnostic::new(
+                "R002",
+                Severity::Warning,
+                format!("lock on `{lock_class}` may guard with different objects per thread"),
+            )
+            .at_instr(cx.program, g.method, g.index)
+            .note(
+                "the lock variable points to one allocation site, but that site may \
+                 produce several runtime objects; exclusion between threads is not guaranteed",
+            );
+            out.push(d);
+        }
+    }
+}
+
+/// `R003`: an object reachable from a thread other than the one whose
+/// code allocated it. Escape is not a bug by itself — it is the
+/// precondition for every race — so this is a note-level map of the
+/// shared-heap surface.
+pub struct ThreadEscape;
+
+impl Lint for ThreadEscape {
+    fn code(&self) -> &'static str {
+        "R003"
+    }
+    fn name(&self) -> &'static str {
+        "thread-escape"
+    }
+    fn description(&self) -> &'static str {
+        "an object is accessed by a thread that never runs its allocating method"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Note
+    }
+    fn needs_races(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for e in &races_of(cx).escapes {
+            let alloc_class = &cx.program.classes[cx.program.allocs[e.alloc].class].name;
+            let d = Diagnostic::new(
+                "R003",
+                Severity::Note,
+                format!("`{alloc_class}` object escapes to a foreign thread here"),
+            )
+            .at_instr(cx.program, e.method, e.index)
+            .note("cross-thread sharing: accesses to this object need a consistent lock");
+            out.push(d);
+        }
+    }
+}
+
+/// `R004`: a monitor region with no field access and no call strictly
+/// inside — it synchronizes nothing. Either dead defensive code or the
+/// critical section was refactored away from under the lock.
+pub struct DeadLockRegion;
+
+impl Lint for DeadLockRegion {
+    fn code(&self) -> &'static str {
+        "R004"
+    }
+    fn name(&self) -> &'static str {
+        "dead-lock-region"
+    }
+    fn description(&self) -> &'static str {
+        "a monitor region guards no access and no call"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Note
+    }
+    fn needs_races(&self) -> bool {
+        true
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for &(method, index) in &races_of(cx).dead_regions {
+            let d = Diagnostic::new(
+                "R004",
+                Severity::Note,
+                "monitor region guards no access and no call",
+            )
+            .at_instr(cx.program, method, index)
+            .note("either remove the lock or move the shared accesses back inside it");
+            out.push(d);
+        }
+    }
+}

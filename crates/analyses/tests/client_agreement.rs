@@ -20,6 +20,7 @@ fn lint(p: &Program, h: &ClassHierarchy, r: &PointsToResult) -> Vec<Diagnostic> 
         hierarchy: h,
         points_to: Some(r),
         taint: None,
+        races: None,
     };
     LintRegistry::with_defaults().run(&cx)
 }

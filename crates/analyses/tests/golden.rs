@@ -41,6 +41,7 @@ fn lint_diags(source: &str, taint_text: Option<&str>) -> (Program, Vec<Diagnosti
             hierarchy: &hierarchy,
             points_to: Some(&result),
             taint: taint.as_ref(),
+            races: None,
         };
         diags = LintRegistry::with_defaults().run(&cx);
     }

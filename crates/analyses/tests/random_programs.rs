@@ -29,6 +29,7 @@ fn lints_run_clean_of_errors_on_generated_programs() {
             hierarchy: &hierarchy,
             points_to: Some(&result),
             taint: None,
+            races: None,
         };
         let diags = registry.run(&cx);
         for d in &diags {
@@ -55,6 +56,7 @@ fn tier1_alone_never_panics_and_is_deterministic() {
             hierarchy: &hierarchy,
             points_to: None,
             taint: None,
+            races: None,
         };
         let first = registry.run(&cx);
         let second = registry.run(&cx);
@@ -85,6 +87,7 @@ fn rendering_generated_diagnostics_never_panics() {
             hierarchy: &hierarchy,
             points_to: Some(&result),
             taint: None,
+            races: None,
         };
         let diags = registry.run(&cx);
         let text = rudoop_analyses::render(&program, &diags);

@@ -1,0 +1,68 @@
+//! Documentation exhaustiveness: the README code table must list every
+//! diagnostic code the tool suite can emit — each exactly once — and
+//! nothing else. PRs 1–6 grew the README by hand; this pins it so a new
+//! lint (or a removed one) fails the build until the table follows.
+
+use std::collections::BTreeMap;
+
+use rudoop_analyses::diagnostics::VALIDATION_CODES;
+use rudoop_analyses::LintRegistry;
+
+/// Extracts diagnostic codes from the README's code-index table: rows of
+/// the form ``| `X123` | name | summary |``. Returns each code with the
+/// number of rows claiming it.
+fn readme_table_codes(readme: &str) -> BTreeMap<String, usize> {
+    let mut codes = BTreeMap::new();
+    for line in readme.lines() {
+        let Some(rest) = line.trim().strip_prefix("| `") else {
+            continue;
+        };
+        let Some((code, _)) = rest.split_once('`') else {
+            continue;
+        };
+        let mut chars = code.chars();
+        let family = chars.next();
+        let is_code = code.len() == 4
+            && family.is_some_and(|c| c.is_ascii_uppercase())
+            && chars.all(|c| c.is_ascii_digit());
+        if is_code {
+            *codes.entry(code.to_owned()).or_insert(0) += 1;
+        }
+    }
+    codes
+}
+
+#[test]
+fn readme_code_table_is_exhaustive_and_duplicate_free() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+        .expect("workspace README present");
+    let documented = readme_table_codes(&readme);
+    assert!(
+        !documented.is_empty(),
+        "README code table not found (expected rows like `| \\`E001\\` | … |`)"
+    );
+
+    let mut emitted: Vec<String> = VALIDATION_CODES.iter().map(|&c| c.to_owned()).collect();
+    for (code, _, _, _) in LintRegistry::with_defaults().iter() {
+        emitted.push(code.to_owned());
+    }
+
+    for code in &emitted {
+        match documented.get(code) {
+            None => panic!("code {code} is emitted but missing from the README code table"),
+            Some(1) => {}
+            Some(n) => panic!("code {code} appears {n} times in the README code table"),
+        }
+    }
+    for code in documented.keys() {
+        assert!(
+            emitted.iter().any(|c| c == code),
+            "README code table documents {code}, which nothing emits"
+        );
+    }
+    assert_eq!(
+        documented.len(),
+        emitted.len(),
+        "table and registry disagree on the code count"
+    );
+}

@@ -44,6 +44,7 @@ fn taint_battery_trips_the_t_series() {
         hierarchy: &hierarchy,
         points_to: Some(&result),
         taint: Some(&taint),
+        races: None,
     };
     let diags = LintRegistry::with_defaults().run(&cx);
     let has = |code: &str| diags.iter().any(|d| d.code == code);
@@ -60,6 +61,7 @@ fn taint_battery_trips_the_t_series() {
         hierarchy: &hierarchy,
         points_to: Some(&result),
         taint: None,
+        races: None,
     };
     let diags = LintRegistry::with_defaults().run(&cx_no_taint);
     assert!(diags.iter().all(|d| !d.code.starts_with('T')));
@@ -93,6 +95,7 @@ fn merged_context_flow_fires_for_context_sensitive_runs() {
         hierarchy: &hierarchy,
         points_to: Some(&result),
         taint: Some(&taint),
+        races: None,
     };
     let diags = LintRegistry::with_defaults().run(&cx);
     let t003: Vec<_> = diags.iter().filter(|d| d.code == "T003").collect();

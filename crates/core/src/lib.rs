@@ -63,6 +63,7 @@ pub mod heuristics;
 pub mod introspection;
 pub mod parallel;
 pub mod policy;
+pub mod races;
 pub mod shard;
 pub mod solver;
 pub mod stats;
@@ -81,6 +82,10 @@ pub use parallel::Parallelism;
 pub use policy::{
     CallSiteSensitive, ContextPolicy, HybridObjectSensitive, Insensitive, Introspective,
     ObjectSensitive, RefinementSet, TypeSensitive,
+};
+pub use races::{
+    analyze_races, supervised_races, Race, RaceAccess, RaceError, RaceKey, RaceResult,
+    SupervisedRaces,
 };
 pub use solver::{
     analyze, Budget, CancelToken, ExhaustionCause, Outcome, PointsToResult, SolverConfig,

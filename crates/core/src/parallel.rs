@@ -692,25 +692,32 @@ impl<'p> Engine<'p> {
                         self.add_edge(f, t);
                     }
                 }
-                Instruction::Call { invoke } => match self.program.invokes[invoke].kind {
-                    InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => {
-                        let b = self.var_node(base, ctx)?;
-                        self.shards[b.shard()].calls[b.idx()].push(invoke);
-                        let existing: Vec<u64> = self.shards[b.shard()].pts[b.idx()]
-                            .iter()
-                            .copied()
-                            .collect();
-                        for o in existing {
-                            self.process_receiver_call(invoke, ctx, CObj(o))?;
+                // Spawn is a call for points-to purposes; see the sequential
+                // solver.
+                Instruction::Call { invoke } | Instruction::Spawn { invoke } => {
+                    match self.program.invokes[invoke].kind {
+                        InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => {
+                            let b = self.var_node(base, ctx)?;
+                            self.shards[b.shard()].calls[b.idx()].push(invoke);
+                            let existing: Vec<u64> = self.shards[b.shard()].pts[b.idx()]
+                                .iter()
+                                .copied()
+                                .collect();
+                            for o in existing {
+                                self.process_receiver_call(invoke, ctx, CObj(o))?;
+                            }
+                        }
+                        InvokeKind::Static { target } => {
+                            let callee =
+                                self.policy
+                                    .merge_static(&mut self.tables, invoke, target, ctx);
+                            self.add_call_edge(invoke, ctx, target, callee)?;
                         }
                     }
-                    InvokeKind::Static { target } => {
-                        let callee =
-                            self.policy
-                                .merge_static(&mut self.tables, invoke, target, ctx);
-                        self.add_call_edge(invoke, ctx, target, callee)?;
-                    }
-                },
+                }
+                Instruction::Join { .. }
+                | Instruction::MonitorEnter { .. }
+                | Instruction::MonitorExit { .. } => {}
             }
         }
         Ok(())

@@ -870,22 +870,34 @@ impl<'p> Solver<'p> {
                         self.add_edge(f, t);
                     }
                 }
-                Instruction::Call { invoke } => match self.program.invokes[invoke].kind {
-                    InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => {
-                        let b = self.var_node(base, ctx)?;
-                        self.calls[b.0 as usize].push(invoke);
-                        let existing: Vec<u64> = self.pts[b.0 as usize].iter().copied().collect();
-                        for o in existing {
-                            self.process_receiver_call(invoke, ctx, CObj(o))?;
+                // A spawn's implied `var.run()` call resolves like any other
+                // call: its call-graph edges *are* the thread-creation
+                // graph the race client consumes.
+                Instruction::Call { invoke } | Instruction::Spawn { invoke } => {
+                    match self.program.invokes[invoke].kind {
+                        InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => {
+                            let b = self.var_node(base, ctx)?;
+                            self.calls[b.0 as usize].push(invoke);
+                            let existing: Vec<u64> =
+                                self.pts[b.0 as usize].iter().copied().collect();
+                            for o in existing {
+                                self.process_receiver_call(invoke, ctx, CObj(o))?;
+                            }
+                        }
+                        InvokeKind::Static { target } => {
+                            let callee =
+                                self.policy
+                                    .merge_static(&mut self.tables, invoke, target, ctx);
+                            self.add_call_edge(invoke, ctx, target, callee)?;
                         }
                     }
-                    InvokeKind::Static { target } => {
-                        let callee =
-                            self.policy
-                                .merge_static(&mut self.tables, invoke, target, ctx);
-                        self.add_call_edge(invoke, ctx, target, callee)?;
-                    }
-                },
+                }
+                // Join and monitor instructions constrain the race client's
+                // happens-before/lock-set reasoning only; they neither
+                // create nor move references.
+                Instruction::Join { .. }
+                | Instruction::MonitorEnter { .. }
+                | Instruction::MonitorExit { .. } => {}
             }
         }
         Ok(())

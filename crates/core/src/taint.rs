@@ -316,7 +316,12 @@ pub fn analyze_taint_traced(
                 Instruction::StoreGlobal { global, from } => {
                     graph.edge(Node::Var(from, ctx), Node::Global(global));
                 }
-                Instruction::Alloc { .. } | Instruction::Call { .. } => {}
+                Instruction::Alloc { .. }
+                | Instruction::Call { .. }
+                | Instruction::Spawn { .. }
+                | Instruction::Join { .. }
+                | Instruction::MonitorEnter { .. }
+                | Instruction::MonitorExit { .. } => {}
             }
         }
     }
@@ -670,10 +675,13 @@ pub fn render_json(program: &Program, taint: &SupervisedTaint) -> String {
 
 /// The source span of a call site as a JSON value: the span of its `call`
 /// instruction in the enclosing method body, `null` when unknown.
-fn invoke_span_json(program: &Program, invo: InvokeId) -> String {
+pub(crate) fn invoke_span_json(program: &Program, invo: InvokeId) -> String {
     let m = &program.methods[program.invokes[invo].method];
     for (i, instr) in m.body.iter().enumerate() {
-        if matches!(*instr, Instruction::Call { invoke } if invoke == invo) {
+        if matches!(
+            *instr,
+            Instruction::Call { invoke } | Instruction::Spawn { invoke } if invoke == invo
+        ) {
             let span = m.span_of(i);
             if span.is_known() {
                 return format!("\"{span}\"");
@@ -685,7 +693,7 @@ fn invoke_span_json(program: &Program, invo: InvokeId) -> String {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -710,7 +718,7 @@ fn json_escape(s: &str) -> String {
 /// tie-breaks when several shortest traces exist — runs on canonical ids:
 /// contexts ranked by their element sequences, which *are* engine-
 /// invariant. Original ids survive only for rendering trace lines.
-struct CtxCanon {
+pub(crate) struct CtxCanon {
     ctx_rank: FxHashMap<CtxId, CtxId>,
     hctx_rank: FxHashMap<HCtxId, HCtxId>,
     ctx_orig: Vec<CtxId>,
@@ -718,7 +726,7 @@ struct CtxCanon {
 }
 
 impl CtxCanon {
-    fn build(dump: &CsDump, tables: &CtxTables) -> Self {
+    pub(crate) fn build(dump: &CsDump, tables: &CtxTables) -> Self {
         let mut ctxs: FxHashSet<CtxId> = FxHashSet::default();
         let mut hctxs: FxHashSet<HCtxId> = FxHashSet::default();
         for &(_, ctx, _, hctx) in &dump.var_points_to {
@@ -758,19 +766,19 @@ impl CtxCanon {
         }
     }
 
-    fn ctx(&self, id: CtxId) -> CtxId {
+    pub(crate) fn ctx(&self, id: CtxId) -> CtxId {
         self.ctx_rank[&id]
     }
 
-    fn hctx(&self, id: HCtxId) -> HCtxId {
+    pub(crate) fn hctx(&self, id: HCtxId) -> HCtxId {
         self.hctx_rank[&id]
     }
 
-    fn orig_ctx(&self, canonical: CtxId) -> CtxId {
+    pub(crate) fn orig_ctx(&self, canonical: CtxId) -> CtxId {
         self.ctx_orig[canonical.0 as usize]
     }
 
-    fn orig_hctx(&self, canonical: HCtxId) -> HCtxId {
+    pub(crate) fn orig_hctx(&self, canonical: HCtxId) -> HCtxId {
         self.hctx_orig[canonical.0 as usize]
     }
 }

@@ -641,7 +641,7 @@ pub struct TraceCheck {
 /// `B`/`E` events are balanced per lane with stack discipline (every `E`
 /// matches the innermost open `B` of its `(pid, tid)`).
 pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
-    let doc = json::parse(text)?;
+    let doc = json::parse(text).map_err(|e| malformed_json_report(text, e))?;
     let root = doc.as_object().ok_or("root is not an object")?;
     let events = root
         .iter()
@@ -732,6 +732,36 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         }
     }
     Ok(check)
+}
+
+/// Maps a whole-document JSON parse failure onto a per-record diagnostic.
+///
+/// The trace writer emits one event record per line, so a malformed file
+/// almost always means one corrupted record: re-parse each record line on
+/// its own and name the first one that fails, with its line number and a
+/// snippet. When every record parses individually (the damage is
+/// structural — a missing bracket, truncation between records), the
+/// original document-level error is reported instead.
+fn malformed_json_report(text: &str, document_error: String) -> String {
+    let mut record = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let body = line.trim();
+        // Header (`{"traceEvents":[`), footer (`],...}`), blank lines.
+        if body.is_empty() || body.ends_with('[') || body.starts_with(']') {
+            continue;
+        }
+        record += 1;
+        let body = body.strip_suffix(',').unwrap_or(body);
+        if let Err(e) = json::parse(body) {
+            let snippet: String = body.chars().take(60).collect();
+            let ellipsis = if body.chars().count() > 60 { "…" } else { "" };
+            return format!(
+                "record {record} (line {}) is not valid JSON: {e}: {snippet}{ellipsis}",
+                i + 1
+            );
+        }
+    }
+    document_error
 }
 
 /// A minimal recursive-descent JSON reader — just enough for the schema
@@ -1058,6 +1088,28 @@ mod tests {
             {"name":"a","ph":"B","ts":1,"pid":1,"tid":0}
         ]}"#;
         assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn malformed_record_is_reported_by_line_and_record_number() {
+        // Record 2 (file line 3) is truncated mid-object.
+        let bad = "{\"traceEvents\":[\n\
+                   {\"name\":\"a\",\"ph\":\"B\",\"ts\":1,\"pid\":1,\"tid\":0},\n\
+                   {\"name\":\"a\",\"ph\":\"E\",\"ts\":2,\n\
+                   ]}\n";
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("record 2"), "{err}");
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("not valid JSON"), "{err}");
+        // Structural damage with individually well-formed records falls
+        // back to the document-level error.
+        let bad = "{\"traceEvents\":[\n\
+                   {\"name\":\"a\",\"ph\":\"B\",\"ts\":1,\"pid\":1,\"tid\":0}\n\
+                   {\"name\":\"a\",\"ph\":\"E\",\"ts\":2,\"pid\":1,\"tid\":0}\n\
+                   ]}\n";
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(!err.contains("record"), "{err}");
+        assert!(err.contains("expected"), "{err}");
     }
 
     #[test]

@@ -257,6 +257,62 @@ fn taint_leaks_and_traces_are_engine_invariant() {
     }
 }
 
+/// Race witnesses — thread labels, per-thread shortest traces, guard and
+/// escape observations — must be byte-identical across engines. This is
+/// the renumbering-twin check for the race client: the parallel engine
+/// discovers contexts in a different order, so raw context ids differ
+/// between runs, and only the canonical content-ranked numbering keeps
+/// witness selection (which breaks ties by context rank) stable.
+#[test]
+fn race_witnesses_and_traces_are_engine_invariant() {
+    for mut spec in [dacapo::antlr(), dacapo::pmd()] {
+        spec.concurrency = 2;
+        let program = spec.build();
+        let hierarchy = ClassHierarchy::new(&program);
+        let seq = analyze_flavor(
+            &program,
+            &hierarchy,
+            Flavor::OBJ2H,
+            &config(1, Budget::unlimited(), true),
+        );
+        let seq_races = rudoop_core::analyze_races(&program, &seq).expect("complete run");
+        assert!(
+            !seq_races.races.is_empty(),
+            "{}: concurrency battery must race",
+            spec.name
+        );
+        for t in [2, 4, 8] {
+            let par = analyze_flavor(
+                &program,
+                &hierarchy,
+                Flavor::OBJ2H,
+                &config(t, Budget::unlimited(), true),
+            );
+            let par_races = rudoop_core::analyze_races(&program, &par).expect("complete run");
+            let tag = format!("{}/races/t{t}", spec.name);
+            assert_eq!(seq_races.races, par_races.races, "{tag}: witnesses");
+            assert_eq!(seq_races.threads, par_races.threads, "{tag}: threads");
+            assert_eq!(
+                seq_races.access_sites, par_races.access_sites,
+                "{tag}: access sites"
+            );
+            assert_eq!(
+                seq_races.guarded_sites, par_races.guarded_sites,
+                "{tag}: guarded sites"
+            );
+            assert_eq!(
+                seq_races.suspect_guards, par_races.suspect_guards,
+                "{tag}: suspect guards"
+            );
+            assert_eq!(
+                seq_races.dead_regions, par_races.dead_regions,
+                "{tag}: dead regions"
+            );
+            assert_eq!(seq_races.escapes, par_races.escapes, "{tag}: escapes");
+        }
+    }
+}
+
 /// Two runs of the *same* parallel configuration must agree with each
 /// other (schedule independence), not just with the sequential engine.
 #[test]

@@ -42,10 +42,12 @@
 
 pub mod engine;
 pub mod model;
+pub mod races;
 pub mod rule;
 pub mod taint;
 
 pub use engine::{Engine, RunStats};
 pub use model::{run_model, ModelResult};
+pub use races::{run_race_model, RaceModelResult};
 pub use rule::{Atom, FuncApp, FuncId, Literal, RelId, Rule, RuleBuilder, RuleError, Term, Value};
 pub use taint::{run_taint_model, TaintModelResult};

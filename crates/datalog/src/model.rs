@@ -127,6 +127,7 @@ pub(crate) struct BaseRels {
     pub(crate) formalreturn: RelId,
     pub(crate) actualreturn: RelId,
     pub(crate) thisvar: RelId,
+    pub(crate) entry: RelId,
     pub(crate) varpointsto: RelId,
     pub(crate) callgraph: RelId,
     pub(crate) fldpointsto: RelId,
@@ -530,6 +531,7 @@ pub(crate) fn install_base_model<'a>(
         formalreturn,
         actualreturn,
         thisvar,
+        entry,
         varpointsto,
         callgraph,
         fldpointsto,
@@ -601,7 +603,9 @@ fn load_facts(
                         engine.fact(f.mov, &[ret.0, var.0]);
                     }
                 }
-                Instruction::Call { invoke } => {
+                // Spawn emits the same call facts as Call: its call-graph
+                // edges double as the thread-creation graph.
+                Instruction::Call { invoke } | Instruction::Spawn { invoke } => {
                     let inv = &program.invokes[invoke];
                     for (i, &arg) in inv.args.iter().enumerate() {
                         engine.fact(f.actualarg, &[invoke.0, i as Value, arg.0]);
@@ -621,6 +625,11 @@ fn load_facts(
                         }
                     }
                 }
+                // Concurrency ordering/locking instructions carry no
+                // points-to facts.
+                Instruction::Join { .. }
+                | Instruction::MonitorEnter { .. }
+                | Instruction::MonitorExit { .. } => {}
             }
         }
     }

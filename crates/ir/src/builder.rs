@@ -293,6 +293,38 @@ impl ProgramBuilder {
         invoke
     }
 
+    /// Emits `spawn var` in `method`: starts a thread running `var.run()`.
+    /// The implied invoke site is a plain virtual call of the interned
+    /// `run/0` signature with no arguments and no result, so the points-to
+    /// solver resolves thread bodies through ordinary dispatch.
+    pub fn spawn(&mut self, method: MethodId, var: VarId) -> InvokeId {
+        let sig = self.sig("run", 0);
+        let invoke = self.program.invokes.push(Invoke {
+            kind: InvokeKind::Virtual { base: var, sig },
+            args: Vec::new(),
+            result: None,
+            method,
+        });
+        self.push_instr(method, Instruction::Spawn { invoke });
+        invoke
+    }
+
+    /// Emits `join var` in `method`.
+    pub fn join(&mut self, method: MethodId, var: VarId) {
+        self.push_instr(method, Instruction::Join { var });
+    }
+
+    /// Emits `monitorenter var` in `method`, opening a lock region.
+    pub fn monitor_enter(&mut self, method: MethodId, var: VarId) {
+        self.push_instr(method, Instruction::MonitorEnter { var });
+    }
+
+    /// Emits `monitorexit var` in `method`, closing the innermost region
+    /// opened on the same variable.
+    pub fn monitor_exit(&mut self, method: MethodId, var: VarId) {
+        self.push_instr(method, Instruction::MonitorExit { var });
+    }
+
     /// Emits `return var` in `method` (creating the formal return variable
     /// on first use).
     pub fn ret(&mut self, method: MethodId, var: VarId) {

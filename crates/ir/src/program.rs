@@ -216,6 +216,38 @@ pub enum Instruction {
         /// The invocation site.
         invoke: InvokeId,
     },
+    /// `spawn var` — start a new thread whose body is `var.run()`. The
+    /// dispatch detail lives in the invoke-site table exactly as for
+    /// [`Instruction::Call`] (a virtual call of the arity-0 `run`
+    /// signature with no arguments and no result), so the points-to solver
+    /// resolves thread entry points through the ordinary context-sensitive
+    /// call-graph machinery; the race client reinterprets these call-graph
+    /// edges as thread-creation edges.
+    Spawn {
+        /// The invocation site of the implied `var.run()` call.
+        invoke: InvokeId,
+    },
+    /// `join var` — wait for every thread spawned on `var` to finish.
+    /// Points-to-wise a no-op; the MHP analysis uses it to order later
+    /// instructions of the joining body after the joined thread.
+    Join {
+        /// The variable the joined thread was spawned on.
+        var: VarId,
+    },
+    /// `monitorenter var` — acquire the lock of the object `var` points to.
+    /// Points-to-wise a no-op; opens a structural lock region for the
+    /// lock-set analysis. The validator requires regions to nest properly
+    /// within each body.
+    MonitorEnter {
+        /// The lock variable.
+        var: VarId,
+    },
+    /// `monitorexit var` — release the lock of the object `var` points to,
+    /// closing the innermost open region opened on the same variable.
+    MonitorExit {
+        /// The lock variable.
+        var: VarId,
+    },
     /// `return var` — flows into the method's formal return variable.
     Return {
         /// Returned value.
@@ -304,16 +336,36 @@ impl Program {
     }
 
     /// The body position of an invocation site: the enclosing method and
-    /// the index of its `Call` instruction. Used by diagnostics to anchor
-    /// findings about call sites (every invoke built by the builder or
-    /// parser has exactly one `Call` instruction).
+    /// the index of its `Call` (or `Spawn`) instruction. Used by
+    /// diagnostics to anchor findings about call sites (every invoke built
+    /// by the builder or parser has exactly one carrying instruction).
     pub fn invoke_site(&self, invoke: InvokeId) -> Option<(MethodId, usize)> {
         let method = self.invokes[invoke].method;
         self.methods[method]
             .body
             .iter()
-            .position(|i| matches!(*i, Instruction::Call { invoke: iv } if iv == invoke))
+            .position(|i| {
+                matches!(
+                    *i,
+                    Instruction::Call { invoke: iv } | Instruction::Spawn { invoke: iv }
+                        if iv == invoke
+                )
+            })
             .map(|index| (method, index))
+    }
+
+    /// Iterates over all spawn sites: `(method, body index, invoke)` of
+    /// every [`Instruction::Spawn`] in the program, in method/body order.
+    pub fn spawn_sites(&self) -> impl Iterator<Item = (MethodId, usize, InvokeId)> + '_ {
+        self.methods.iter().flat_map(|(mid, m)| {
+            m.body
+                .iter()
+                .enumerate()
+                .filter_map(move |(i, instr)| match *instr {
+                    Instruction::Spawn { invoke } => Some((mid, i, invoke)),
+                    _ => None,
+                })
+        })
     }
 
     /// Human-readable qualified name of a method, e.g. `List.add/1`.

@@ -545,6 +545,31 @@ fn parse_stmt(
         return Ok(());
     }
 
+    // Concurrency statements: `spawn x`, `join x`, `monitorenter x`,
+    // `monitorexit x`. All are keyword + single variable; a following `=`
+    // or `.` means the keyword is being used as a plain variable name
+    // instead (e.g. `spawn = y`), so require the next token to be the
+    // operand identifier ending the line.
+    if matches!(
+        first.as_str(),
+        "spawn" | "join" | "monitorenter" | "monitorexit"
+    ) && matches!(cur.peek(), Some(Tok::Ident(_)))
+        && cur.toks.len() == 2
+    {
+        let v = cur.ident()?;
+        let var = local(b, mid, locals, v);
+        cur.expect_end()?;
+        match first.as_str() {
+            "spawn" => {
+                b.spawn(mid, var);
+            }
+            "join" => b.join(mid, var),
+            "monitorenter" => b.monitor_enter(mid, var),
+            _ => b.monitor_exit(mid, var),
+        }
+        return Ok(());
+    }
+
     // `x.f = y` (store) or `x.f(args)` (call, no result) or `x = ...`.
     if cur.eat_punct('.') {
         let second = cur.ident()?.to_owned();
@@ -752,6 +777,23 @@ fn print_instr(out: &mut String, p: &Program, instr: &Instruction) {
             write!(out, "global {} = {}", p.globals[global].name, v(from)).unwrap()
         }
         Instruction::Return { var } => write!(out, "return {}", v(var)).unwrap(),
+        Instruction::Spawn { invoke } => {
+            let inv = &p.invokes[invoke];
+            let base = match inv.kind {
+                InvokeKind::Virtual { base, .. } => base,
+                InvokeKind::Special { base, .. } => base,
+                InvokeKind::Static { .. } => {
+                    // Unprintable (the validator rejects it); emit a best
+                    // effort so dumps of invalid programs stay readable.
+                    write!(out, "spawn $invalid").unwrap();
+                    return;
+                }
+            };
+            write!(out, "spawn {}", v(base)).unwrap()
+        }
+        Instruction::Join { var } => write!(out, "join {}", v(var)).unwrap(),
+        Instruction::MonitorEnter { var } => write!(out, "monitorenter {}", v(var)).unwrap(),
+        Instruction::MonitorExit { var } => write!(out, "monitorexit {}", v(var)).unwrap(),
         Instruction::Call { invoke } => {
             let inv = &p.invokes[invoke];
             if let Some(r) = inv.result {
@@ -906,6 +948,61 @@ method C.main() static {
 ";
         let e = parse_program(src).unwrap_err();
         assert!(e.message.contains("unknown global"), "{e}");
+    }
+
+    #[test]
+    fn concurrency_statements_parse_and_round_trip() {
+        let src = "class C
+class Worker extends C
+field C.slot
+
+method Worker.run() {
+  this.slot = this
+}
+
+method C.main() static {
+  w = new Worker
+  lk = new C
+  monitorenter lk
+  spawn w
+  monitorexit lk
+  join w
+}
+
+entry C.main
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(validate(&p), Ok(()));
+        assert_eq!(p.spawn_sites().count(), 1);
+        // The spawn's invoke is a plain virtual run/0 call.
+        let (_, _, inv) = p.spawn_sites().next().unwrap();
+        match p.invokes[inv].kind {
+            InvokeKind::Virtual { sig, .. } => {
+                assert_eq!(p.sigs[sig].name, "run");
+                assert_eq!(p.sigs[sig].arity, 0);
+            }
+            ref k => panic!("spawn invoke is {k:?}"),
+        }
+        let printed = print_program(&p);
+        assert!(printed.contains("spawn w"), "{printed}");
+        assert!(printed.contains("monitorenter lk"), "{printed}");
+        let q = parse_program(&printed).unwrap();
+        assert_eq!(print_program(&q), printed);
+    }
+
+    #[test]
+    fn spawn_as_variable_name_still_parses_as_assignment() {
+        let src = "class C
+method C.main() static {
+  x = new C
+  spawn = x
+  join = spawn
+}
+entry C.main
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.spawn_sites().count(), 0);
+        assert_eq!(validate(&p), Ok(()));
     }
 
     #[test]

@@ -54,6 +54,17 @@ pub enum ValidateError {
         /// Raw value of the dangling id.
         raw: u32,
     },
+    /// A `Spawn` instruction's invoke site is not the implied `var.run()`
+    /// shape: a virtual call of an arity-0 signature named `run`, with no
+    /// arguments and no result.
+    MalformedSpawn(MethodId),
+    /// A method body's `monitorenter`/`monitorexit` instructions do not
+    /// bracket properly: an exit without a matching open region on the same
+    /// variable, or a region left open at the end of the body.
+    UnbalancedMonitor {
+        /// The method with the broken bracketing.
+        method: MethodId,
+    },
 }
 
 impl fmt::Display for ValidateError {
@@ -98,6 +109,18 @@ impl fmt::Display for ValidateError {
             }
             ValidateError::DanglingId { table, raw } => {
                 write!(f, "dangling id {raw} in table {table}")
+            }
+            ValidateError::MalformedSpawn(m) => {
+                write!(
+                    f,
+                    "spawn in {m} must carry a virtual run/0 call with no args and no result"
+                )
+            }
+            ValidateError::UnbalancedMonitor { method } => {
+                write!(
+                    f,
+                    "method {method} has unbalanced monitorenter/monitorexit bracketing"
+                )
             }
         }
     }
@@ -221,7 +244,12 @@ fn check_ids(program: &Program, errors: &mut Vec<ValidateError>) {
                     bad("body.vars", from.0, nv);
                     bad("body.globals", global.0, ng);
                 }
-                Instruction::Call { invoke } => bad("body.invokes", invoke.0, ni),
+                Instruction::Call { invoke } | Instruction::Spawn { invoke } => {
+                    bad("body.invokes", invoke.0, ni)
+                }
+                Instruction::Join { var }
+                | Instruction::MonitorEnter { var }
+                | Instruction::MonitorExit { var } => bad("body.vars", var.0, nv),
                 Instruction::Return { var } => bad("body.vars", var.0, nv),
             }
         }
@@ -271,6 +299,11 @@ fn check_bodies(program: &Program, errors: &mut Vec<ValidateError>) {
         }
     };
     for (mid, method) in program.methods.iter() {
+        // Open monitor regions, innermost last. Exits must match the top of
+        // the stack exactly (proper nesting on the same variable) and every
+        // region must be closed before the body ends.
+        let mut monitors: Vec<VarId> = Vec::new();
+        let mut monitor_reported = false;
         for instr in &method.body {
             match *instr {
                 Instruction::Alloc { var, .. } => check_var(mid, var, errors),
@@ -319,6 +352,37 @@ fn check_bodies(program: &Program, errors: &mut Vec<ValidateError>) {
                         InvokeKind::Static { .. } => {}
                     }
                 }
+                Instruction::Spawn { invoke } => {
+                    let inv = &program.invokes[invoke];
+                    let shape_ok = matches!(
+                        inv.kind,
+                        InvokeKind::Virtual { sig, .. }
+                            if program.sigs[sig].name == "run" && program.sigs[sig].arity == 0
+                    ) && inv.args.is_empty()
+                        && inv.result.is_none();
+                    if !shape_ok {
+                        errors.push(ValidateError::MalformedSpawn(mid));
+                    }
+                    if let InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } =
+                        inv.kind
+                    {
+                        check_var(mid, base, errors);
+                    }
+                }
+                Instruction::Join { var } => check_var(mid, var, errors),
+                Instruction::MonitorEnter { var } => {
+                    check_var(mid, var, errors);
+                    monitors.push(var);
+                }
+                Instruction::MonitorExit { var } => {
+                    check_var(mid, var, errors);
+                    if monitors.last() == Some(&var) {
+                        monitors.pop();
+                    } else if !monitor_reported {
+                        errors.push(ValidateError::UnbalancedMonitor { method: mid });
+                        monitor_reported = true;
+                    }
+                }
                 Instruction::Return { var } => {
                     check_var(mid, var, errors);
                     if method.ret.is_none() {
@@ -326,6 +390,9 @@ fn check_bodies(program: &Program, errors: &mut Vec<ValidateError>) {
                     }
                 }
             }
+        }
+        if !monitors.is_empty() && !monitor_reported {
+            errors.push(ValidateError::UnbalancedMonitor { method: mid });
         }
     }
 }
@@ -476,6 +543,106 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| matches!(e, ValidateError::AbstractAllocation(_))));
+    }
+
+    #[test]
+    fn spawn_built_by_the_builder_validates() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let worker = b.class("Worker", Some(obj));
+        b.method(worker, "run", &[], false);
+        let main = b.method(obj, "main", &[], true);
+        let w = b.var(main, "w");
+        b.alloc(main, w, worker);
+        b.spawn(main, w);
+        b.join(main, w);
+        b.entry(main);
+        assert_eq!(validate(&b.finish()), Ok(()));
+    }
+
+    #[test]
+    fn malformed_spawn_is_rejected() {
+        use crate::program::Instruction;
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let w = b.var(main, "w");
+        b.alloc(main, w, obj);
+        // A vcall with the wrong signature, rewritten into a Spawn.
+        let inv = b.vcall(main, None, w, "step", &[]);
+        b.entry(main);
+        let mut p = b.finish();
+        let pos = p.methods[main]
+            .body
+            .iter()
+            .position(|i| matches!(i, Instruction::Call { .. }))
+            .unwrap();
+        p.methods[main].body[pos] = Instruction::Spawn { invoke: inv };
+        let errs = validate(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::MalformedSpawn(_))));
+    }
+
+    #[test]
+    fn unbalanced_monitors_are_rejected() {
+        // Exit without enter.
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        b.alloc(main, x, obj);
+        b.monitor_exit(main, x);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UnbalancedMonitor { .. })));
+
+        // Region left open.
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        b.alloc(main, x, obj);
+        b.monitor_enter(main, x);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UnbalancedMonitor { .. })));
+
+        // Interleaved (not properly nested) regions.
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        let y = b.var(main, "y");
+        b.alloc(main, x, obj);
+        b.alloc(main, y, obj);
+        b.monitor_enter(main, x);
+        b.monitor_enter(main, y);
+        b.monitor_exit(main, x);
+        b.monitor_exit(main, y);
+        let errs = validate(&b.finish()).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UnbalancedMonitor { .. })));
+    }
+
+    #[test]
+    fn properly_nested_monitors_validate() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        let y = b.var(main, "y");
+        b.alloc(main, x, obj);
+        b.alloc(main, y, obj);
+        b.monitor_enter(main, x);
+        b.monitor_enter(main, y);
+        b.monitor_exit(main, y);
+        b.monitor_exit(main, x);
+        b.entry(main);
+        assert_eq!(validate(&b.finish()), Ok(()));
     }
 
     #[test]

@@ -978,6 +978,185 @@ pub fn taint_kit(b: &mut ProgramBuilder, std: &Std, main: MethodId, prefix: &str
     let _ = sink;
 }
 
+/// The concurrency-bearing fragment: `threads` repetitions of a fixed
+/// battery of thread shapes in `main`, each exercising one corner of the
+/// race client:
+///
+/// 1. **spawn farm** — `{prefix}FarmWorker` threads, each writing only its
+///    own freshly-allocated state: threads exist, nothing is shared, no
+///    races (the EXEC/thread-enumeration baseline),
+/// 2. **shared counter** — `{prefix}CountWorker` threads all writing one
+///    `{prefix}Counter.hits` unguarded: a real write–write race, plus a
+///    cross-thread escape of the counter,
+/// 3. **guarded cache** — `{prefix}CacheWorker` threads writing one
+///    `{prefix}Cache.val` under one shared lock object: the singleton
+///    must-alias lock excludes the race,
+/// 4. **lock ladder** — `{prefix}LadderWorker` threads taking an outer
+///    lock, then *calling into* a step method that takes an inner lock
+///    around the access: the outer lock reaches the access only through
+///    the interprocedural must-lock fixpoint,
+/// 5. **joined writer** — a spawn immediately followed by `join` and a
+///    write to the same `{prefix}JoinCell.slot` the thread wrote: ordered
+///    by the join, so not a race.
+///
+/// Under an object-sensitive heap each `{prefix}CountWorker` spawn's
+/// receiver is separable; the shapes are sized so races appear (or not)
+/// identically across context flavors except where contexts genuinely
+/// decide — the differential suite leans on that.
+pub fn concurrency_kit(
+    b: &mut ProgramBuilder,
+    std: &Std,
+    main: MethodId,
+    prefix: &str,
+    threads: usize,
+) {
+    if threads == 0 {
+        return;
+    }
+
+    // 1. Spawn farm: private state per thread.
+    let farm = b.class(&format!("{prefix}FarmWorker"), Some(std.object));
+    let fstate = b.field(farm, "state");
+    let frun = b.method(farm, "run", &[], false);
+    {
+        let this = b.this(frun);
+        let v = b.var(frun, "v");
+        b.alloc(frun, v, std.object);
+        b.store(frun, this, fstate, v);
+    }
+
+    // 2. Shared counter: unguarded conflicting writes.
+    let counter = b.class(&format!("{prefix}Counter"), Some(std.object));
+    let hits = b.field(counter, "hits");
+    let cworker = b.class(&format!("{prefix}CountWorker"), Some(std.object));
+    let cfld = b.field(cworker, "c");
+    let crun = b.method(cworker, "run", &[], false);
+    {
+        let this = b.this(crun);
+        let rc = b.var(crun, "rc");
+        let rv = b.var(crun, "rv");
+        b.load(crun, rc, this, cfld);
+        b.alloc(crun, rv, std.object);
+        b.store(crun, rc, hits, rv);
+    }
+
+    // 3. Guarded cache: same sharing shape, one common lock.
+    let cache = b.class(&format!("{prefix}Cache"), Some(std.object));
+    let val = b.field(cache, "val");
+    let gworker = b.class(&format!("{prefix}CacheWorker"), Some(std.object));
+    let gcache = b.field(gworker, "cache");
+    let glock = b.field(gworker, "lock");
+    let grun = b.method(gworker, "run", &[], false);
+    {
+        let this = b.this(grun);
+        let l = b.var(grun, "l");
+        let ch = b.var(grun, "ch");
+        let v = b.var(grun, "v");
+        b.load(grun, l, this, glock);
+        b.load(grun, ch, this, gcache);
+        b.alloc(grun, v, std.object);
+        b.monitor_enter(grun, l);
+        b.store(grun, ch, val, v);
+        b.monitor_exit(grun, l);
+    }
+
+    // 4. Lock ladder: the outer lock protects the access only through the
+    // interprocedural must-lock set of `step`.
+    let cell = b.class(&format!("{prefix}Cell"), Some(std.object));
+    let slot = b.field(cell, "slot");
+    let lworker = b.class(&format!("{prefix}LadderWorker"), Some(std.object));
+    let louter = b.field(lworker, "outer");
+    let linner = b.field(lworker, "inner");
+    let lcell = b.field(lworker, "cell");
+    let lstep = b.method(lworker, "step", &[], false);
+    {
+        let this = b.this(lstep);
+        let li = b.var(lstep, "li");
+        let lc = b.var(lstep, "lc");
+        let v = b.var(lstep, "v");
+        b.load(lstep, li, this, linner);
+        b.load(lstep, lc, this, lcell);
+        b.alloc(lstep, v, std.object);
+        b.monitor_enter(lstep, li);
+        b.store(lstep, lc, slot, v);
+        b.monitor_exit(lstep, li);
+    }
+    let lrun = b.method(lworker, "run", &[], false);
+    {
+        let this = b.this(lrun);
+        let lo = b.var(lrun, "lo");
+        b.load(lrun, lo, this, louter);
+        b.monitor_enter(lrun, lo);
+        b.vcall(lrun, None, this, "step", &[]);
+        b.monitor_exit(lrun, lo);
+    }
+
+    // 5. Joined writer: ordered by the matching join.
+    let jcell = b.class(&format!("{prefix}JoinCell"), Some(std.object));
+    let jslot = b.field(jcell, "slot");
+    let jworker = b.class(&format!("{prefix}JoinWorker"), Some(std.object));
+    let jfld = b.field(jworker, "cell");
+    let jrun = b.method(jworker, "run", &[], false);
+    {
+        let this = b.this(jrun);
+        let jc = b.var(jrun, "jc");
+        let v = b.var(jrun, "v");
+        b.load(jrun, jc, this, jfld);
+        b.alloc(jrun, v, std.object);
+        b.store(jrun, jc, jslot, v);
+    }
+
+    // Shared infrastructure in main: one counter, one cache + lock, one
+    // ladder (outer/inner/cell), then `threads` workers of each shape.
+    let c = b.var(main, &format!("{prefix}_counter"));
+    b.alloc(main, c, counter);
+    let ch = b.var(main, &format!("{prefix}_cache"));
+    let lk = b.var(main, &format!("{prefix}_lk"));
+    b.alloc(main, ch, cache);
+    b.alloc(main, lk, std.object);
+    let lo = b.var(main, &format!("{prefix}_lo"));
+    let li = b.var(main, &format!("{prefix}_li"));
+    let lc = b.var(main, &format!("{prefix}_lc"));
+    b.alloc(main, lo, std.object);
+    b.alloc(main, li, std.object);
+    b.alloc(main, lc, cell);
+
+    for k in 0..threads {
+        let fw = b.var(main, &format!("{prefix}_fw{k}"));
+        b.alloc(main, fw, farm);
+        b.spawn(main, fw);
+
+        let cw = b.var(main, &format!("{prefix}_cw{k}"));
+        b.alloc(main, cw, cworker);
+        b.store(main, cw, cfld, c);
+        b.spawn(main, cw);
+
+        let gw = b.var(main, &format!("{prefix}_gw{k}"));
+        b.alloc(main, gw, gworker);
+        b.store(main, gw, gcache, ch);
+        b.store(main, gw, glock, lk);
+        b.spawn(main, gw);
+
+        let lw = b.var(main, &format!("{prefix}_lw{k}"));
+        b.alloc(main, lw, lworker);
+        b.store(main, lw, louter, lo);
+        b.store(main, lw, linner, li);
+        b.store(main, lw, lcell, lc);
+        b.spawn(main, lw);
+
+        let jc = b.var(main, &format!("{prefix}_jc{k}"));
+        let jw = b.var(main, &format!("{prefix}_jw{k}"));
+        let jv = b.var(main, &format!("{prefix}_jv{k}"));
+        b.alloc(main, jc, jcell);
+        b.alloc(main, jw, jworker);
+        b.store(main, jw, jfld, jc);
+        b.alloc(main, jv, std.object);
+        b.spawn(main, jw);
+        b.join(main, jw);
+        b.store(main, jc, jslot, jv);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

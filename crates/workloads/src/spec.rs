@@ -100,6 +100,15 @@ pub struct WorkloadSpec {
     /// programs byte-identical to pre-taint builds.
     pub taint_flows: usize,
 
+    /// Threads per shape in the concurrency battery
+    /// ([`patterns::concurrency_kit`]): each unit spawns one worker of
+    /// every shape (farm, shared counter, guarded cache, lock ladder,
+    /// joined writer). 0 (the default) emits nothing, keeping programs
+    /// byte-identical to pre-concurrency builds. Deliberately *not*
+    /// multiplied by `scale`: thread count is a shape knob — it changes
+    /// which races exist, not just volume.
+    pub concurrency: usize,
+
     /// Linear size multiplier. Multiplies the *instance* counts of the
     /// pattern batteries — hub population and readers, utility consumers,
     /// precision probes, listeners, visitor nodes, application classes —
@@ -151,6 +160,7 @@ impl Default for WorkloadSpec {
             app_classes: 20,
             app_casts: 6,
             taint_flows: 0,
+            concurrency: 0,
             scale: 1,
         }
     }
@@ -299,6 +309,9 @@ impl WorkloadSpec {
         if self.taint_flows > 0 {
             patterns::taint_kit(&mut b, &std, main, "Taint", self.taint_flows);
         }
+        if self.concurrency > 0 {
+            patterns::concurrency_kit(&mut b, &std, main, "Conc", self.concurrency);
+        }
 
         b.finish()
     }
@@ -411,6 +424,58 @@ mod tests {
         // Shape knobs are untouched: same wrapper/creator class families.
         assert_eq!(scaled.probe_counts().clean, 8 * base.probe_counts().clean);
         assert_eq!(scaled.probe_counts().medium, base.probe_counts().medium);
+    }
+
+    #[test]
+    fn concurrency_zero_is_the_identity() {
+        let base = WorkloadSpec::default().build();
+        let off = WorkloadSpec {
+            concurrency: 0,
+            ..WorkloadSpec::default()
+        }
+        .build();
+        assert_eq!(
+            rudoop_ir::print_program(&base),
+            rudoop_ir::print_program(&off),
+            "concurrency: 0 must be byte-identical to a spec without the knob"
+        );
+    }
+
+    #[test]
+    fn concurrency_grows_volume_linearly_without_changing_shape() {
+        let one = WorkloadSpec {
+            concurrency: 1,
+            ..WorkloadSpec::default()
+        }
+        .build();
+        let eight = WorkloadSpec {
+            concurrency: 8,
+            ..WorkloadSpec::default()
+        }
+        .build();
+        assert_eq!(validate(&one), Ok(()));
+        assert_eq!(validate(&eight), Ok(()));
+        assert_eq!(one.spawn_sites().count(), 5, "5 shapes, one thread each");
+        assert_eq!(eight.spawn_sites().count(), 40);
+        let base = WorkloadSpec::default().build();
+        let per_unit_1 = one.instruction_count() - base.instruction_count();
+        let per_unit_8 = eight.instruction_count() - base.instruction_count();
+        assert!(
+            per_unit_8 >= 7 * per_unit_1 / 2,
+            "concurrency 8 added {per_unit_8} instrs vs {per_unit_1} for 1"
+        );
+        // The battery adds workers, not new class families: shape is fixed.
+        assert_eq!(
+            one.classes
+                .values()
+                .filter(|c| c.name.starts_with("Conc"))
+                .count(),
+            eight
+                .classes
+                .values()
+                .filter(|c| c.name.starts_with("Conc"))
+                .count()
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn main() {
         hierarchy: &hierarchy,
         points_to: Some(&result),
         taint: None,
+        races: None,
     };
     let diagnostics = registry.run(&cx);
     print!("{}", render(&program, &diagnostics));

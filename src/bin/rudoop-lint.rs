@@ -23,6 +23,9 @@
 //!                        the T001–T004 taint lints. For @benchmarks the
 //!                        special value `builtin` uses the workload's
 //!                        canonical TaintKit spec.
+//!   --races              run the data-race client on the points-to result
+//!                        and enable the R001–R004 race lints (requires
+//!                        the backing analysis, i.e. not --no-points-to)
 //!   --format <fmt>       text (default) or json — a stable array of
 //!                        {code, level, span, message, location, notes}
 //!   --allow <CODE>       suppress a lint (repeatable)
@@ -44,8 +47,9 @@
 //!                could run.
 //! ```
 //!
-//! Well-formedness violations (`E` codes) and lint findings (`L`/`I`/`T`
-//! codes) are rendered uniformly, sorted by source position.
+//! Well-formedness violations (`E` codes) and lint findings
+//! (`L`/`I`/`T`/`R` codes) are rendered uniformly, sorted by source
+//! position.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,6 +75,7 @@ struct Options {
     levels: Vec<(String, Level)>,
     list: bool,
     taint_spec: Option<String>,
+    races: bool,
     json: bool,
     trace: Option<String>,
     profile: Option<String>,
@@ -81,7 +86,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rudoop-lint <program.rud | @benchmark> [--analysis NAME] \
          [--no-points-to] [--timeout SECS] [--threads N] \
-         [--taint-spec FILE|builtin] \
+         [--taint-spec FILE|builtin] [--races] \
          [--format text|json] [--allow CODE] [--warn CODE] \
          [--deny CODE] [--list] [--trace PATH] [--profile PATH] [--telemetry]"
     );
@@ -99,6 +104,7 @@ fn parse_args() -> Options {
         levels: Vec::new(),
         list: false,
         taint_spec: None,
+        races: false,
         json: false,
         trace: None,
         profile: None,
@@ -145,6 +151,7 @@ fn parse_args() -> Options {
             "--taint-spec" => {
                 opts.taint_spec = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--races" => opts.races = true,
             "--format" => match args.next().unwrap_or_else(|| usage()).as_str() {
                 "text" => opts.json = false,
                 "json" => opts.json = true,
@@ -168,6 +175,10 @@ fn parse_args() -> Options {
         }
     }
     if opts.input.is_empty() && !opts.list {
+        usage();
+    }
+    if opts.races && !opts.points_to {
+        eprintln!("--races needs the backing analysis (drop --no-points-to)");
         usage();
     }
     opts
@@ -288,8 +299,9 @@ fn run(opts: &Options, tele: &TelemetryHandle) -> ExitCode {
                     .map(Budget::duration)
                     .unwrap_or_else(Budget::unlimited),
                 cancel: Some(cancel.clone()),
-                // The taint client walks per-context points-to facts.
-                record_contexts: taint_spec.is_some(),
+                // The taint and race clients walk per-context points-to
+                // facts.
+                record_contexts: taint_spec.is_some() || opts.races,
                 parallelism: Parallelism::threads(opts.threads),
                 telemetry: tele.clone(),
                 ..SolverConfig::default()
@@ -333,11 +345,24 @@ fn run(opts: &Options, tele: &TelemetryHandle) -> ExitCode {
             },
             _ => None,
         };
+        let races = match (opts.races, complete) {
+            (true, Some(r)) => {
+                match rudoop::analysis::races::analyze_races_traced(&program, r, tele) {
+                    Ok(t) => Some(t),
+                    Err(e) => {
+                        eprintln!("error: race analysis failed: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => None,
+        };
         let cx = LintContext {
             program: &program,
             hierarchy: &hierarchy,
             points_to: complete,
             taint: taint.as_ref(),
+            races: races.as_ref(),
         };
         diags = registry.run_traced(&cx, tele);
     }

@@ -58,12 +58,33 @@
 //! `--format json` prints a machine-readable leak report on stdout (the
 //! ladder table moves to stderr so stdout stays a single JSON document);
 //! the schema is documented on `rudoop::analysis::taint::render_json`.
+//!
+//! races subcommand:
+//!
+//!   rudoop races <program.rdp | @benchmark>
+//!                [--format text|json] [options]
+//!
+//! Runs the points-to analysis under the supervisor (the `--ladder` spec,
+//! or the canonical ladder for `--analysis`/`--introspective`), then the
+//! data-race client on the completed rung: may-happen-in-parallel from the
+//! context-sensitive thread-creation graph, lock sets resolved through
+//! points-to, and deterministic `(field, access A, access B)` witnesses
+//! with shortest per-thread traces. For `@benchmark` inputs the workload's
+//! concurrency battery is switched on (the default recipes are
+//! sequential). When every rung exhausts, race detection is *skipped* with
+//! a note — a partial race list never masquerades as a complete one. Exit
+//! contract is the ladder's: 0 complete / 3 degraded / 4 exhausted.
+//!
+//! `--format json` prints a machine-readable race report on stdout (the
+//! ladder table moves to stderr); the schema is documented on
+//! `rudoop::analysis::races::render_json`.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use rudoop::analysis::driver::{analyze_flavor, analyze_introspective, Flavor};
 use rudoop::analysis::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
+use rudoop::analysis::races::{supervised_races_traced, SupervisedRaces};
 use rudoop::analysis::solver::{Budget, SolverConfig};
 use rudoop::analysis::supervisor::{supervise, LadderSpec, SupervisorConfig};
 use rudoop::analysis::taint::{supervised_taint_traced, SupervisedTaint};
@@ -78,6 +99,7 @@ use rudoop::workloads::dacapo;
 struct Options {
     input: String,
     taint_cmd: bool,
+    races_cmd: bool,
     spec: Option<String>,
     flavor: Flavor,
     introspective: Option<char>,
@@ -98,7 +120,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rudoop [taint] <program.rdp | @benchmark> [--analysis NAME] \
+        "usage: rudoop [taint|races] <program.rdp | @benchmark> [--analysis NAME] \
          [--introspective A|B] [--ladder SPEC] [--spec FILE|builtin] \
          [--format text|json] [--budget N] [--max-bytes N] \
          [--timeout SECS] [--threads N] [--filter-casts] [--stats] \
@@ -113,6 +135,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         input: String::new(),
         taint_cmd: false,
+        races_cmd: false,
         spec: None,
         flavor: Flavor::OBJ2H,
         introspective: None,
@@ -227,7 +250,12 @@ fn parse_args() -> Options {
             "--pts" => opts.pts.push(args.next().unwrap_or_else(|| usage())),
             "--dump" => opts.dump = true,
             "--help" | "-h" => usage(),
-            "taint" if !opts.taint_cmd && opts.input.is_empty() => opts.taint_cmd = true,
+            "taint" if !opts.taint_cmd && !opts.races_cmd && opts.input.is_empty() => {
+                opts.taint_cmd = true;
+            }
+            "races" if !opts.taint_cmd && !opts.races_cmd && opts.input.is_empty() => {
+                opts.races_cmd = true;
+            }
             other if opts.input.is_empty() && !other.starts_with('-') => {
                 opts.input = other.to_owned();
             }
@@ -248,8 +276,8 @@ fn parse_args() -> Options {
         eprintln!("--spec only makes sense with the taint subcommand");
         usage();
     }
-    if !opts.taint_cmd && opts.json {
-        eprintln!("--format json only makes sense with the taint subcommand");
+    if !opts.taint_cmd && !opts.races_cmd && opts.json {
+        eprintln!("--format json only makes sense with the taint or races subcommand");
         usage();
     }
     opts
@@ -257,13 +285,23 @@ fn parse_args() -> Options {
 
 /// Loads the program plus, for `--spec builtin` on a `@benchmark`, the
 /// workload's canonical TaintKit spec (switching the taint battery on in
-/// the build, since the default recipes omit it).
-fn load_program(input: &str, builtin_taint: bool) -> Result<(Program, Option<TaintSpec>), String> {
+/// the build, since the default recipes omit it). The races subcommand
+/// switches the workload's concurrency battery on the same way — the
+/// default recipes are sequential, so a race run over a stock benchmark
+/// would be vacuous.
+fn load_program(
+    input: &str,
+    builtin_taint: bool,
+    races: bool,
+) -> Result<(Program, Option<TaintSpec>), String> {
     if let Some(name) = input.strip_prefix('@') {
         let mut spec = dacapo::by_name(name)
             .ok_or_else(|| format!("unknown benchmark {name:?} (try @pmd, @hsqldb, …)"))?;
         if builtin_taint {
             spec.taint_flows = spec.taint_flows.max(1);
+        }
+        if races {
+            spec.concurrency = spec.concurrency.max(2);
         }
         let program = spec.build();
         let taint = builtin_taint.then(|| spec.taint_spec(&program));
@@ -286,7 +324,7 @@ fn main() -> ExitCode {
     if let Some(s) = &parse_span {
         s.arg("input", &opts.input);
     }
-    let (program, builtin_spec) = match load_program(&opts.input, builtin_taint) {
+    let (program, builtin_spec) = match load_program(&opts.input, builtin_taint, opts.races_cmd) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("error: {e}");
@@ -315,8 +353,8 @@ fn main() -> ExitCode {
     let config = SolverConfig {
         budget,
         filter_casts: opts.filter_casts,
-        // The taint client walks per-context points-to facts.
-        record_contexts: opts.taint_cmd,
+        // The taint and race clients walk per-context points-to facts.
+        record_contexts: opts.taint_cmd || opts.races_cmd,
         parallelism: Parallelism::threads(opts.threads),
         telemetry: tele.clone(),
         ..SolverConfig::default()
@@ -362,6 +400,9 @@ fn run(
             None => unreachable!("parse_args requires --spec with taint"),
         };
         return run_taint(program, hierarchy, &spec, budget, config, opts);
+    }
+    if opts.races_cmd {
+        return run_races(program, hierarchy, budget, config, opts);
     }
 
     if let Some(ladder) = opts.ladder.clone() {
@@ -469,6 +510,82 @@ fn run_taint(
         }
         SupervisedTaint::Skipped { reason } => {
             println!("taint: SKIPPED — {reason}");
+        }
+    }
+    ExitCode::from(run.exit_code())
+}
+
+/// The `races` subcommand: supervise the points-to analysis down the
+/// ladder, then run the data-race client on the completed rung. An
+/// exhausted ladder skips race detection with a note (the 0/3/4 exit
+/// contract is the supervisor's).
+fn run_races(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    budget: Budget,
+    solver: SolverConfig,
+    opts: &Options,
+) -> ExitCode {
+    let ladder = match (opts.ladder.clone(), opts.introspective) {
+        (Some(l), _) => l,
+        (None, Some(which)) => {
+            let rung = format!("intro{which}:{}", opts.flavor.spec_name());
+            LadderSpec::parse(&rung).expect("canonical introspective rung parses")
+        }
+        (None, None) => LadderSpec::default_for(opts.flavor),
+    };
+    let cfg = SupervisorConfig {
+        ladder,
+        budget,
+        solver,
+        watchdog: opts.timeout.is_some(),
+    };
+    let tele = cfg.solver.telemetry.clone();
+    let run = supervise(program, hierarchy, &cfg);
+    // Keep stdout a single document either way; the ladder table is still
+    // useful context, so it moves to stderr.
+    eprint!("{}", render_supervised(&run));
+    let races = supervised_races_traced(program, &run, &tele);
+    if opts.json {
+        print!("{}", rudoop::analysis::races::render_json(program, &races));
+        return ExitCode::from(run.exit_code());
+    }
+    match &races {
+        SupervisedRaces::Analyzed(r) => {
+            println!(
+                "races ({}): {} thread(s), {} access site(s), {} race(s), \
+                 {} suspect guard(s), {} dead region(s), {} escape(s)",
+                r.analysis,
+                r.threads.len(),
+                r.access_sites,
+                r.races.len(),
+                r.suspect_guards.len(),
+                r.dead_regions.len(),
+                r.escapes.len(),
+            );
+            const MAX_RACES: usize = 20;
+            for race in r.races.iter().take(MAX_RACES) {
+                println!(
+                    "race: {}: {} in {} vs {} in {}",
+                    race.location,
+                    if race.a.is_write { "write" } else { "read" },
+                    race.a.thread,
+                    if race.b.is_write { "write" } else { "read" },
+                    race.b.thread,
+                );
+                for step in &race.a.trace {
+                    println!("    A: {step}");
+                }
+                for step in &race.b.trace {
+                    println!("    B: {step}");
+                }
+            }
+            if r.races.len() > MAX_RACES {
+                println!("... {} more race(s)", r.races.len() - MAX_RACES);
+            }
+        }
+        SupervisedRaces::Skipped { reason } => {
+            println!("races: SKIPPED — {reason}");
         }
     }
     ExitCode::from(run.exit_code())

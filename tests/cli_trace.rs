@@ -176,6 +176,51 @@ fn lint_trace_validates_and_covers_lints() {
     }
 }
 
+/// `--check-trace` accepts a freshly written trace (exit 0) and rejects
+/// the same file with one record corrupted into malformed JSON — exit 1
+/// with a per-record error naming the damaged record, not just schema
+/// violations.
+#[test]
+fn check_trace_rejects_malformed_json_with_a_per_record_error() {
+    let trace = scratch("checkme.trace.json");
+    let out = rudoop(&[
+        "@antlr",
+        "--analysis",
+        "insens",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    let out = rudoop(&["--check-trace", trace.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "valid trace must pass: {out:?}");
+    assert!(stderr(&out).contains("valid"), "{out:?}");
+
+    // Corrupt one event record: drop the tail of its line so the record
+    // is no longer a JSON object (but the document still *looks* like a
+    // trace file).
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let victim = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("{\"name\""))
+        .expect("trace has at least one event record");
+    let truncated = &victim[..victim.len() / 2];
+    let corrupted = text.replacen(victim, truncated, 1);
+    std::fs::write(&trace, corrupted).unwrap();
+
+    let out = rudoop(&["--check-trace", trace.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&trace);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "malformed JSON must fail the check: {out:?}"
+    );
+    let err = stderr(&out);
+    assert!(err.contains("invalid trace"), "{err}");
+    assert!(err.contains("record"), "{err}");
+    assert!(err.contains("not valid JSON"), "{err}");
+}
+
 /// The committed golden fixture stays loadable: it must keep passing the
 /// same schema checker CI runs against freshly generated traces.
 #[test]
