@@ -1,0 +1,296 @@
+//! A minimal, dependency-free JSON reader and string escaper.
+//!
+//! The workspace is offline (no serde), so the few places that must
+//! consume JSON — the Chrome-trace schema checker and the `rudoopd`
+//! wire protocol — share this hand-rolled recursive-descent reader.
+//! It rejects `NaN`/`Infinity` literals by construction (they are not
+//! JSON tokens), which is exactly the property the trace checker needs.
+//!
+//! Writers in this workspace do not need a DOM: every emitted document
+//! is rendered by hand against a stable schema, using [`escape`] for
+//! string values.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always finite: JSON has no NaN/Infinity tokens).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order (keys may repeat; first wins).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as an object's key/value list, if it is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number that
+    /// fits `u64` (the shape every count and budget on the wire takes).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses one JSON document (trailing whitespace allowed).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Value::Str(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return String::from_utf8(out).map_err(|_| "invalid utf-8 in string".into()),
+            b'\\' => {
+                let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed for our documents;
+                        // map unpaired surrogates to the replacement char.
+                        let c = char::from_u32(code).unwrap_or('\u{FFFD}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("bad escape \\{}", *other as char)),
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad number")?;
+    let n: f64 = text
+        .parse()
+        .map_err(|_| format!("bad number {text:?} at byte {start}"))?;
+    if !n.is_finite() {
+        return Err(format!("non-finite number {text:?} at byte {start}"));
+    }
+    Ok(Value::Num(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_handles_escapes_and_rejects_garbage() {
+        let v = parse(r#"{"a":"q\"\nA","b":[1,2.5,-3e2],"c":null}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].1.as_str(), Some("q\"\nA"));
+        assert_eq!(obj[1].1.as_array().unwrap()[2].as_number(), Some(-300.0));
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("007a").is_err());
+    }
+
+    #[test]
+    fn u64_accessor_is_strict() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("42.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("\"42\"").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn get_returns_first_match() {
+        let v = parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_u64), Some(1));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let raw = "a \"quote\"\nand\ttabs \\ done";
+        let v = parse(&escape(raw)).unwrap();
+        assert_eq!(v.as_str(), Some(raw));
+    }
+}

@@ -61,9 +61,11 @@ pub mod driver;
 pub mod hash;
 pub mod heuristics;
 pub mod introspection;
+pub mod json;
 pub mod parallel;
 pub mod policy;
 pub mod races;
+pub mod service;
 pub mod shard;
 pub mod solver;
 pub mod stats;

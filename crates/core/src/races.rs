@@ -1215,6 +1215,56 @@ pub fn render_json(program: &Program, races: &SupervisedRaces) -> String {
     out
 }
 
+/// Renders a supervised race run as the human-readable report printed by
+/// `rudoop races` — the summary line, up to twenty races with both
+/// access chains, and the overflow line. The daemon serves this exact
+/// string so service responses are byte-identical to batch stdout.
+pub fn render_text(races: &SupervisedRaces) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    match races {
+        SupervisedRaces::Analyzed(r) => {
+            let _ = writeln!(
+                out,
+                "races ({}): {} thread(s), {} access site(s), {} race(s), \
+                 {} suspect guard(s), {} dead region(s), {} escape(s)",
+                r.analysis,
+                r.threads.len(),
+                r.access_sites,
+                r.races.len(),
+                r.suspect_guards.len(),
+                r.dead_regions.len(),
+                r.escapes.len(),
+            );
+            const MAX_RACES: usize = 20;
+            for race in r.races.iter().take(MAX_RACES) {
+                let _ = writeln!(
+                    out,
+                    "race: {}: {} in {} vs {} in {}",
+                    race.location,
+                    if race.a.is_write { "write" } else { "read" },
+                    race.a.thread,
+                    if race.b.is_write { "write" } else { "read" },
+                    race.b.thread,
+                );
+                for step in &race.a.trace {
+                    let _ = writeln!(out, "    A: {step}");
+                }
+                for step in &race.b.trace {
+                    let _ = writeln!(out, "    B: {step}");
+                }
+            }
+            if r.races.len() > MAX_RACES {
+                let _ = writeln!(out, "... {} more race(s)", r.races.len() - MAX_RACES);
+            }
+        }
+        SupervisedRaces::Skipped { reason } => {
+            let _ = writeln!(out, "races: SKIPPED — {reason}");
+        }
+    }
+    out
+}
+
 fn access_json(program: &Program, a: &RaceAccess) -> String {
     let trace: Vec<String> = a
         .trace

@@ -1,0 +1,204 @@
+//! The query client: one request, bounded retries, deterministic
+//! backoff.
+//!
+//! The retry loop covers two failure classes the daemon is *designed* to
+//! produce under stress: typed `busy` sheds and transport-level garbage
+//! (truncated or undecodable response frames, injected by the fault
+//! layer in tests, produced by crashing peers in life). Each retry opens
+//! a fresh connection — the previous one may be poisoned — and sleeps a
+//! bounded exponential backoff with SplitMix64 jitter, floored at the
+//! server's `retry_after_ms` hint when one was given. Under a fixed seed
+//! the delay sequence is fully deterministic, which is what lets tests
+//! assert on it.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rudoop_ir::rng::SplitMix64;
+
+use super::protocol::{self, Request, Response, MAX_RESPONSE_FRAME};
+use crate::telemetry::TelemetryHandle;
+
+/// Retry policy for one query.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail on first shed/garble).
+    pub retries: u32,
+    /// Base backoff in milliseconds; attempt `k` backs off up to
+    /// `base_ms << k` before jitter.
+    pub base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed. Same seed, same shed/garble pattern → same delays.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 5,
+            base_ms: 25,
+            cap_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Why the query ultimately failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Shed (`busy`) on every attempt, retries exhausted.
+    Overloaded {
+        /// Total attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// Transport or decode failure on every attempt, retries exhausted.
+    Transport {
+        /// The last failure.
+        last: String,
+        /// Total attempts made.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Overloaded { attempts } => {
+                write!(f, "shed by admission control on all {attempts} attempt(s)")
+            }
+            ClientError::Transport { last, attempts } => {
+                write!(f, "transport failure on all {attempts} attempt(s): {last}")
+            }
+        }
+    }
+}
+
+/// What one successful query took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The daemon's answer (`Doc`, `Error`, or `Ok` for pings).
+    pub response: Response,
+    /// Attempts made (1 = no retries needed).
+    pub attempts: u32,
+    /// The backoff slept before each retry, in order — deterministic
+    /// under the policy seed, so tests assert on it directly.
+    pub delays_ms: Vec<u64>,
+}
+
+/// Sends one request and reads one response on a fresh connection.
+pub fn send_once(addr: &str, request: &Request) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    protocol::write_frame(&mut stream, request.render().as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let payload = protocol::read_frame(&mut stream, MAX_RESPONSE_FRAME)
+        .map_err(|e| format!("receive: {e}"))?;
+    Response::parse(&payload).map_err(|e| format!("bad response frame: {e}"))
+}
+
+/// The backoff before retry `attempt` (0-based): exponential with full
+/// jitter in the upper half — `d/2 + uniform(0..=d/2)` where
+/// `d = min(cap, base << attempt)` — floored at the server's
+/// `retry_after_ms` hint when the shed response carried one.
+fn backoff_ms(policy: &RetryPolicy, rng: &mut SplitMix64, attempt: u32, floor: Option<u64>) -> u64 {
+    let d = policy
+        .cap_ms
+        .min(policy.base_ms.saturating_shl(attempt.min(63)));
+    let jittered = d / 2 + rng.below((d / 2 + 1) as usize) as u64;
+    jittered.max(floor.unwrap_or(0))
+}
+
+/// Sends `request` with retry/backoff per `policy`. Shed (`busy`) and
+/// transport failures retry; every other response returns as-is. Each
+/// retry increments the `service.client_retries` counter on `tele`.
+pub fn query_with_retry(
+    addr: &str,
+    request: &Request,
+    policy: &RetryPolicy,
+    tele: &TelemetryHandle,
+) -> Result<QueryOutcome, ClientError> {
+    let mut rng = SplitMix64::new(policy.seed);
+    let mut delays_ms = Vec::new();
+    let mut last_transport = String::new();
+    let mut last_was_busy = false;
+    for attempt in 0..=policy.retries {
+        let floor = match send_once(addr, request) {
+            Ok(Response::Busy { retry_after_ms }) => {
+                last_was_busy = true;
+                Some(retry_after_ms)
+            }
+            Ok(response) => {
+                return Ok(QueryOutcome {
+                    response,
+                    attempts: attempt + 1,
+                    delays_ms,
+                });
+            }
+            Err(e) => {
+                last_was_busy = false;
+                last_transport = e;
+                None
+            }
+        };
+        if attempt == policy.retries {
+            break;
+        }
+        if let Some(t) = tele.as_deref() {
+            t.counter("service.client_retries", 1);
+        }
+        let delay = backoff_ms(policy, &mut rng, attempt, floor);
+        delays_ms.push(delay);
+        std::thread::sleep(Duration::from_millis(delay));
+    }
+    let attempts = policy.retries + 1;
+    if last_was_busy {
+        Err(ClientError::Overloaded { attempts })
+    } else {
+        Err(ClientError::Transport {
+            last: last_transport,
+            attempts,
+        })
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_floored() {
+        let policy = RetryPolicy {
+            retries: 8,
+            base_ms: 16,
+            cap_ms: 100,
+            seed: 7,
+        };
+        let mut a = SplitMix64::new(policy.seed);
+        let mut b = SplitMix64::new(policy.seed);
+        for attempt in 0..8 {
+            let d = policy.cap_ms.min(policy.base_ms << attempt);
+            let x = backoff_ms(&policy, &mut a, attempt, None);
+            let y = backoff_ms(&policy, &mut b, attempt, None);
+            assert_eq!(x, y, "same seed, same delays");
+            assert!(
+                x >= d / 2 && x <= d,
+                "attempt {attempt}: {x} not in [{}, {d}]",
+                d / 2
+            );
+        }
+        // The server hint floors the jittered delay.
+        let mut c = SplitMix64::new(policy.seed);
+        assert!(backoff_ms(&policy, &mut c, 0, Some(5_000)) >= 5_000);
+    }
+}

@@ -251,6 +251,63 @@ pub fn render_supervised(run: &SupervisedRun) -> String {
     out
 }
 
+/// Renders the full non-empty points-to dump as the CLI's `--dump` report:
+/// one `var -> {Class, ...}` line per variable with facts, in variable
+/// order. The daemon serves this exact string so service responses are
+/// byte-identical to batch stdout.
+pub fn render_dump(program: &Program, result: &PointsToResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (v, pts) in result.var_pts.iter() {
+        if pts.is_empty() {
+            continue;
+        }
+        let names: Vec<String> = pts
+            .iter()
+            .map(|&h| program.classes[program.allocs[h].class].name.clone())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} -> {{{}}}",
+            program.var_display(v),
+            names.join(", ")
+        );
+    }
+    out
+}
+
+/// Renders the CLI's `--pts` report for one variable query: one
+/// `var -> {Class@alloc, ...}` line per matching variable, or `None` when
+/// nothing matches (the CLI notes that on stderr; the daemon answers with
+/// a typed error). The daemon serves this exact string so service
+/// responses are byte-identical to batch stdout.
+pub fn render_pts(program: &Program, result: &PointsToResult, query: &str) -> Option<String> {
+    use std::fmt::Write as _;
+    let matched: Vec<_> = program
+        .vars
+        .iter()
+        .filter(|&(v, _)| program.var_display(v) == *query || program.vars[v].name == *query)
+        .collect();
+    if matched.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    for (v, _) in matched {
+        let names: Vec<String> = result
+            .points_to(v)
+            .iter()
+            .map(|&h| format!("{}@{}", program.classes[program.allocs[h].class].name, h))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} -> {{{}}}",
+            program.var_display(v),
+            names.join(", ")
+        );
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

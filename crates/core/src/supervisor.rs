@@ -149,20 +149,53 @@ impl RungSpec {
     /// Parses one rung: a flavor name (`2objH`, `insens`) or an
     /// introspective rung `introA:<flavor>` / `introspectiveB:<flavor>`,
     /// optionally suffixed with a thread override `@tN`.
+    ///
+    /// At most one `@tN` suffix is allowed. A duplicate (`2objH@t4@t4`) or
+    /// conflicting (`2objH@t4@t8`) override is rejected with an error
+    /// naming the character span of both suffixes — never resolved
+    /// last-wins, which would silently mask a typo in a ladder spec.
     pub fn parse(s: &str) -> Result<RungSpec, String> {
-        let (base, threads) = match s.rsplit_once('@') {
-            Some((base, suffix)) => {
-                let n = suffix
-                    .strip_prefix('t')
-                    .and_then(|n| n.parse::<usize>().ok())
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| {
-                        format!("malformed thread override {suffix:?} in rung {s:?} (want @tN)")
-                    })?;
-                (base, Some(n))
+        let mut parts = s.split('@');
+        let base = parts.next().unwrap_or("");
+        let mut threads: Option<usize> = None;
+        // Span of the accepted `@tN` suffix, for duplicate diagnostics.
+        let mut accepted_span: Option<(usize, usize)> = None;
+        let mut at = base.len();
+        for suffix in parts {
+            let span = (at, at + 1 + suffix.len());
+            at = span.1;
+            let n = suffix
+                .strip_prefix('t')
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    format!(
+                        "malformed thread override \"@{suffix}\" at chars {}..{} in rung {s:?} \
+                         (want @tN)",
+                        span.0, span.1
+                    )
+                })?;
+            match (threads, accepted_span) {
+                (Some(prev), Some(prev_span)) if prev == n => {
+                    return Err(format!(
+                        "duplicate thread override \"@t{n}\" at chars {}..{} in rung {s:?} \
+                         (already set at chars {}..{})",
+                        span.0, span.1, prev_span.0, prev_span.1
+                    ));
+                }
+                (Some(prev), Some(prev_span)) => {
+                    return Err(format!(
+                        "conflicting thread override \"@t{n}\" at chars {}..{} in rung {s:?} \
+                         (conflicts with \"@t{prev}\" at chars {}..{})",
+                        span.0, span.1, prev_span.0, prev_span.1
+                    ));
+                }
+                _ => {
+                    threads = Some(n);
+                    accepted_span = Some(span);
+                }
             }
-            None => (s, None),
-        };
+        }
         let intro = base
             .strip_prefix("introspective")
             .or_else(|| base.strip_prefix("intro"));
@@ -227,12 +260,27 @@ impl LadderSpec {
         if spec == "default" {
             return Ok(LadderSpec::default());
         }
-        let rungs: Vec<RungSpec> = spec
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(RungSpec::parse)
-            .collect::<Result<_, _>>()?;
+        let mut rungs: Vec<RungSpec> = Vec::new();
+        let mut at = 0usize;
+        for piece in spec.split(',') {
+            let piece_start = at;
+            at += piece.len() + 1; // the separating comma
+            let trimmed = piece.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let lead = piece.len() - piece.trim_start().len();
+            let start = piece_start + lead;
+            let rung = RungSpec::parse(trimmed).map_err(|e| {
+                format!(
+                    "rung {} at chars {}..{} of ladder spec: {e}",
+                    rungs.len(),
+                    start,
+                    start + trimmed.len()
+                )
+            })?;
+            rungs.push(rung);
+        }
         if rungs.is_empty() {
             return Err("empty ladder".to_owned());
         }
@@ -288,6 +336,26 @@ pub struct SupervisorConfig {
     /// iteration stalls inside the solver (the in-loop wall-clock check
     /// only runs between worklist steps).
     pub watchdog: bool,
+    /// A pre-computed, *completed* context-insensitive first pass, shared
+    /// across supervised runs by a resident service (`rudoopd` warms one
+    /// at startup). Introspective rungs reuse it instead of recomputing —
+    /// but only when this run's budget would have admitted the pass (its
+    /// recorded derivation/byte stats fit `budget`), so a warm run stays
+    /// byte-identical to a cold one: a budget too small for the insensitive
+    /// pass still exhausts exactly where a cold run would. Wall-clock
+    /// limits are deliberately not consulted (they are not deterministic).
+    pub warm_first_pass: Option<Arc<PointsToResult>>,
+}
+
+/// Whether `stats` (of a completed run) fits inside `budget` — the warm
+/// first-pass admission test.
+fn budget_admits(budget: &Budget, stats: &SolverStats) -> bool {
+    budget
+        .max_derivations
+        .is_none_or(|cap| stats.derivations <= cap)
+        && budget
+            .max_bytes
+            .is_none_or(|cap| stats.bytes_estimate() <= cap)
 }
 
 /// Counts of usable facts in a (possibly partial) result — what a rung
@@ -488,6 +556,10 @@ enum FirstPass {
     NotRun,
     /// Completed; reused by every introspective rung.
     Done(Box<PointsToResult>),
+    /// A resident service's warm pass, admitted by this run's budget.
+    /// Held by reference and cloned lazily at first introspective use, so
+    /// all-direct ladders never pay for the copy.
+    Warm(Arc<PointsToResult>),
     /// Itself exhausted under the budget: introspective rungs cannot run.
     Exhausted,
 }
@@ -510,7 +582,18 @@ pub fn supervise(
     let _run_span = crate::telemetry::span_opt(&tele, "supervise");
     let external = cfg.solver.cancel.clone();
     let mut attempts: Vec<RungReport> = Vec::new();
-    let mut first_pass = FirstPass::NotRun;
+    // A warm insensitive pass (resident service) substitutes for the
+    // shared first pass when this run's budget would have admitted it;
+    // `first_pass_runs` stays 0, which is how tests observe the reuse.
+    let mut first_pass = match &cfg.warm_first_pass {
+        Some(warm) if warm.outcome.is_complete() && budget_admits(&cfg.budget, &warm.stats) => {
+            if let Some(t) = tele.as_deref() {
+                t.instant("warm-first-pass-reused", vec![]);
+            }
+            FirstPass::Warm(Arc::clone(warm))
+        }
+        _ => FirstPass::NotRun,
+    };
     let mut first_pass_runs = 0usize;
     let mut first_pass_stats: Option<SolverStats> = None;
     let mut salvaged: Option<PointsToResult> = None;
@@ -579,6 +662,17 @@ pub fn supervise(
                 }
                 match &first_pass {
                     FirstPass::Done(fp) => {
+                        let run = analyze_introspective_from(
+                            program,
+                            hierarchy,
+                            *flavor,
+                            heuristic.as_dyn(),
+                            &rung_config,
+                            (**fp).clone(),
+                        );
+                        (run.result, Some(run.selection_time))
+                    }
+                    FirstPass::Warm(fp) => {
                         let run = analyze_introspective_from(
                             program,
                             hierarchy,

@@ -673,6 +673,43 @@ pub fn render_json(program: &Program, taint: &SupervisedTaint) -> String {
     out
 }
 
+/// Renders a supervised taint run as the human-readable report printed by
+/// `rudoop taint` — the summary line, up to twenty leaks with their
+/// shortest traces, and the overflow line. The daemon serves this exact
+/// string so service responses are byte-identical to batch stdout.
+pub fn render_text(program: &Program, taint: &SupervisedTaint) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    match taint {
+        SupervisedTaint::Analyzed(taint) => {
+            let _ = writeln!(
+                out,
+                "taint ({}): {} source site(s), {} sink site(s), {} sanitizer call(s), \
+                 {} leak(s)",
+                taint.analysis,
+                taint.source_sites,
+                taint.sink_sites,
+                taint.sanitizer_calls.len(),
+                taint.leaks.len(),
+            );
+            const MAX_LEAKS: usize = 20;
+            for leak in taint.leaks.iter().take(MAX_LEAKS) {
+                let _ = writeln!(out, "leak: {}", leak.headline(program));
+                for step in &leak.trace {
+                    let _ = writeln!(out, "    via {step}");
+                }
+            }
+            if taint.leaks.len() > MAX_LEAKS {
+                let _ = writeln!(out, "... {} more leak(s)", taint.leaks.len() - MAX_LEAKS);
+            }
+        }
+        SupervisedTaint::Skipped { reason } => {
+            let _ = writeln!(out, "taint: SKIPPED — {reason}");
+        }
+    }
+    out
+}
+
 /// The source span of a call site as a JSON value: the span of its `call`
 /// instruction in the enclosing method body, `null` when unknown.
 pub(crate) fn invoke_span_json(program: &Program, invo: InvokeId) -> String {

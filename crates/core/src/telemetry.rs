@@ -34,6 +34,9 @@ use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::json;
+use crate::json::escape as json_string;
+
 /// The Chrome-trace lane (`tid`) of the coordinating thread.
 pub const COORDINATOR_LANE: u32 = 0;
 
@@ -114,6 +117,9 @@ struct Inner {
     samples: Vec<TrackSample>,
     counters: Vec<(String, u64)>,
     metrics: Vec<(String, u64)>,
+    /// Custom lane names (first registration wins); lanes without one get
+    /// the default `coordinator` / `shard-N` labels.
+    lane_labels: Vec<(u32, String)>,
 }
 
 /// The telemetry recorder. Cheap to share (`Arc<Telemetry>`); all
@@ -255,6 +261,17 @@ impl Telemetry {
         self.lock().metrics.push((name.to_owned(), value));
     }
 
+    /// Names a trace lane (Chrome `thread_name` metadata). The service
+    /// layer uses this to label per-connection lanes `conn-N`; lanes
+    /// without a registered label keep the default `coordinator` /
+    /// `shard-N` naming. First registration wins.
+    pub fn set_lane_label(&self, lane: u32, label: &str) {
+        let mut inner = self.lock();
+        if !inner.lane_labels.iter().any(|(l, _)| *l == lane) {
+            inner.lane_labels.push((lane, label.to_owned()));
+        }
+    }
+
     /// Samples a Chrome counter track (`ph:"C"`) at the current time.
     pub fn sample(&self, track: &str, value: u64) {
         let now = self.now_us();
@@ -389,11 +406,18 @@ impl Telemetry {
         );
         lanes.sort_unstable();
         for lane in lanes {
-            let label = if lane == COORDINATOR_LANE {
-                "coordinator".to_owned()
-            } else {
-                format!("shard-{}", lane - 1)
-            };
+            let label = inner
+                .lane_labels
+                .iter()
+                .find(|(l, _)| *l == lane)
+                .map(|(_, name)| name.clone())
+                .unwrap_or_else(|| {
+                    if lane == COORDINATOR_LANE {
+                        "coordinator".to_owned()
+                    } else {
+                        format!("shard-{}", lane - 1)
+                    }
+                });
             push(
                 &mut out,
                 &format!(
@@ -563,26 +587,6 @@ fn format_us(us: u64) -> String {
     } else {
         format!("{us}us")
     }
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 fn render_args_json(args: &[(String, String)]) -> String {
@@ -762,225 +766,6 @@ fn malformed_json_report(text: &str, document_error: String) -> String {
         }
     }
     document_error
-}
-
-/// A minimal recursive-descent JSON reader — just enough for the schema
-/// checker (the workspace has no serde). Rejects `NaN`/`Infinity`
-/// literals by construction: they are not JSON tokens.
-mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// `null`.
-        Null,
-        /// `true` / `false`.
-        Bool(bool),
-        /// Any number (always finite: JSON has no NaN/Infinity tokens).
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, in source order (keys may repeat; first wins).
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        /// The value as an object's key/value list, if it is one.
-        pub fn as_object(&self) -> Option<&[(String, Value)]> {
-            match self {
-                Value::Obj(fields) => Some(fields),
-                _ => None,
-            }
-        }
-
-        /// The value as an array, if it is one.
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(items) => Some(items),
-                _ => None,
-            }
-        }
-
-        /// The value as a string, if it is one.
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        /// The value as a number, if it is one.
-        pub fn as_number(&self) -> Option<f64> {
-            match self {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parses one JSON document (trailing whitespace allowed).
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(bytes: &[u8], pos: &mut usize) {
-        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            None => Err("unexpected end of input".into()),
-            Some(b'{') => {
-                *pos += 1;
-                let mut fields = Vec::new();
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) == Some(&b'}') {
-                    *pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                loop {
-                    skip_ws(bytes, pos);
-                    let key = match parse_value(bytes, pos)? {
-                        Value::Str(s) => s,
-                        _ => return Err(format!("object key at byte {pos} is not a string")),
-                    };
-                    skip_ws(bytes, pos);
-                    if bytes.get(*pos) != Some(&b':') {
-                        return Err(format!("expected ':' at byte {pos}"));
-                    }
-                    *pos += 1;
-                    fields.push((key, parse_value(bytes, pos)?));
-                    skip_ws(bytes, pos);
-                    match bytes.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b'}') => {
-                            *pos += 1;
-                            return Ok(Value::Obj(fields));
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *pos += 1;
-                let mut items = Vec::new();
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) == Some(&b']') {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                loop {
-                    items.push(parse_value(bytes, pos)?);
-                    skip_ws(bytes, pos);
-                    match bytes.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b']') => {
-                            *pos += 1;
-                            return Ok(Value::Arr(items));
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                    }
-                }
-            }
-            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
-            Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
-            Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
-            Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
-            Some(_) => parse_number(bytes, pos),
-        }
-    }
-
-    fn parse_literal(
-        bytes: &[u8],
-        pos: &mut usize,
-        lit: &str,
-        value: Value,
-    ) -> Result<Value, String> {
-        if bytes[*pos..].starts_with(lit.as_bytes()) {
-            *pos += lit.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at byte {pos}"))
-        }
-    }
-
-    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-        *pos += 1; // opening quote
-        let mut out = Vec::new();
-        while let Some(&b) = bytes.get(*pos) {
-            *pos += 1;
-            match b {
-                b'"' => {
-                    return String::from_utf8(out).map_err(|_| "invalid utf-8 in string".into())
-                }
-                b'\\' => {
-                    let esc = bytes.get(*pos).ok_or("unterminated escape")?;
-                    *pos += 1;
-                    match esc {
-                        b'"' => out.push(b'"'),
-                        b'\\' => out.push(b'\\'),
-                        b'/' => out.push(b'/'),
-                        b'n' => out.push(b'\n'),
-                        b'r' => out.push(b'\r'),
-                        b't' => out.push(b'\t'),
-                        b'b' => out.push(0x08),
-                        b'f' => out.push(0x0c),
-                        b'u' => {
-                            let hex = bytes
-                                .get(*pos..*pos + 4)
-                                .ok_or("truncated \\u escape")
-                                .and_then(|h| {
-                                    std::str::from_utf8(h).map_err(|_| "bad \\u escape")
-                                })?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
-                            *pos += 4;
-                            // Surrogate pairs are not needed for our traces;
-                            // map unpaired surrogates to the replacement char.
-                            let c = char::from_u32(code).unwrap_or('\u{FFFD}');
-                            let mut buf = [0u8; 4];
-                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
-                        }
-                        other => return Err(format!("bad escape \\{}", *other as char)),
-                    }
-                }
-                other => out.push(other),
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        if bytes.get(*pos) == Some(&b'-') {
-            *pos += 1;
-        }
-        while matches!(
-            bytes.get(*pos),
-            Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
-        ) {
-            *pos += 1;
-        }
-        let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad number")?;
-        let n: f64 = text
-            .parse()
-            .map_err(|_| format!("bad number {text:?} at byte {start}"))?;
-        if !n.is_finite() {
-            return Err(format!("non-finite number {text:?} at byte {start}"));
-        }
-        Ok(Value::Num(n))
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,126 @@
+//! Parse ↔ render round-trip property for ladder specs.
+//!
+//! `LadderSpec::spec` documents itself as "accepted back by parse", so
+//! that contract gets a seeded property test: generated specs survive a
+//! `parse → spec` round trip byte-for-byte, and a second `parse` of the
+//! rendered form is a fixpoint. Duplicate and conflicting `@tN` thread
+//! overrides must be rejected with an error naming both character
+//! spans — never resolved last-wins, which would silently mask a typo.
+
+use rudoop_core::driver::Flavor;
+use rudoop_core::supervisor::{LadderSpec, RungSpec};
+use rudoop_ir::rng::SplitMix64;
+
+const FLAVORS: [&str; 7] = [
+    "insens", "1call", "2callH", "1objH", "2objH", "2typeH", "S2objH",
+];
+
+/// One random rung spec string (flavor, optional heuristic, optional
+/// thread override) in its canonical rendering.
+fn gen_rung(rng: &mut SplitMix64) -> String {
+    let flavor = FLAVORS[rng.below(FLAVORS.len())];
+    let mut spec = if flavor != "insens" && rng.ratio(1, 2) {
+        let letter = if rng.ratio(1, 2) { 'A' } else { 'B' };
+        format!("intro{letter}:{flavor}")
+    } else {
+        flavor.to_owned()
+    };
+    if rng.ratio(3, 10) {
+        spec.push_str(&format!("@t{}", rng.range(1, 17)));
+    }
+    spec
+}
+
+#[test]
+fn seeded_specs_round_trip_through_parse_and_render() {
+    let mut rng = SplitMix64::new(0x1adde5);
+    for case in 0..500 {
+        // Two or more rungs: a lone introspective rung deliberately
+        // expands to the canonical ladder, which is not a round trip.
+        let n = rng.range(2, 6);
+        let spec = (0..n)
+            .map(|_| gen_rung(&mut rng))
+            .collect::<Vec<_>>()
+            .join(",");
+        let parsed = LadderSpec::parse(&spec)
+            .unwrap_or_else(|e| panic!("case {case}: {spec:?} failed to parse: {e}"));
+        assert_eq!(
+            parsed.spec(),
+            spec,
+            "case {case}: round trip changed the spec"
+        );
+        let again = LadderSpec::parse(&parsed.spec()).expect("rendered spec parses");
+        assert_eq!(
+            again.spec(),
+            spec,
+            "case {case}: parse∘spec is not a fixpoint"
+        );
+    }
+}
+
+#[test]
+fn single_rungs_round_trip() {
+    let mut rng = SplitMix64::new(0x5eed);
+    for _ in 0..200 {
+        let spec = gen_rung(&mut rng);
+        let parsed = RungSpec::parse(&spec).expect("generated rung parses");
+        assert_eq!(parsed.spec(), spec);
+    }
+}
+
+#[test]
+fn whitespace_and_canonical_ladders_still_parse() {
+    let parsed = LadderSpec::parse(" 2objH , introB:2objH@t4 ,insens").expect("parses");
+    assert_eq!(parsed.spec(), "2objH,introB:2objH@t4,insens");
+    assert_eq!(
+        LadderSpec::parse("default").expect("default parses").spec(),
+        LadderSpec::default_for(Flavor::OBJ2H).spec()
+    );
+}
+
+#[test]
+fn duplicate_thread_override_is_a_spanned_error() {
+    let err = RungSpec::parse("2objH@t4@t4").expect_err("duplicate must not parse");
+    assert!(
+        err.contains("duplicate thread override \"@t4\" at chars 8..11"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        err.contains("already set at chars 5..8"),
+        "error does not name the first suffix: {err}"
+    );
+}
+
+#[test]
+fn conflicting_thread_override_is_a_spanned_error() {
+    let err = RungSpec::parse("2objH@t4@t8").expect_err("conflict must not parse");
+    assert!(
+        err.contains("conflicting thread override \"@t8\" at chars 8..11"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        err.contains("conflicts with \"@t4\" at chars 5..8"),
+        "error does not name the first suffix: {err}"
+    );
+}
+
+#[test]
+fn malformed_thread_override_is_a_spanned_error() {
+    let err = RungSpec::parse("2objH@x4").expect_err("malformed must not parse");
+    assert!(
+        err.contains("malformed thread override \"@x4\" at chars 5..8"),
+        "unexpected error: {err}"
+    );
+    let err = RungSpec::parse("2objH@t0").expect_err("zero threads must not parse");
+    assert!(err.contains("@t0"), "unexpected error: {err}");
+}
+
+#[test]
+fn ladder_errors_carry_absolute_offsets() {
+    let err = LadderSpec::parse("2objH, insens@t2@t3 ,1objH").expect_err("conflict inside");
+    assert!(
+        err.starts_with("rung 1 at chars 7..19 of ladder spec:"),
+        "unexpected error: {err}"
+    );
+    assert!(err.contains("conflicting thread override"), "{err}");
+}

@@ -81,6 +81,7 @@ fn ladder_degrades_to_introspective() {
         budget: Budget::derivations(LADDER_BUDGET),
         solver: SolverConfig::default(),
         watchdog: false,
+        warm_first_pass: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
 
@@ -135,6 +136,7 @@ fn supervised_run_is_reproducible() {
         budget: Budget::derivations(LADDER_BUDGET),
         solver: SolverConfig::default(),
         watchdog: false,
+        warm_first_pass: None,
     };
     let a = supervise(&program, &hierarchy, &cfg);
     let b = supervise(&program, &hierarchy, &cfg);
@@ -182,6 +184,7 @@ fn all_rungs_exhausted_salvages_best_partial() {
         budget: Budget::derivations(200),
         solver: SolverConfig::default(),
         watchdog: false,
+        warm_first_pass: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     assert_eq!(run.verdict, SupervisionVerdict::Exhausted);
@@ -203,6 +206,7 @@ fn complete_first_rung_is_verdict_complete() {
         budget: Budget::unlimited(),
         solver: SolverConfig::default(),
         watchdog: false,
+        warm_first_pass: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     assert_eq!(run.verdict, SupervisionVerdict::Complete);
@@ -250,6 +254,7 @@ fn ladder_recovers_from_capacity_exceeded() {
             ..SolverConfig::default()
         },
         watchdog: false,
+        warm_first_pass: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     // 2objH trips the context cap; insens needs no new contexts and
@@ -304,6 +309,7 @@ fn watchdog_enforces_wall_clock_deadline() {
         budget: Budget::duration(std::time::Duration::from_millis(30)),
         solver: SolverConfig::default(),
         watchdog: true,
+        warm_first_pass: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     // Either the in-loop wall-clock check or the watchdog stops the rung;
@@ -329,6 +335,7 @@ fn external_cancellation_skips_remaining_rungs() {
             ..SolverConfig::default()
         },
         watchdog: false,
+        warm_first_pass: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     assert_eq!(run.verdict, SupervisionVerdict::Exhausted);
@@ -357,4 +364,76 @@ fn ladder_spec_parses_and_round_trips() {
     assert!(LadderSpec::parse("3frob").is_err());
     assert!(LadderSpec::parse("introC:2objH").is_err());
     assert!(LadderSpec::parse("introA").is_err());
+}
+
+/// A resident service's warm insensitive pass substitutes for the shared
+/// first pass: no first-pass run happens, and the outcome is identical to
+/// a cold run's.
+#[test]
+fn warm_first_pass_is_reused_when_budget_admits_it() {
+    let program = hub_program(100, 250);
+    let hierarchy = ClassHierarchy::new(&program);
+    let warm = analyze(&program, &hierarchy, &Insensitive, &SolverConfig::default());
+    assert!(warm.outcome.is_complete());
+    assert!(warm.stats.derivations < LADDER_BUDGET);
+
+    let cfg = |warm_first_pass| SupervisorConfig {
+        ladder: LadderSpec::parse("introA:2objH,insens").unwrap(),
+        budget: Budget::derivations(LADDER_BUDGET),
+        solver: SolverConfig::default(),
+        watchdog: false,
+        warm_first_pass,
+    };
+    let warm_run = supervise(&program, &hierarchy, &cfg(Some(std::sync::Arc::new(warm))));
+    let cold_run = supervise(&program, &hierarchy, &cfg(None));
+
+    assert_eq!(warm_run.first_pass_runs, 0, "the warm pass was reused");
+    assert_eq!(cold_run.first_pass_runs, 1, "the cold run computed its own");
+    assert_eq!(warm_run.verdict, cold_run.verdict);
+    assert_eq!(warm_run.completed_rung, cold_run.completed_rung);
+    let (w, c) = (
+        warm_run.result.expect("warm run completed"),
+        cold_run.result.expect("cold run completed"),
+    );
+    assert_eq!(w.analysis, c.analysis);
+    assert_eq!(
+        w.stats.canonical(),
+        c.stats.canonical(),
+        "warm reuse must not change the result"
+    );
+    assert_eq!(w.var_pts, c.var_pts, "projections identical");
+}
+
+/// A warm pass whose recorded cost exceeds this run's budget is *not*
+/// admitted: the run recomputes (and exhausts) exactly where a cold run
+/// would, keeping warm and cold byte-identical under any budget.
+#[test]
+fn warm_first_pass_is_rejected_when_budget_would_not_admit_it() {
+    let program = hub_program(100, 250);
+    let hierarchy = ClassHierarchy::new(&program);
+    let warm = analyze(&program, &hierarchy, &Insensitive, &SolverConfig::default());
+    assert!(warm.outcome.is_complete());
+    let tight = warm.stats.derivations - 1;
+
+    let cfg = |warm_first_pass| SupervisorConfig {
+        ladder: LadderSpec::parse("introA:2objH,insens").unwrap(),
+        budget: Budget::derivations(tight),
+        solver: SolverConfig::default(),
+        watchdog: false,
+        warm_first_pass,
+    };
+    let warm_run = supervise(&program, &hierarchy, &cfg(Some(std::sync::Arc::new(warm))));
+    let cold_run = supervise(&program, &hierarchy, &cfg(None));
+
+    assert_eq!(
+        warm_run.first_pass_runs, 1,
+        "an inadmissible warm pass must not be reused"
+    );
+    assert_eq!(cold_run.first_pass_runs, 1);
+    assert_eq!(warm_run.verdict, cold_run.verdict);
+    assert_eq!(warm_run.attempts.len(), cold_run.attempts.len());
+    for (w, c) in warm_run.attempts.iter().zip(&cold_run.attempts) {
+        assert_eq!(w.outcome, c.outcome);
+        assert_eq!(w.exhaustion, c.exhaustion);
+    }
 }

@@ -71,6 +71,7 @@ fn supervisor_config(ladder: &str, budget: Budget) -> SupervisorConfig {
             ..SolverConfig::default()
         },
         watchdog: false,
+        warm_first_pass: None,
     }
 }
 

@@ -151,6 +151,7 @@ fn ladder_emits_one_rung_span_per_attempt() {
             ..SolverConfig::default()
         },
         watchdog: false,
+        warm_first_pass: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     assert!(run.attempts.len() > 1, "ladder must actually degrade");
@@ -198,4 +199,99 @@ fn parallel_run_trace_validates() {
     assert!(check.span_names.contains("epoch"), "epoch spans present");
     assert!(check.span_names.contains("drain"), "per-shard drain spans");
     assert!(check.samples > 0, "counter tracks present");
+}
+
+/// The service layer keeps the counter-stream contract: a scripted
+/// serial overload scenario — one stalled request occupying the only
+/// worker, one request shed and retried — produces a byte-identical
+/// counter stream on every run, with the `service.*` counters flushed
+/// once at shutdown in fixed order and the client's retry counter pushed
+/// from the retry loop.
+#[test]
+fn service_counter_stream_is_run_invariant() {
+    use rudoop_core::service::client::{query_with_retry, RetryPolicy};
+    use rudoop_core::service::faults::FaultPlan;
+    use rudoop_core::service::protocol::{
+        self, QueryRequest, Request, Response, MAX_RESPONSE_FRAME,
+    };
+    use rudoop_core::service::server::Server;
+    use rudoop_core::service::{ServiceConfig, ServiceState};
+
+    fn scripted_run() -> String {
+        let tele: TelemetryHandle = Some(Arc::new(Telemetry::new()));
+        let config = ServiceConfig {
+            workers: 1,
+            queue: 0,
+            faults: FaultPlan::parse(&["stall-ms=100@req=1".to_owned()]).unwrap(),
+            telemetry: tele.clone(),
+            ..ServiceConfig::default()
+        };
+        let program = dacapo::antlr().build();
+        let state = Arc::new(ServiceState::new(program, config));
+        let server = Server::bind(Arc::clone(&state), "127.0.0.1:0").expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let addr = handle.addr().to_string();
+
+        let query = Request::Query(QueryRequest {
+            kind: "stats".to_owned(),
+            ladder: Some("insens".to_owned()),
+            ..QueryRequest::default()
+        });
+
+        // Occupy the only worker slot (held through the 100ms stall).
+        let mut blocker = std::net::TcpStream::connect(&addr).expect("connect");
+        protocol::write_frame(&mut blocker, query.render().as_bytes()).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while state.admission().occupancy().0 == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "blocker never admitted"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        // Shed exactly once: the retry backs off 300-600ms, far past the
+        // stall, so the second attempt is deterministically accepted.
+        let policy = RetryPolicy {
+            retries: 3,
+            base_ms: 600,
+            cap_ms: 2_000,
+            seed: 11,
+        };
+        let outcome = query_with_retry(&addr, &query, &policy, &tele).expect("retry succeeds");
+        assert_eq!(outcome.attempts, 2, "exactly one shed, one success");
+
+        let payload = protocol::read_frame(&mut blocker, MAX_RESPONSE_FRAME).unwrap();
+        assert!(matches!(
+            Response::parse(&payload).unwrap(),
+            Response::Doc { .. }
+        ));
+        drop(blocker);
+        handle.stop();
+        tele.as_deref().unwrap().counter_stream_text()
+    }
+
+    let first = scripted_run();
+    let again = scripted_run();
+    assert_eq!(
+        first, again,
+        "service counter stream must reproduce byte-identically"
+    );
+    for line in [
+        "service.client_retries=1",
+        "service.requests_accepted=2",
+        "service.requests_shed=1",
+        "service.requests_degraded=0",
+    ] {
+        assert!(
+            first.lines().any(|l| l == line),
+            "stream is missing {line:?}:\n{first}"
+        );
+    }
+    // The client retry fires mid-run, the service counters flush at
+    // shutdown — the stream order pins that discipline.
+    let pos = |needle: &str| first.find(needle).unwrap();
+    assert!(pos("service.client_retries") < pos("service.requests_accepted"));
+    assert!(pos("service.requests_accepted") < pos("service.requests_shed"));
+    assert!(pos("service.requests_shed") < pos("service.requests_degraded"));
 }

@@ -78,23 +78,38 @@
 //! `--format json` prints a machine-readable race report on stdout (the
 //! ladder table moves to stderr); the schema is documented on
 //! `rudoop::analysis::races::render_json`.
+//!
+//! query subcommand:
+//!
+//!   rudoop query --addr HOST:PORT [--kind stats|dump|pts|taint|races|lints]
+//!                [--var VAR] [--format text|json] [--ladder SPEC]
+//!                [--budget N] [--max-bytes N] [--timeout-ms N]
+//!                [--retries N] [--retry-base-ms N] [--retry-cap-ms N]
+//!                [--retry-seed N] [--ping] [--shutdown]
+//!
+//! Sends one query to a resident `rudoopd` daemon. `busy` sheds and
+//! transport failures retry with bounded exponential backoff and
+//! SplitMix64 jitter (deterministic under `--retry-seed`), floored at
+//! the server's `retry_after_ms` hint. The response document prints on
+//! stdout byte-identical to the batch CLI's output for the same query.
+//! Exit contract: 0 complete / 3 degraded / 4 exhausted / 1 error /
+//! 5 shed on every retry.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use rudoop::analysis::driver::{analyze_flavor, analyze_introspective, Flavor};
 use rudoop::analysis::heuristics::{HeuristicA, HeuristicB, RefinementHeuristic};
-use rudoop::analysis::races::{supervised_races_traced, SupervisedRaces};
+use rudoop::analysis::races::supervised_races_traced;
 use rudoop::analysis::solver::{Budget, SolverConfig};
 use rudoop::analysis::supervisor::{supervise, LadderSpec, SupervisorConfig};
-use rudoop::analysis::taint::{supervised_taint_traced, SupervisedTaint};
+use rudoop::analysis::taint::supervised_taint_traced;
 use rudoop::analysis::telemetry::span_opt;
 use rudoop::analysis::Parallelism;
 use rudoop::analysis::{
     render_supervised, PrecisionMetrics, ResultStats, Telemetry, TelemetryHandle,
 };
-use rudoop::ir::{parse_program, validate, ClassHierarchy, Program, TaintSpec};
-use rudoop::workloads::dacapo;
+use rudoop::ir::{validate, ClassHierarchy, Program, TaintSpec};
 
 struct Options {
     input: String,
@@ -289,33 +304,138 @@ fn parse_args() -> Options {
 /// switches the workload's concurrency battery on the same way — the
 /// default recipes are sequential, so a race run over a stock benchmark
 /// would be vacuous.
-fn load_program(
-    input: &str,
-    builtin_taint: bool,
-    races: bool,
-) -> Result<(Program, Option<TaintSpec>), String> {
-    if let Some(name) = input.strip_prefix('@') {
-        let mut spec = dacapo::by_name(name)
-            .ok_or_else(|| format!("unknown benchmark {name:?} (try @pmd, @hsqldb, …)"))?;
-        if builtin_taint {
-            spec.taint_flows = spec.taint_flows.max(1);
-        }
-        if races {
-            spec.concurrency = spec.concurrency.max(2);
-        }
-        let program = spec.build();
-        let taint = builtin_taint.then(|| spec.taint_spec(&program));
-        return Ok((program, taint));
+use rudoop::cli::load_program;
+
+/// The `query` subcommand: one request against a resident `rudoopd`,
+/// with bounded exponential backoff and SplitMix64 jitter on `busy`
+/// sheds and transport failures. The response document prints on stdout
+/// byte-identical to the batch CLI's output for the same query; status
+/// goes to stderr. Exit contract: the daemon's 0/3/4 verdict for
+/// answered queries, 1 for errors, 5 when every retry was shed.
+fn run_query() -> ExitCode {
+    use rudoop::analysis::service::client::{query_with_retry, ClientError, RetryPolicy};
+    use rudoop::analysis::service::protocol::{BudgetSpec, DocFormat, QueryRequest, Request};
+
+    fn query_usage() -> ! {
+        eprintln!(
+            "usage: rudoop query --addr HOST:PORT [--kind stats|dump|pts|taint|races|lints] \
+             [--var Class.method::var] [--format text|json] [--ladder SPEC] [--budget N] \
+             [--max-bytes N] [--timeout-ms N] [--retries N] [--retry-base-ms N] \
+             [--retry-cap-ms N] [--retry-seed N] [--ping] [--shutdown]"
+        );
+        std::process::exit(2);
     }
-    if builtin_taint {
-        return Err("--spec builtin requires a @benchmark input".to_owned());
+
+    let mut args = std::env::args().skip(2);
+    let mut addr: Option<String> = None;
+    let mut query = QueryRequest {
+        kind: "stats".to_owned(),
+        var: None,
+        format: DocFormat::Text,
+        ladder: None,
+        budget: BudgetSpec::default(),
+    };
+    let mut policy = RetryPolicy::default();
+    let mut op: Option<Request> = None;
+    while let Some(arg) = args.next() {
+        let mut next = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{arg} needs {what}");
+                query_usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(next("HOST:PORT")),
+            "--kind" => query.kind = next("KIND"),
+            "--var" => query.var = Some(next("VAR")),
+            "--format" => match next("text|json").as_str() {
+                "text" => query.format = DocFormat::Text,
+                "json" => query.format = DocFormat::Json,
+                other => {
+                    eprintln!("unknown format {other:?}");
+                    query_usage()
+                }
+            },
+            "--ladder" => query.ladder = Some(next("SPEC")),
+            "--budget" => {
+                query.budget.derivations = Some(next("N").parse().unwrap_or_else(|_| query_usage()))
+            }
+            "--max-bytes" => {
+                query.budget.bytes = Some(next("N").parse().unwrap_or_else(|_| query_usage()))
+            }
+            "--timeout-ms" => {
+                query.budget.ms = Some(next("N").parse().unwrap_or_else(|_| query_usage()))
+            }
+            "--retries" => policy.retries = next("N").parse().unwrap_or_else(|_| query_usage()),
+            "--retry-base-ms" => {
+                policy.base_ms = next("N").parse().unwrap_or_else(|_| query_usage())
+            }
+            "--retry-cap-ms" => policy.cap_ms = next("N").parse().unwrap_or_else(|_| query_usage()),
+            "--retry-seed" => policy.seed = next("N").parse().unwrap_or_else(|_| query_usage()),
+            "--ping" => op = Some(Request::Ping),
+            "--shutdown" => op = Some(Request::Shutdown),
+            "--help" | "-h" => query_usage(),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                query_usage()
+            }
+        }
     }
-    let source = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
-    let program = parse_program(&source).map_err(|e| format!("{input}: {e}"))?;
-    Ok((program, None))
+    let Some(addr) = addr else {
+        eprintln!("--addr is required");
+        query_usage()
+    };
+    let request = op.unwrap_or(Request::Query(query));
+    match query_with_retry(&addr, &request, &policy, &None) {
+        Ok(outcome) => {
+            if outcome.attempts > 1 {
+                eprintln!(
+                    "retried {} time(s), backoff {:?} ms",
+                    outcome.attempts - 1,
+                    outcome.delays_ms
+                );
+            }
+            use rudoop::analysis::service::protocol::Response;
+            match outcome.response {
+                Response::Ok => {
+                    eprintln!("ok");
+                    ExitCode::SUCCESS
+                }
+                Response::Doc {
+                    status,
+                    exit_code,
+                    analysis,
+                    doc,
+                } => {
+                    print!("{doc}");
+                    eprintln!(
+                        "status: {status} ({})",
+                        analysis.as_deref().unwrap_or("no completed rung")
+                    );
+                    ExitCode::from(exit_code)
+                }
+                Response::Error { message } => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+                Response::Busy { .. } => unreachable!("busy responses are retried"),
+            }
+        }
+        Err(e @ ClientError::Overloaded { .. }) => {
+            eprintln!("error: {e}");
+            ExitCode::from(5)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("query") {
+        return run_query();
+    }
     let opts = parse_args();
     let tele: TelemetryHandle = (opts.trace.is_some() || opts.profile.is_some() || opts.telemetry)
         .then(|| std::sync::Arc::new(Telemetry::new()));
@@ -474,6 +594,7 @@ fn run_taint(
         budget,
         solver,
         watchdog: opts.timeout.is_some(),
+        warm_first_pass: None,
     };
     let tele = cfg.solver.telemetry.clone();
     let run = supervise(program, hierarchy, &cfg);
@@ -486,32 +607,8 @@ fn run_taint(
         return ExitCode::from(run.exit_code());
     }
     eprint!("{}", render_supervised(&run));
-    match supervised_taint_traced(program, spec, &run, &tele) {
-        SupervisedTaint::Analyzed(taint) => {
-            println!(
-                "taint ({}): {} source site(s), {} sink site(s), {} sanitizer call(s), \
-                 {} leak(s)",
-                taint.analysis,
-                taint.source_sites,
-                taint.sink_sites,
-                taint.sanitizer_calls.len(),
-                taint.leaks.len(),
-            );
-            const MAX_LEAKS: usize = 20;
-            for leak in taint.leaks.iter().take(MAX_LEAKS) {
-                println!("leak: {}", leak.headline(program));
-                for step in &leak.trace {
-                    println!("    via {step}");
-                }
-            }
-            if taint.leaks.len() > MAX_LEAKS {
-                println!("... {} more leak(s)", taint.leaks.len() - MAX_LEAKS);
-            }
-        }
-        SupervisedTaint::Skipped { reason } => {
-            println!("taint: SKIPPED — {reason}");
-        }
-    }
+    let taint = supervised_taint_traced(program, spec, &run, &tele);
+    print!("{}", rudoop::analysis::taint::render_text(program, &taint));
     ExitCode::from(run.exit_code())
 }
 
@@ -539,6 +636,7 @@ fn run_races(
         budget,
         solver,
         watchdog: opts.timeout.is_some(),
+        warm_first_pass: None,
     };
     let tele = cfg.solver.telemetry.clone();
     let run = supervise(program, hierarchy, &cfg);
@@ -550,44 +648,7 @@ fn run_races(
         print!("{}", rudoop::analysis::races::render_json(program, &races));
         return ExitCode::from(run.exit_code());
     }
-    match &races {
-        SupervisedRaces::Analyzed(r) => {
-            println!(
-                "races ({}): {} thread(s), {} access site(s), {} race(s), \
-                 {} suspect guard(s), {} dead region(s), {} escape(s)",
-                r.analysis,
-                r.threads.len(),
-                r.access_sites,
-                r.races.len(),
-                r.suspect_guards.len(),
-                r.dead_regions.len(),
-                r.escapes.len(),
-            );
-            const MAX_RACES: usize = 20;
-            for race in r.races.iter().take(MAX_RACES) {
-                println!(
-                    "race: {}: {} in {} vs {} in {}",
-                    race.location,
-                    if race.a.is_write { "write" } else { "read" },
-                    race.a.thread,
-                    if race.b.is_write { "write" } else { "read" },
-                    race.b.thread,
-                );
-                for step in &race.a.trace {
-                    println!("    A: {step}");
-                }
-                for step in &race.b.trace {
-                    println!("    B: {step}");
-                }
-            }
-            if r.races.len() > MAX_RACES {
-                println!("... {} more race(s)", r.races.len() - MAX_RACES);
-            }
-        }
-        SupervisedRaces::Skipped { reason } => {
-            println!("races: SKIPPED — {reason}");
-        }
-    }
+    print!("{}", rudoop::analysis::races::render_text(&races));
     ExitCode::from(run.exit_code())
 }
 
@@ -606,6 +667,7 @@ fn run_ladder(
         budget,
         solver,
         watchdog: opts.timeout.is_some(),
+        warm_first_pass: None,
     };
     let run = supervise(program, hierarchy, &cfg);
     eprint!("{}", render_supervised(&run));
@@ -655,35 +717,13 @@ fn print_reports(
     }
 
     for query in &opts.pts {
-        let matched: Vec<_> = program
-            .vars
-            .iter()
-            .filter(|&(v, _)| program.var_display(v) == *query || program.vars[v].name == *query)
-            .collect();
-        if matched.is_empty() {
-            eprintln!("no variable matches {query:?}");
-            continue;
-        }
-        for (v, _) in matched {
-            let names: Vec<String> = result
-                .points_to(v)
-                .iter()
-                .map(|&h| format!("{}@{}", program.classes[program.allocs[h].class].name, h))
-                .collect();
-            println!("{} -> {{{}}}", program.var_display(v), names.join(", "));
+        match rudoop::analysis::stats::render_pts(program, result, query) {
+            Some(doc) => print!("{doc}"),
+            None => eprintln!("no variable matches {query:?}"),
         }
     }
 
     if opts.dump {
-        for (v, pts) in result.var_pts.iter() {
-            if pts.is_empty() {
-                continue;
-            }
-            let names: Vec<String> = pts
-                .iter()
-                .map(|&h| program.classes[program.allocs[h].class].name.clone())
-                .collect();
-            println!("{} -> {{{}}}", program.var_display(v), names.join(", "));
-        }
+        print!("{}", rudoop::analysis::stats::render_dump(program, result));
     }
 }

@@ -65,3 +65,41 @@ pub use rudoop_core::{
 pub use rudoop_ir::{
     parse_program, print_program, ClassHierarchy, Program, ProgramBuilder, TaintSpec,
 };
+
+/// Shared plumbing for the `rudoop` / `rudoopd` / `rudoop-lint` binaries.
+pub mod cli {
+    use rudoop_ir::{parse_program, Program, TaintSpec};
+    use rudoop_workloads::dacapo;
+
+    /// Loads a program from a `.rdp` path or an `@benchmark` name.
+    ///
+    /// For benchmarks, `builtin_taint` switches the workload's taint
+    /// battery on (and returns its canonical TaintKit spec) and `races`
+    /// switches the concurrency battery on — the default recipes are
+    /// sequential and taint-free.
+    pub fn load_program(
+        input: &str,
+        builtin_taint: bool,
+        races: bool,
+    ) -> Result<(Program, Option<TaintSpec>), String> {
+        if let Some(name) = input.strip_prefix('@') {
+            let mut spec = dacapo::by_name(name)
+                .ok_or_else(|| format!("unknown benchmark {name:?} (try @pmd, @hsqldb, …)"))?;
+            if builtin_taint {
+                spec.taint_flows = spec.taint_flows.max(1);
+            }
+            if races {
+                spec.concurrency = spec.concurrency.max(2);
+            }
+            let program = spec.build();
+            let taint = builtin_taint.then(|| spec.taint_spec(&program));
+            return Ok((program, taint));
+        }
+        if builtin_taint {
+            return Err("--spec builtin requires a @benchmark input".to_owned());
+        }
+        let source = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+        let program = parse_program(&source).map_err(|e| format!("{input}: {e}"))?;
+        Ok((program, None))
+    }
+}
