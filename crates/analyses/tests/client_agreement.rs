@@ -88,6 +88,20 @@ fn agreement_on_lusearch_2objh() {
 }
 
 #[test]
+fn agreement_on_antlr_cutshortcut() {
+    check_agreement(&dacapo::antlr().build(), Flavor::CutShortcut);
+}
+
+#[test]
+fn agreement_on_generated_programs_cutshortcut() {
+    use rudoop_ir::arbitrary::{generate, ProgramShape};
+    let shape = ProgramShape::default();
+    for seed in 0..16 {
+        check_agreement(&generate(&shape, seed), Flavor::CutShortcut);
+    }
+}
+
+#[test]
 fn agreement_on_generated_programs() {
     use rudoop_ir::arbitrary::{generate, ProgramShape};
     let shape = ProgramShape::default();

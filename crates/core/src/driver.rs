@@ -7,15 +7,18 @@
 //! refines the selected elements with the precise context abstraction and
 //! leaves the rest context-insensitive.
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rudoop_ir::{ClassHierarchy, Program};
 
+use crate::cutshortcut::CutSummary;
 use crate::heuristics::{RefinementHeuristic, RefinementStats};
 use crate::introspection::IntrospectionMetrics;
 use crate::policy::{
-    CallSiteSensitive, ContextPolicy, HybridObjectSensitive, Insensitive, Introspective,
-    ObjectSensitive, RefinementSet, TypeSensitive,
+    CallSiteSensitive, ContextPolicy, CutShortcut, HybridObjectSensitive, Insensitive,
+    Introspective, ObjectSensitive, RefinementSet, TypeSensitive,
 };
 use crate::solver::{analyze, PointsToResult, SolverConfig};
 
@@ -54,7 +57,40 @@ pub enum Flavor {
         /// Heap-context depth.
         heap_k: usize,
     },
+    /// The cut-shortcut engine: context-free, but with the flow-graph
+    /// cuts and per-call-site shortcut edges of the
+    /// [`crate::cutshortcut`] pre-analysis applied inside the solver.
+    CutShortcut,
 }
+
+/// The error of [`Flavor::parse`]: an unrecognized flavor name, with the
+/// full menu of valid spellings in its message (shared by the `rudoop`
+/// and `rudoop-lint` CLIs and by ladder-spec parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlavorParseError {
+    name: String,
+}
+
+impl FlavorParseError {
+    /// The rejected input.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for FlavorParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown flavor {:?}: valid flavors are insens, cutshortcut, \
+             <k>call[H], <k>obj[H], <k>type[H], and S<k>obj[H] \
+             (e.g. 2objH, 2typeH, 2callH, S2objH)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for FlavorParseError {}
 
 impl Flavor {
     /// The paper's `2objH` baseline.
@@ -74,7 +110,25 @@ impl Flavor {
             Flavor::Object { k, heap_k } => Box::new(ObjectSensitive::new(k, heap_k)),
             Flavor::Type { k, heap_k } => Box::new(TypeSensitive::new(k, heap_k, program)),
             Flavor::Hybrid { k, heap_k } => Box::new(HybridObjectSensitive::new(k, heap_k)),
+            Flavor::CutShortcut => Box::new(CutShortcut),
         }
+    }
+
+    /// Prepares the solver configuration for this flavor. For
+    /// [`Flavor::CutShortcut`] this runs the cut-shortcut pre-analysis
+    /// (under its `cutshortcut-pass` telemetry span) and injects the
+    /// summary into [`SolverConfig::cuts`]; every other flavor clears the
+    /// field so cuts never leak between rungs sharing a base config.
+    pub fn prepare_config(self, program: &Program, config: &SolverConfig) -> SolverConfig {
+        let mut config = config.clone();
+        config.cuts = match self {
+            Flavor::CutShortcut => Some(Arc::new(CutSummary::compute_traced(
+                program,
+                &config.telemetry,
+            ))),
+            _ => None,
+        };
+        config
     }
 
     /// Doop-style name (`insens`, `2objH`, …).
@@ -82,11 +136,23 @@ impl Flavor {
         self.policy(program).name()
     }
 
-    /// Parses a Doop-style flavor name: `insens`, `2objH`, `1call`,
-    /// `2typeH`, `S2objH`, … — the inverse of [`Flavor::spec_name`].
-    pub fn parse(name: &str) -> Option<Flavor> {
+    /// Parses a Doop-style flavor name: `insens`, `cutshortcut`, `2objH`,
+    /// `1call`, `2typeH`, `S2objH`, … — the inverse of
+    /// [`Flavor::spec_name`]. The error message enumerates the valid
+    /// spellings, so every consumer (CLIs, ladder specs) reports the same
+    /// actionable diagnostic.
+    pub fn parse(name: &str) -> Result<Flavor, FlavorParseError> {
+        Flavor::parse_inner(name).ok_or_else(|| FlavorParseError {
+            name: name.to_owned(),
+        })
+    }
+
+    fn parse_inner(name: &str) -> Option<Flavor> {
         if name == "insens" || name == "insensitive" {
             return Some(Flavor::Insensitive);
+        }
+        if name == "cutshortcut" {
+            return Some(Flavor::CutShortcut);
         }
         let (hybrid, rest) = match name.strip_prefix('S') {
             Some(r) => (true, r),
@@ -134,6 +200,7 @@ impl Flavor {
             Flavor::Object { k, heap_k } => format!("{k}obj{}", h(heap_k)),
             Flavor::Type { k, heap_k } => format!("{k}type{}", h(heap_k)),
             Flavor::Hybrid { k, heap_k } => format!("S{k}obj{}", h(heap_k)),
+            Flavor::CutShortcut => "cutshortcut".to_owned(),
         }
     }
 }
@@ -146,7 +213,8 @@ pub fn analyze_flavor(
     config: &SolverConfig,
 ) -> PointsToResult {
     let policy = flavor.policy(program);
-    analyze(program, hierarchy, policy.as_ref(), config)
+    let config = flavor.prepare_config(program, config);
+    analyze(program, hierarchy, policy.as_ref(), &config)
 }
 
 /// Everything produced by a two-pass introspective run.
@@ -230,6 +298,13 @@ pub fn analyze_introspective_from(
 
     let result = match flavor {
         Flavor::Insensitive => analyze(program, hierarchy, &Insensitive, config),
+        // Cut-shortcut precision is not per-element, so there is nothing
+        // for the refinement sets to select: like the insensitive arm, the
+        // selection is computed (for its stats) but does not steer the run.
+        Flavor::CutShortcut => {
+            let config = Flavor::CutShortcut.prepare_config(program, config);
+            analyze(program, hierarchy, &CutShortcut, &config)
+        }
         Flavor::CallSite { k, heap_k } => {
             let policy = Introspective::new(
                 Insensitive,
@@ -377,5 +452,30 @@ mod tests {
         assert!(run.first_pass.outcome.is_complete());
         assert!(run.result.outcome.is_complete());
         assert!(run.result.analysis.contains("IntroA"));
+    }
+
+    #[test]
+    fn cutshortcut_flavor_parses_and_round_trips() {
+        assert_eq!(Flavor::parse("cutshortcut").unwrap(), Flavor::CutShortcut);
+        assert_eq!(Flavor::CutShortcut.spec_name(), "cutshortcut");
+        assert_eq!(
+            Flavor::parse(&Flavor::CutShortcut.spec_name()).unwrap(),
+            Flavor::CutShortcut
+        );
+    }
+
+    #[test]
+    fn flavor_parse_error_enumerates_valid_names() {
+        // The exact wording is shared by `rudoop`, `rudoop-lint`,
+        // `rudoopd`, and ladder-spec parsing — a typo'd `--analysis`
+        // should teach the valid grammar, not just reject.
+        let err = Flavor::parse("3foo").unwrap_err();
+        assert_eq!(err.name(), "3foo");
+        assert_eq!(
+            err.to_string(),
+            "unknown flavor \"3foo\": valid flavors are insens, cutshortcut, \
+             <k>call[H], <k>obj[H], <k>type[H], and S<k>obj[H] \
+             (e.g. 2objH, 2typeH, 2callH, S2objH)"
+        );
     }
 }

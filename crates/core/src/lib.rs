@@ -57,6 +57,7 @@
 pub mod bitset;
 pub mod clients;
 pub mod context;
+pub mod cutshortcut;
 pub mod driver;
 pub mod hash;
 pub mod heuristics;
@@ -75,15 +76,18 @@ pub mod telemetry;
 
 pub use clients::PrecisionMetrics;
 pub use context::{CObj, ContextElem, CtxId, CtxTables, HCtxId};
-pub use driver::{analyze_flavor, analyze_introspective, Flavor, IntrospectiveRun};
+pub use cutshortcut::{CutStats, CutSummary, MethodCuts, ParamCut};
+pub use driver::{
+    analyze_flavor, analyze_introspective, Flavor, FlavorParseError, IntrospectiveRun,
+};
 pub use heuristics::{
     CustomHeuristic, HeuristicA, HeuristicB, Metric, RefinementHeuristic, RefinementStats,
 };
 pub use introspection::IntrospectionMetrics;
 pub use parallel::Parallelism;
 pub use policy::{
-    CallSiteSensitive, ContextPolicy, HybridObjectSensitive, Insensitive, Introspective,
-    ObjectSensitive, RefinementSet, TypeSensitive,
+    CallSiteSensitive, ContextPolicy, CutShortcut, HybridObjectSensitive, Insensitive,
+    Introspective, ObjectSensitive, RefinementSet, TypeSensitive,
 };
 pub use races::{
     analyze_races, supervised_races, Race, RaceAccess, RaceError, RaceKey, RaceResult,

@@ -574,20 +574,84 @@ impl<'p> Engine<'p> {
         let inv = &self.program.invokes[invoke];
         let callee_m = &self.program.methods[target];
         let n_args = inv.args.len().min(callee_m.params.len());
+        // Cut-shortcut rewiring, mirroring the sequential solver exactly.
+        // `add_call_edge` only runs at the barrier (on the coordinator's
+        // thread), so registering caller-side loads/stores on shard state
+        // is as safe as the `instantiate` path doing the same.
+        let cuts = self.config.cuts.clone();
+        let cuts = cuts.as_deref();
         for i in 0..n_args {
-            let from = self.var_node(self.program.invokes[invoke].args[i], caller)?;
-            let to = self.var_node(self.program.methods[target].params[i], callee)?;
-            self.add_edge(from, to);
+            let arg = self.program.invokes[invoke].args[i];
+            match cuts.and_then(|c| c.param_cut(target, i)) {
+                // Identity cut: actual flows straight to the call result.
+                Some(crate::cutshortcut::ParamCut::Identity) => {
+                    if let Some(result) = self.program.invokes[invoke].result {
+                        let from = self.var_node(arg, caller)?;
+                        let to = self.var_node(result, caller)?;
+                        self.add_edge(from, to);
+                    }
+                }
+                // Setter cut: store the actual into this site's receiver
+                // objects, registered like a `Store` instruction.
+                Some(crate::cutshortcut::ParamCut::Setter(field)) => {
+                    if let Some(base) = self.invoke_base(invoke) {
+                        let b = self.var_node(base, caller)?;
+                        let f = self.var_node(arg, caller)?;
+                        self.shards[b.shard()].stores[b.idx()].push((field, f));
+                        let existing: Vec<u64> = self.shards[b.shard()].pts[b.idx()]
+                            .iter()
+                            .copied()
+                            .collect();
+                        for o in existing {
+                            let fnode = self.field_node(CObj(o), field)?;
+                            self.add_edge(f, fnode);
+                        }
+                    }
+                }
+                None => {
+                    let from = self.var_node(arg, caller)?;
+                    let to = self.var_node(self.program.methods[target].params[i], callee)?;
+                    self.add_edge(from, to);
+                }
+            }
         }
         if let (Some(result), Some(ret)) = (
             self.program.invokes[invoke].result,
             self.program.methods[target].ret,
         ) {
-            let from = self.var_node(ret, callee)?;
-            let to = self.var_node(result, caller)?;
-            self.add_edge(from, to);
+            // Getter cut: load the field off this site's receiver objects
+            // straight into the result, registered like a `Load`.
+            let getter = cuts
+                .and_then(|c| c.getter_return(target))
+                .and_then(|field| self.invoke_base(invoke).map(|base| (field, base)));
+            if let Some((field, base)) = getter {
+                let b = self.var_node(base, caller)?;
+                let to = self.var_node(result, caller)?;
+                self.shards[b.shard()].loads[b.idx()].push((field, to));
+                let existing: Vec<u64> = self.shards[b.shard()].pts[b.idx()]
+                    .iter()
+                    .copied()
+                    .collect();
+                for o in existing {
+                    let fnode = self.field_node(CObj(o), field)?;
+                    self.add_edge(fnode, to);
+                }
+            } else {
+                let from = self.var_node(ret, callee)?;
+                let to = self.var_node(result, caller)?;
+                self.add_edge(from, to);
+            }
         }
         Ok(())
+    }
+
+    /// Receiver variable of `invoke`, when it has one (virtual/special
+    /// calls; static calls have no receiver).
+    fn invoke_base(&self, invoke: InvokeId) -> Option<VarId> {
+        match self.program.invokes[invoke].kind {
+            InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => Some(base),
+            InvokeKind::Static { .. } => None,
+        }
     }
 
     fn process_receiver_call(

@@ -110,6 +110,50 @@ impl ContextPolicy for Insensitive {
     }
 }
 
+/// The cut-shortcut policy: context-free like [`Insensitive`] — every
+/// context is `★` — but under a distinct analysis name, because its
+/// precision does not come from contexts at all. The solver applies the
+/// flow-graph cuts and shortcut edges of a precomputed
+/// [`crate::cutshortcut::CutSummary`] (carried in
+/// [`crate::solver::SolverConfig::cuts`]) at every call edge, rerouting
+/// per-site value flow that the plain insensitive analysis would merge
+/// through shared formals. The distinct name keeps reports, telemetry
+/// counters and the differential reference model apart from `insens`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CutShortcut;
+
+impl ContextPolicy for CutShortcut {
+    fn name(&self) -> String {
+        "cutshortcut".to_owned()
+    }
+
+    fn record(&self, _tables: &mut CtxTables, _heap: AllocId, _ctx: CtxId) -> HCtxId {
+        HCtxId::EMPTY
+    }
+
+    fn merge(
+        &self,
+        _tables: &mut CtxTables,
+        _heap: AllocId,
+        _hctx: HCtxId,
+        _invoke: InvokeId,
+        _target: MethodId,
+        _caller: CtxId,
+    ) -> CtxId {
+        CtxId::EMPTY
+    }
+
+    fn merge_static(
+        &self,
+        _tables: &mut CtxTables,
+        _invoke: InvokeId,
+        _target: MethodId,
+        _caller: CtxId,
+    ) -> CtxId {
+        CtxId::EMPTY
+    }
+}
+
 /// k-call-site-sensitivity with a heap-context depth (`2callH` is
 /// `CallSiteSensitive::new(2, 1)`).
 ///

@@ -287,6 +287,12 @@ pub struct SolverConfig {
     /// Capacity cap on each context table (default: the `u32` intrinsic
     /// limit). Exceeding it yields [`Outcome::CapacityExceeded`].
     pub max_contexts: Option<usize>,
+    /// Cut-shortcut pre-analysis output. When present, the solver cuts the
+    /// interprocedural `arg → param` / `ret → result` edges the summary
+    /// marks and reroutes them per call site (identity shortcuts,
+    /// caller-side stores and loads) — the [`crate::cutshortcut`] engine.
+    /// `None` (the default) analyzes every call edge as written.
+    pub cuts: Option<Arc<crate::cutshortcut::CutSummary>>,
     /// Thread count (default: sequential). More than one thread runs the
     /// byte-identical sharded engine in [`crate::parallel`].
     pub parallelism: crate::parallel::Parallelism,
@@ -752,20 +758,79 @@ impl<'p> Solver<'p> {
         let inv = &self.program.invokes[invoke];
         let callee_m = &self.program.methods[target];
         let n_args = inv.args.len().min(callee_m.params.len());
+        let cuts = self.config.cuts.clone();
+        let cuts = cuts.as_deref();
         for i in 0..n_args {
-            let from = self.var_node(self.program.invokes[invoke].args[i], caller)?;
-            let to = self.var_node(self.program.methods[target].params[i], callee)?;
-            self.add_edge(from, to);
+            let arg = self.program.invokes[invoke].args[i];
+            match cuts.and_then(|c| c.param_cut(target, i)) {
+                // Identity cut: the actual flows straight to the call's
+                // result, never through the shared formal. A result-less
+                // call site drops the value entirely (the callee provably
+                // only returned it).
+                Some(crate::cutshortcut::ParamCut::Identity) => {
+                    if let Some(result) = self.program.invokes[invoke].result {
+                        let from = self.var_node(arg, caller)?;
+                        let to = self.var_node(result, caller)?;
+                        self.add_edge(from, to);
+                    }
+                }
+                // Setter cut: store the actual into the field of *this
+                // site's* receiver objects — registered on the base
+                // variable exactly like a `Store` instruction, so later
+                // receivers are handled by the worklist.
+                Some(crate::cutshortcut::ParamCut::Setter(field)) => {
+                    if let Some(base) = self.invoke_base(invoke) {
+                        let b = self.var_node(base, caller)?;
+                        let f = self.var_node(arg, caller)?;
+                        self.stores[b.0 as usize].push((field, f));
+                        let existing: Vec<u64> = self.pts[b.0 as usize].iter().copied().collect();
+                        for o in existing {
+                            let fnode = self.field_node(CObj(o), field)?;
+                            self.add_edge(f, fnode);
+                        }
+                    }
+                }
+                None => {
+                    let from = self.var_node(arg, caller)?;
+                    let to = self.var_node(self.program.methods[target].params[i], callee)?;
+                    self.add_edge(from, to);
+                }
+            }
         }
         if let (Some(result), Some(ret)) = (
             self.program.invokes[invoke].result,
             self.program.methods[target].ret,
         ) {
-            let from = self.var_node(ret, callee)?;
-            let to = self.var_node(result, caller)?;
-            self.add_edge(from, to);
+            // Getter cut: load the field off *this site's* receiver objects
+            // straight into the result, skipping the shared formal return.
+            let getter = cuts
+                .and_then(|c| c.getter_return(target))
+                .and_then(|field| self.invoke_base(invoke).map(|base| (field, base)));
+            if let Some((field, base)) = getter {
+                let b = self.var_node(base, caller)?;
+                let to = self.var_node(result, caller)?;
+                self.loads[b.0 as usize].push((field, to));
+                let existing: Vec<u64> = self.pts[b.0 as usize].iter().copied().collect();
+                for o in existing {
+                    let fnode = self.field_node(CObj(o), field)?;
+                    self.add_edge(fnode, to);
+                }
+            } else {
+                let from = self.var_node(ret, callee)?;
+                let to = self.var_node(result, caller)?;
+                self.add_edge(from, to);
+            }
         }
         Ok(())
+    }
+
+    /// Receiver variable of `invoke`, when it has one (virtual/special
+    /// calls and spawns; `None` for static calls).
+    fn invoke_base(&self, invoke: InvokeId) -> Option<VarId> {
+        match self.program.invokes[invoke].kind {
+            InvokeKind::Virtual { base, .. } | InvokeKind::Special { base, .. } => Some(base),
+            InvokeKind::Static { .. } => None,
+        }
     }
 
     /// The VCALL rule: one receiver object arriving at the base variable of

@@ -10,7 +10,7 @@
 //! when it exhausts its budget (derivations, modeled bytes, wall clock,
 //! cancellation, or an internal capacity table), fall back rung by rung —
 //! typically `2objH → introspective-B(2objH) → introspective-A(2objH) →
-//! insens` — until one configuration completes.
+//! cutshortcut → insens` — until one configuration completes.
 //!
 //! Two properties make retries cheap and the whole ladder reproducible:
 //!
@@ -212,13 +212,12 @@ impl RungSpec {
                     ))
                 }
             };
-            let flavor = Flavor::parse(flavor)
-                .ok_or_else(|| format!("unknown flavor {flavor:?} in rung {s:?}"))?;
+            let flavor = Flavor::parse(flavor).map_err(|e| format!("{e} in rung {s:?}"))?;
             RungKind::Introspective { flavor, heuristic }
         } else {
             Flavor::parse(base)
                 .map(RungKind::Direct)
-                .ok_or_else(|| format!("unknown rung {s:?} (flavor name or introA:FLAVOR)"))?
+                .map_err(|e| format!("{e} in rung {s:?} (flavor name or introA:FLAVOR)"))?
         };
         Ok(RungSpec { kind, threads })
     }
@@ -239,13 +238,21 @@ pub struct LadderSpec {
 
 impl LadderSpec {
     /// The canonical ladder for `flavor`:
-    /// `flavor → introB:flavor → introA:flavor → insens`.
+    /// `flavor → introB:flavor → introA:flavor → cutshortcut → insens`.
+    ///
+    /// The `cutshortcut` rung sits between the introspective retries and
+    /// the insensitive floor: it costs about as much as `insens` (all
+    /// contexts are `★`) yet recovers a slice of the precision the
+    /// introspective rungs were after, so a run that degrades past both
+    /// heuristics still lands above the floor when the pre-analysis pass
+    /// finds cuts.
     pub fn default_for(flavor: Flavor) -> Self {
         LadderSpec {
             rungs: vec![
                 RungSpec::direct(flavor),
                 RungSpec::introspective(flavor, HeuristicChoice::b()),
                 RungSpec::introspective(flavor, HeuristicChoice::a()),
+                RungSpec::direct(Flavor::CutShortcut),
                 RungSpec::direct(Flavor::Insensitive),
             ],
         }
@@ -324,7 +331,8 @@ impl Default for LadderSpec {
 /// Configuration of one supervised run.
 #[derive(Debug, Clone, Default)]
 pub struct SupervisorConfig {
-    /// The degradation ladder (default: `2objH → introB → introA → insens`).
+    /// The degradation ladder (default: `2objH → introB → introA →
+    /// cutshortcut → insens`).
     pub ladder: LadderSpec,
     /// The per-rung budget (each rung gets the full budget).
     pub budget: Budget,

@@ -11,15 +11,24 @@ use rudoop_core::driver::Flavor;
 use rudoop_core::supervisor::{LadderSpec, RungSpec};
 use rudoop_ir::rng::SplitMix64;
 
-const FLAVORS: [&str; 7] = [
-    "insens", "1call", "2callH", "1objH", "2objH", "2typeH", "S2objH",
+const FLAVORS: [&str; 8] = [
+    "insens",
+    "cutshortcut",
+    "1call",
+    "2callH",
+    "1objH",
+    "2objH",
+    "2typeH",
+    "S2objH",
 ];
 
 /// One random rung spec string (flavor, optional heuristic, optional
 /// thread override) in its canonical rendering.
 fn gen_rung(rng: &mut SplitMix64) -> String {
     let flavor = FLAVORS[rng.below(FLAVORS.len())];
-    let mut spec = if flavor != "insens" && rng.ratio(1, 2) {
+    // The two context-free rungs never take an introspective prefix:
+    // there is nothing for a heuristic to refine.
+    let mut spec = if flavor != "insens" && flavor != "cutshortcut" && rng.ratio(1, 2) {
         let letter = if rng.ratio(1, 2) { 'A' } else { 'B' };
         format!("intro{letter}:{flavor}")
     } else {
@@ -123,4 +132,46 @@ fn ladder_errors_carry_absolute_offsets() {
         "unexpected error: {err}"
     );
     assert!(err.contains("conflicting thread override"), "{err}");
+}
+
+#[test]
+fn cutshortcut_rungs_round_trip_with_thread_overrides() {
+    let parsed = LadderSpec::parse("2objH,cutshortcut@t2,insens").expect("parses");
+    assert_eq!(parsed.spec(), "2objH,cutshortcut@t2,insens");
+    let rung = RungSpec::parse("cutshortcut").expect("bare rung parses");
+    assert_eq!(rung.spec(), "cutshortcut");
+}
+
+#[test]
+fn cutshortcut_thread_override_errors_are_spanned() {
+    let err = RungSpec::parse("cutshortcut@t2@t2").expect_err("duplicate must not parse");
+    assert!(
+        err.contains("duplicate thread override \"@t2\" at chars 14..17"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        err.contains("already set at chars 11..14"),
+        "error does not name the first suffix: {err}"
+    );
+    let err = RungSpec::parse("cutshortcut@t2@t5").expect_err("conflict must not parse");
+    assert!(
+        err.contains("conflicting thread override \"@t5\" at chars 14..17"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        err.contains("conflicts with \"@t2\" at chars 11..14"),
+        "error does not name the first suffix: {err}"
+    );
+}
+
+#[test]
+fn unknown_rung_flavor_error_lists_valid_names() {
+    // A typo'd rung gets the same teaching error as a typo'd
+    // `--analysis`: the full flavor grammar, cutshortcut included.
+    let err = RungSpec::parse("cutshort").expect_err("typo must not parse");
+    assert!(err.contains("unknown flavor \"cutshort\""), "{err}");
+    assert!(
+        err.contains("valid flavors are insens, cutshortcut"),
+        "{err}"
+    );
 }

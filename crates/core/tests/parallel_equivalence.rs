@@ -97,6 +97,24 @@ fn check_introspective(
     }
 }
 
+/// The cut-shortcut flavor also completes unbudgeted everywhere (it costs
+/// about what the insensitive baseline costs). Its caller-side shortcut
+/// loads/stores are registered at coordinator barriers, so this pins the
+/// sharded engine's cut handling to the sequential solver's.
+#[test]
+fn cutshortcut_is_identical_on_all_nine() {
+    for spec in dacapo::all_nine() {
+        let program = spec.build();
+        check_flavor(
+            &program,
+            &spec.name,
+            Flavor::CutShortcut,
+            Budget::unlimited(),
+            &[2, 4],
+        );
+    }
+}
+
 /// The insensitive baseline completes unbudgeted everywhere: pure
 /// complete-fixpoint equivalence over all nine workloads.
 #[test]

@@ -190,7 +190,7 @@ fn all_rungs_exhausted_salvages_best_partial() {
     assert_eq!(run.verdict, SupervisionVerdict::Exhausted);
     assert_eq!(run.exit_code(), 4);
     assert!(run.result.is_none());
-    assert_eq!(run.attempts.len(), 4, "every rung was attempted");
+    assert_eq!(run.attempts.len(), 5, "every rung was attempted");
     let salvaged = run.salvaged.expect("best partial kept");
     assert!(salvaged.outcome.is_partial());
     // Even the first pass only runs once when it exhausts.
@@ -351,9 +351,11 @@ fn ladder_spec_parses_and_round_trips() {
     assert_eq!(ladder.spec(), "2objH,introB:2objH,introA:2objH,insens");
 
     // `default` and the canonical expansion of a lone introspective rung.
+    // The default ladder lands on cutshortcut before the insensitive
+    // floor: near-insens cost, strictly better precision when cuts exist.
     assert_eq!(
         LadderSpec::parse("default").unwrap().spec(),
-        "2objH,introB:2objH,introA:2objH,insens"
+        "2objH,introB:2objH,introA:2objH,cutshortcut,insens"
     );
     assert_eq!(
         LadderSpec::parse("introspectiveB:2objH").unwrap().spec(),

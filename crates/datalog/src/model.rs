@@ -18,6 +18,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rudoop_core::context::{CtxId, CtxTables, HCtxId};
+use rudoop_core::cutshortcut::{CutSummary, ParamCut};
 use rudoop_core::policy::{ContextPolicy, RefinementSet};
 use rudoop_ir::{
     AllocId, ClassHierarchy, FieldId, Instruction, InvokeId, InvokeKind, MethodId, Program, VarId,
@@ -94,9 +95,30 @@ pub fn run_model(
     refined: &dyn ContextPolicy,
     refinement: &RefinementSet,
 ) -> Result<ModelResult, RuleError> {
+    run_model_with_cuts(program, hierarchy, default, refined, refinement, None)
+}
+
+/// [`run_model`] with an optional cut-shortcut summary: cut parameters and
+/// returns are excluded from the interprocedural-assignment rules and
+/// replaced by the three shortcut rules, mirroring the optimized solver's
+/// `cutshortcut` flavor. Passing `None` (or a summary with no cuts) leaves
+/// every rule's behavior unchanged.
+///
+/// # Errors
+///
+/// Propagates [`RuleError`] from rule construction (a bug, not an input
+/// condition — the rules are fixed).
+pub fn run_model_with_cuts(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    default: &dyn ContextPolicy,
+    refined: &dyn ContextPolicy,
+    refinement: &RefinementSet,
+    cuts: Option<&CutSummary>,
+) -> Result<ModelResult, RuleError> {
     let tables = Rc::new(RefCell::new(CtxTables::new()));
     let mut engine = Engine::new();
-    let rels = install_base_model(
+    let rels = install_base_model_with_cuts(
         &mut engine,
         &tables,
         program,
@@ -104,6 +126,7 @@ pub fn run_model(
         default,
         refined,
         refinement,
+        cuts,
     )?;
     let stats = engine.run()?;
     let mut result = extract_result(&engine, &rels, stats.rounds);
@@ -168,7 +191,8 @@ pub(crate) fn extract_result(engine: &Engine<'_>, rels: &BaseRels, rounds: u64) 
 /// Declares the Figure 2–3 relations, context-constructor functions, rules
 /// and program facts on `engine`, returning the relation handles extension
 /// rule sets need.
-pub(crate) fn install_base_model<'a>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn install_base_model_with_cuts<'a>(
     engine: &mut Engine<'a>,
     tables: &Rc<RefCell<CtxTables>>,
     program: &Program,
@@ -176,6 +200,7 @@ pub(crate) fn install_base_model<'a>(
     default: &'a dyn ContextPolicy,
     refined: &'a dyn ContextPolicy,
     refinement: &RefinementSet,
+    cuts: Option<&CutSummary>,
 ) -> Result<BaseRels, RuleError> {
     // ---- EDB relations (Figure 2's input relations) ----
     let alloc = engine.relation("ALLOC", 3); // var, heap, inMeth
@@ -197,6 +222,15 @@ pub(crate) fn install_base_model<'a>(
     let sitetorefine = engine.relation("SITETOREFINE", 2); // invo, meth
     let objecttorefine = engine.relation("OBJECTTOREFINE", 1); // heap
     let entry = engine.relation("ENTRY", 1); // meth
+
+    // ---- Cut-shortcut EDB (empty unless a `CutSummary` is supplied, in
+    // which case the pre-analysis pass dictates every tuple) ----
+    let callbase = engine.relation("CALLBASE", 2); // invo, base (receiver calls only)
+    let cutparam = engine.relation("CUTPARAM", 2); // meth, i — arg edge cut
+    let cutret = engine.relation("CUTRET", 2); // invo, meth — ret edge cut at this site
+    let idparam = engine.relation("IDPARAM", 2); // meth, i — identity shortcut
+    let setparam = engine.relation("SETPARAM", 3); // meth, i, fld — setter shortcut
+    let getreturn = engine.relation("GETRETURN", 2); // meth, fld — getter shortcut
 
     // ---- IDB relations (Figure 2's computed relations) ----
     let varpointsto = engine.relation("VARPOINTSTO", 4); // var, ctx, heap, hctx
@@ -274,7 +308,8 @@ pub(crate) fn install_base_model<'a>(
                rule: Result<crate::rule::Rule, RuleError>|
      -> Result<(), RuleError> { engine.add_rule(rule?) };
 
-    // INTERPROCASSIGN from arguments.
+    // INTERPROCASSIGN from arguments — except cut parameters, whose flow
+    // is rerouted by the shortcut rules below.
     add(
         engine,
         RuleBuilder::new("interproc-args")
@@ -282,9 +317,12 @@ pub(crate) fn install_base_model<'a>(
             .pos(callgraph, &["invo", "callerCtx", "meth", "calleeCtx"])
             .pos(formalarg, &["meth", "i", "to"])
             .pos(actualarg, &["invo", "i", "from"])
+            .neg(cutparam, &["meth", "i"])
             .build(),
     )?;
-    // INTERPROCASSIGN from returns.
+    // INTERPROCASSIGN from returns — except getter returns at receiver
+    // call sites (CUTRET is per (invo, meth): a baseless static call to a
+    // getter keeps its return edge, exactly as the solver does).
     add(
         engine,
         RuleBuilder::new("interproc-ret")
@@ -292,6 +330,48 @@ pub(crate) fn install_base_model<'a>(
             .pos(callgraph, &["invo", "callerCtx", "meth", "calleeCtx"])
             .pos(formalreturn, &["meth", "from"])
             .pos(actualreturn, &["invo", "to"])
+            .neg(cutret, &["invo", "meth"])
+            .build(),
+    )?;
+    // Cut-shortcut rules: each cut interprocedural flow is replaced by a
+    // caller-context-local shortcut (the paper-adjacent "context
+    // sensitivity without contexts" trick). Identity params jump the
+    // actual straight to the call result; setter params store it into the
+    // receiver's field; getter returns load the receiver's field into the
+    // result. All three stay entirely in `callerCtx`.
+    add(
+        engine,
+        RuleBuilder::new("shortcut-identity")
+            .head(varpointsto, &["to", "callerCtx", "heap", "hctx"])
+            .pos(callgraph, &["invo", "callerCtx", "meth", "_"])
+            .pos(idparam, &["meth", "i"])
+            .pos(actualarg, &["invo", "i", "from"])
+            .pos(actualreturn, &["invo", "to"])
+            .pos(varpointsto, &["from", "callerCtx", "heap", "hctx"])
+            .build(),
+    )?;
+    add(
+        engine,
+        RuleBuilder::new("shortcut-setter")
+            .head(fldpointsto, &["baseH", "baseHCtx", "fld", "heap", "hctx"])
+            .pos(callgraph, &["invo", "callerCtx", "meth", "_"])
+            .pos(setparam, &["meth", "i", "fld"])
+            .pos(actualarg, &["invo", "i", "from"])
+            .pos(callbase, &["invo", "base"])
+            .pos(varpointsto, &["base", "callerCtx", "baseH", "baseHCtx"])
+            .pos(varpointsto, &["from", "callerCtx", "heap", "hctx"])
+            .build(),
+    )?;
+    add(
+        engine,
+        RuleBuilder::new("shortcut-getter")
+            .head(varpointsto, &["to", "callerCtx", "heap", "hctx"])
+            .pos(callgraph, &["invo", "callerCtx", "meth", "_"])
+            .pos(getreturn, &["meth", "fld"])
+            .pos(actualreturn, &["invo", "to"])
+            .pos(callbase, &["invo", "base"])
+            .pos(varpointsto, &["base", "callerCtx", "baseH", "baseHCtx"])
+            .pos(fldpointsto, &["baseH", "baseHCtx", "fld", "heap", "hctx"])
             .build(),
     )?;
     // ALLOC, default context.
@@ -517,6 +597,50 @@ pub(crate) fn install_base_model<'a>(
             entry,
         },
     );
+
+    // ---- Cut-shortcut facts from the pre-analysis pass ----
+    if let Some(cuts) = cuts {
+        for (iid, inv) in program.invokes.iter() {
+            match inv.kind {
+                InvokeKind::Virtual { base, sig } => {
+                    engine.fact(callbase, &[iid.0, base.0]);
+                    // CUTRET pairs a call site with each plausible getter
+                    // target (same-signature methods are exactly the
+                    // dispatch range, mirroring SITETOREFINE's filter).
+                    for (mid, method) in program.methods.iter() {
+                        if method.sig == sig && cuts.getter_return(mid).is_some() {
+                            engine.fact(cutret, &[iid.0, mid.0]);
+                        }
+                    }
+                }
+                InvokeKind::Special { base, target } => {
+                    engine.fact(callbase, &[iid.0, base.0]);
+                    if cuts.getter_return(target).is_some() {
+                        engine.fact(cutret, &[iid.0, target.0]);
+                    }
+                }
+                InvokeKind::Static { .. } => {}
+            }
+        }
+        for (mid, method) in program.methods.iter() {
+            for i in 0..method.params.len() {
+                match cuts.param_cut(mid, i) {
+                    Some(ParamCut::Identity) => {
+                        engine.fact(cutparam, &[mid.0, i as Value]);
+                        engine.fact(idparam, &[mid.0, i as Value]);
+                    }
+                    Some(ParamCut::Setter(field)) => {
+                        engine.fact(cutparam, &[mid.0, i as Value]);
+                        engine.fact(setparam, &[mid.0, i as Value, field.0]);
+                    }
+                    None => {}
+                }
+            }
+            if let Some(field) = cuts.getter_return(mid) {
+                engine.fact(getreturn, &[mid.0, field.0]);
+            }
+        }
+    }
 
     Ok(BaseRels {
         mov,

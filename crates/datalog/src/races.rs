@@ -42,7 +42,7 @@ use rudoop_ir::{
 };
 
 use crate::engine::Engine;
-use crate::model::install_base_model;
+use crate::model::install_base_model_with_cuts;
 use crate::rule::{RuleBuilder, RuleError};
 
 /// The race relations computed by [`run_race_model`].
@@ -73,9 +73,29 @@ pub fn run_race_model(
     refined: &dyn ContextPolicy,
     refinement: &RefinementSet,
 ) -> Result<RaceModelResult, RuleError> {
+    run_race_model_with_cuts(program, hierarchy, default, refined, refinement, None)
+}
+
+/// [`run_race_model`] over the cut-shortcut base model (see
+/// [`crate::model::run_model_with_cuts`]). The EXEC and race rules are
+/// untouched; cuts reach the race set only through the base model's
+/// `VARPOINTSTO`/`CALLGRAPH` relations.
+///
+/// # Errors
+///
+/// Propagates [`RuleError`] from rule construction (a bug, not an input
+/// condition — the rules are fixed).
+pub fn run_race_model_with_cuts(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    default: &dyn ContextPolicy,
+    refined: &dyn ContextPolicy,
+    refinement: &RefinementSet,
+    cuts: Option<&rudoop_core::cutshortcut::CutSummary>,
+) -> Result<RaceModelResult, RuleError> {
     let tables = Rc::new(RefCell::new(CtxTables::new()));
     let mut engine = Engine::new();
-    let base = install_base_model(
+    let base = install_base_model_with_cuts(
         &mut engine,
         &tables,
         program,
@@ -83,6 +103,7 @@ pub fn run_race_model(
         default,
         refined,
         refinement,
+        cuts,
     )?;
 
     // ---- Concurrency EDB ----

@@ -45,7 +45,7 @@ use rudoop_core::policy::{ContextPolicy, RefinementSet};
 use rudoop_ir::{ClassHierarchy, InvokeId, Program, TaintSpec};
 
 use crate::engine::Engine;
-use crate::model::install_base_model;
+use crate::model::install_base_model_with_cuts;
 use crate::rule::{RuleBuilder, RuleError};
 
 /// The taint relations computed by [`run_taint_model`].
@@ -76,9 +76,32 @@ pub fn run_taint_model(
     refined: &dyn ContextPolicy,
     refinement: &RefinementSet,
 ) -> Result<TaintModelResult, RuleError> {
+    run_taint_model_with_cuts(program, hierarchy, spec, default, refined, refinement, None)
+}
+
+/// [`run_taint_model`] over the cut-shortcut base model (see
+/// [`crate::model::run_model_with_cuts`]). The taint rules themselves are
+/// untouched — they propagate through `CALLGRAPH`/`FORMALARG` directly, so
+/// cuts only affect them via the smaller `VARPOINTSTO` at load/store
+/// bases, exactly like the optimized taint client.
+///
+/// # Errors
+///
+/// Propagates [`RuleError`] from rule construction (a bug, not an input
+/// condition — the rules are fixed).
+#[allow(clippy::too_many_arguments)]
+pub fn run_taint_model_with_cuts(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    spec: &TaintSpec,
+    default: &dyn ContextPolicy,
+    refined: &dyn ContextPolicy,
+    refinement: &RefinementSet,
+    cuts: Option<&rudoop_core::cutshortcut::CutSummary>,
+) -> Result<TaintModelResult, RuleError> {
     let tables = Rc::new(RefCell::new(CtxTables::new()));
     let mut engine = Engine::new();
-    let base = install_base_model(
+    let base = install_base_model_with_cuts(
         &mut engine,
         &tables,
         program,
@@ -86,6 +109,7 @@ pub fn run_taint_model(
         default,
         refined,
         refinement,
+        cuts,
     )?;
 
     // ---- Taint EDB ----

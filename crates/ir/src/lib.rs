@@ -44,6 +44,7 @@
 
 pub mod arbitrary;
 pub mod builder;
+pub mod flow;
 pub mod hierarchy;
 pub mod ids;
 pub mod program;
@@ -54,6 +55,7 @@ pub mod text;
 pub mod validate;
 
 pub use builder::ProgramBuilder;
+pub use flow::{CopyKind, FlowGraph, VarUse};
 pub use hierarchy::ClassHierarchy;
 pub use ids::{AllocId, ClassId, FieldId, GlobalId, Idx, IdxVec, InvokeId, MethodId, SigId, VarId};
 pub use program::{

@@ -9,8 +9,8 @@
 //!
 //! options:
 //!   --analysis <name>    points-to policy backing the tier-2 lints:
-//!                        insens | 1call | 2callH | 1objH | 2objH |
-//!                        2typeH | S2objH            (default: insens)
+//!                        insens | cutshortcut | 1call | 2callH | 1objH |
+//!                        2objH | 2typeH | S2objH    (default: insens)
 //!   --no-points-to       skip the analysis; run only tier-1 lints
 //!   --timeout <secs>     wall-clock deadline for the backing analysis
 //!                        (watchdog-cancelled). If it fires, tier-2 lints
@@ -114,8 +114,8 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--analysis" => {
                 let name = args.next().unwrap_or_else(|| usage());
-                opts.flavor = Flavor::parse(&name).unwrap_or_else(|| {
-                    eprintln!("unknown analysis {name:?}");
+                opts.flavor = Flavor::parse(&name).unwrap_or_else(|err| {
+                    eprintln!("{err}");
                     usage()
                 });
             }

@@ -7,8 +7,8 @@
 //!   @<name>              a built-in DaCapo-shaped benchmark (e.g. @pmd)
 //!
 //! options:
-//!   --analysis <name>    insens | 1call | 2callH | 1objH | 2objH |
-//!                        2typeH | S2objH            (default: 2objH)
+//!   --analysis <name>    insens | cutshortcut | 1call | 2callH | 1objH |
+//!                        2objH | 2typeH | S2objH    (default: 2objH)
 //!   --introspective <h>  A | B — run the two-pass introspective variant
 //!   --ladder <spec>      run a degradation ladder (comma-separated rungs,
 //!                        e.g. 2objH,introB:2objH,insens; `default`; or a
@@ -172,8 +172,8 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--analysis" => {
                 let name = args.next().unwrap_or_else(|| usage());
-                opts.flavor = Flavor::parse(&name).unwrap_or_else(|| {
-                    eprintln!("unknown analysis {name:?}");
+                opts.flavor = Flavor::parse(&name).unwrap_or_else(|err| {
+                    eprintln!("{err}");
                     usage()
                 });
             }

@@ -113,8 +113,8 @@ fn parse_args() -> Options {
             }
             "--analysis" => {
                 let name = args.next().unwrap_or_else(|| usage());
-                opts.flavor = Flavor::parse(&name).unwrap_or_else(|| {
-                    eprintln!("unknown analysis {name:?}");
+                opts.flavor = Flavor::parse(&name).unwrap_or_else(|err| {
+                    eprintln!("{err}");
                     usage()
                 });
             }
