@@ -18,9 +18,10 @@ use crate::heuristics::{RefinementHeuristic, RefinementStats};
 use crate::introspection::IntrospectionMetrics;
 use crate::policy::{
     CallSiteSensitive, ContextPolicy, CutShortcut, HybridObjectSensitive, Insensitive,
-    Introspective, ObjectSensitive, RefinementSet, TypeSensitive,
+    Introspective, ObjectSensitive, RefinementSet, Summaries, TypeSensitive,
 };
 use crate::solver::{analyze, PointsToResult, SolverConfig};
+use crate::summaries::SummaryTable;
 
 /// A named context-sensitivity flavor, as in the paper's evaluation
 /// (e.g. `Flavor::Object { k: 2, heap_k: 1 }` is `2objH`).
@@ -61,6 +62,11 @@ pub enum Flavor {
     /// cuts and per-call-site shortcut edges of the
     /// [`crate::cutshortcut`] pre-analysis applied inside the solver.
     CutShortcut,
+    /// The summary-based compositional engine: context-free, but every
+    /// call to a method the bottom-up [`crate::summaries`] pre-analysis
+    /// distilled gets its `ret → result` edge replaced by per-site
+    /// instantiations of the method's summary atoms.
+    Summaries,
 }
 
 /// The error of [`Flavor::parse`]: an unrecognized flavor name, with the
@@ -83,7 +89,7 @@ impl fmt::Display for FlavorParseError {
         write!(
             f,
             "unknown flavor {:?}: valid flavors are insens, cutshortcut, \
-             <k>call[H], <k>obj[H], <k>type[H], and S<k>obj[H] \
+             summaries, <k>call[H], <k>obj[H], <k>type[H], and S<k>obj[H] \
              (e.g. 2objH, 2typeH, 2callH, S2objH)",
             self.name
         )
@@ -111,14 +117,20 @@ impl Flavor {
             Flavor::Type { k, heap_k } => Box::new(TypeSensitive::new(k, heap_k, program)),
             Flavor::Hybrid { k, heap_k } => Box::new(HybridObjectSensitive::new(k, heap_k)),
             Flavor::CutShortcut => Box::new(CutShortcut),
+            Flavor::Summaries => Box::new(Summaries),
         }
     }
 
     /// Prepares the solver configuration for this flavor. For
     /// [`Flavor::CutShortcut`] this runs the cut-shortcut pre-analysis
     /// (under its `cutshortcut-pass` telemetry span) and injects the
-    /// summary into [`SolverConfig::cuts`]; every other flavor clears the
-    /// field so cuts never leak between rungs sharing a base config.
+    /// summary into [`SolverConfig::cuts`]; for [`Flavor::Summaries`] it
+    /// runs the bottom-up summary pre-analysis (under `summaries-pass`)
+    /// and injects the table into [`SolverConfig::summaries`] — unless a
+    /// warm table is already present (the daemon's warm-summary cache), in
+    /// which case the warm table is used as is. Every other flavor clears
+    /// both fields so pre-analyses never leak between rungs sharing a base
+    /// config.
     pub fn prepare_config(self, program: &Program, config: &SolverConfig) -> SolverConfig {
         let mut config = config.clone();
         config.cuts = match self {
@@ -126,6 +138,21 @@ impl Flavor {
                 program,
                 &config.telemetry,
             ))),
+            _ => None,
+        };
+        config.summaries = match self {
+            Flavor::Summaries => match config.summaries.take() {
+                Some(warm) => Some(warm),
+                None => {
+                    let hierarchy = ClassHierarchy::new(program);
+                    Some(Arc::new(SummaryTable::compute_traced(
+                        program,
+                        &hierarchy,
+                        config.parallelism.thread_count(),
+                        &config.telemetry,
+                    )))
+                }
+            },
             _ => None,
         };
         config
@@ -153,6 +180,9 @@ impl Flavor {
         }
         if name == "cutshortcut" {
             return Some(Flavor::CutShortcut);
+        }
+        if name == "summaries" {
+            return Some(Flavor::Summaries);
         }
         let (hybrid, rest) = match name.strip_prefix('S') {
             Some(r) => (true, r),
@@ -201,6 +231,7 @@ impl Flavor {
             Flavor::Type { k, heap_k } => format!("{k}type{}", h(heap_k)),
             Flavor::Hybrid { k, heap_k } => format!("S{k}obj{}", h(heap_k)),
             Flavor::CutShortcut => "cutshortcut".to_owned(),
+            Flavor::Summaries => "summaries".to_owned(),
         }
     }
 }
@@ -304,6 +335,13 @@ pub fn analyze_introspective_from(
         Flavor::CutShortcut => {
             let config = Flavor::CutShortcut.prepare_config(program, config);
             analyze(program, hierarchy, &CutShortcut, &config)
+        }
+        // Summary precision is likewise not per-element: the distilled
+        // table applies at every call site, so the refinement sets are
+        // computed (for their stats) but do not steer the run.
+        Flavor::Summaries => {
+            let config = Flavor::Summaries.prepare_config(program, config);
+            analyze(program, hierarchy, &Summaries, &config)
         }
         Flavor::CallSite { k, heap_k } => {
             let policy = Introspective::new(
@@ -465,6 +503,16 @@ mod tests {
     }
 
     #[test]
+    fn summaries_flavor_parses_and_round_trips() {
+        assert_eq!(Flavor::parse("summaries").unwrap(), Flavor::Summaries);
+        assert_eq!(Flavor::Summaries.spec_name(), "summaries");
+        assert_eq!(
+            Flavor::parse(&Flavor::Summaries.spec_name()).unwrap(),
+            Flavor::Summaries
+        );
+    }
+
+    #[test]
     fn flavor_parse_error_enumerates_valid_names() {
         // The exact wording is shared by `rudoop`, `rudoop-lint`,
         // `rudoopd`, and ladder-spec parsing — a typo'd `--analysis`
@@ -474,7 +522,7 @@ mod tests {
         assert_eq!(
             err.to_string(),
             "unknown flavor \"3foo\": valid flavors are insens, cutshortcut, \
-             <k>call[H], <k>obj[H], <k>type[H], and S<k>obj[H] \
+             summaries, <k>call[H], <k>obj[H], <k>type[H], and S<k>obj[H] \
              (e.g. 2objH, 2typeH, 2callH, S2objH)"
         );
     }

@@ -70,6 +70,7 @@ pub mod service;
 pub mod shard;
 pub mod solver;
 pub mod stats;
+pub mod summaries;
 pub mod supervisor;
 pub mod taint;
 pub mod telemetry;
@@ -87,7 +88,7 @@ pub use introspection::IntrospectionMetrics;
 pub use parallel::Parallelism;
 pub use policy::{
     CallSiteSensitive, ContextPolicy, CutShortcut, HybridObjectSensitive, Insensitive,
-    Introspective, ObjectSensitive, RefinementSet, TypeSensitive,
+    Introspective, ObjectSensitive, RefinementSet, Summaries, TypeSensitive,
 };
 pub use races::{
     analyze_races, supervised_races, Race, RaceAccess, RaceError, RaceKey, RaceResult,
@@ -98,6 +99,7 @@ pub use solver::{
     SolverError, SolverStats,
 };
 pub use stats::{render_supervised, ResultStats, SizeHistogram};
+pub use summaries::{MethodSummary, SummaryAtom, SummaryStats, SummaryTable};
 pub use supervisor::{
     supervise, HeuristicChoice, LadderSpec, RungKind, RungReport, RungSpec, SalvagedFacts,
     SupervisedRun, SupervisionVerdict, SupervisorConfig,

@@ -80,7 +80,7 @@ use rudoop_ir::{
 };
 
 use crate::bitset::IdBitSet;
-use crate::context::{CObj, CtxId, CtxTables};
+use crate::context::{CObj, CtxId, CtxTables, HCtxId};
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::policy::ContextPolicy;
 use crate::shard::ShardMap;
@@ -619,6 +619,15 @@ impl<'p> Engine<'p> {
             self.program.invokes[invoke].result,
             self.program.methods[target].ret,
         ) {
+            // Distilled summary: instantiate the callee's atoms at this
+            // site instead of the conflating `ret → result` edge,
+            // mirroring the sequential solver exactly (the only difference
+            // is `send_obj`, the coordinator-side object insertion).
+            let summaries = self.config.summaries.clone();
+            if let Some(atoms) = summaries.as_deref().and_then(|t| t.distilled_atoms(target)) {
+                self.instantiate_summary(invoke, caller, callee, result, atoms)?;
+                return Ok(());
+            }
             // Getter cut: load the field off this site's receiver objects
             // straight into the result, registered like a `Load`.
             let getter = cuts
@@ -640,6 +649,53 @@ impl<'p> Engine<'p> {
                 let from = self.var_node(ret, callee)?;
                 let to = self.var_node(result, caller)?;
                 self.add_edge(from, to);
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiates a distilled method summary at one call site — the
+    /// sharded mirror of the sequential solver's `instantiate_summary`.
+    /// Runs only at the barrier on the coordinator's thread, like the rest
+    /// of `add_call_edge`.
+    fn instantiate_summary(
+        &mut self,
+        invoke: InvokeId,
+        caller: CtxId,
+        callee: CtxId,
+        result: VarId,
+        atoms: &[crate::summaries::SummaryAtom],
+    ) -> Result<(), SolverError> {
+        use crate::summaries::SummaryAtom;
+        let to = self.var_node(result, caller)?;
+        for &atom in atoms {
+            match atom {
+                SummaryAtom::ParamToRet(m, i) => {
+                    let param = self.program.methods[m].params[i];
+                    let from = self.var_node(param, callee)?;
+                    self.add_edge(from, to);
+                }
+                SummaryAtom::ThisFieldToRet(field) => {
+                    if let Some(base) = self.invoke_base(invoke) {
+                        let b = self.var_node(base, caller)?;
+                        self.shards[b.shard()].loads[b.idx()].push((field, to));
+                        let existing: Vec<u64> = self.shards[b.shard()].pts[b.idx()]
+                            .iter()
+                            .copied()
+                            .collect();
+                        for o in existing {
+                            let fnode = self.field_node(CObj(o), field)?;
+                            self.add_edge(fnode, to);
+                        }
+                    }
+                }
+                SummaryAtom::AllocToRet(h) => {
+                    self.send_obj(to, CObj::new(h, HCtxId::EMPTY).0);
+                }
+                SummaryAtom::GlobalToRet(g) => {
+                    let from = self.global_node(g)?;
+                    self.add_edge(from, to);
+                }
             }
         }
         Ok(())

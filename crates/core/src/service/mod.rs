@@ -30,7 +30,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use rudoop_ir::{ClassHierarchy, Program, TaintSpec};
@@ -40,7 +40,8 @@ use crate::policy::Insensitive;
 use crate::races::supervised_races_traced;
 use crate::solver::{analyze, Budget, CancelToken, PointsToResult, SolverConfig};
 use crate::stats::{render_dump, render_pts, ResultStats};
-use crate::supervisor::{supervise, LadderSpec, SupervisedRun, SupervisorConfig};
+use crate::summaries::SummaryTable;
+use crate::supervisor::{supervise, LadderSpec, RungKind, SupervisedRun, SupervisorConfig};
 use crate::taint::supervised_taint_traced;
 use crate::telemetry::TelemetryHandle;
 
@@ -123,6 +124,11 @@ pub struct ServiceCounters {
     pub shed: AtomicU64,
     /// Accepted requests whose ladder verdict was degraded or exhausted.
     pub degraded: AtomicU64,
+    /// Summaries-flavored requests that reused the warm summary table.
+    pub summary_cache_hits: AtomicU64,
+    /// Summaries-flavored requests that had to compute the summary table
+    /// (at most 1 per resident program: the table is cached forever).
+    pub summary_cache_misses: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -138,6 +144,14 @@ impl ServiceCounters {
             t.counter(
                 "service.requests_degraded",
                 self.degraded.load(Ordering::Relaxed),
+            );
+            t.counter(
+                "service.summary_cache_hits",
+                self.summary_cache_hits.load(Ordering::Relaxed),
+            );
+            t.counter(
+                "service.summary_cache_misses",
+                self.summary_cache_misses.load(Ordering::Relaxed),
             );
         }
     }
@@ -156,6 +170,7 @@ pub struct ServiceState {
     /// Service counters (flushed to telemetry at shutdown).
     pub counters: ServiceCounters,
     warm: Option<Arc<PointsToResult>>,
+    warm_summary_table: Mutex<Option<Arc<SummaryTable>>>,
     handlers: HashMap<String, Box<dyn QueryHandler>>,
     admission: Admission,
     ordinal: AtomicU64,
@@ -194,6 +209,7 @@ impl ServiceState {
             config,
             counters: ServiceCounters::default(),
             warm,
+            warm_summary_table: Mutex::new(None),
             handlers: HashMap::new(),
             admission,
             ordinal: AtomicU64::new(0),
@@ -222,6 +238,51 @@ impl ServiceState {
         self.warm.as_ref()
     }
 
+    /// The warm summary table for ladders that contain a `summaries`
+    /// rung — the daemon's first *context-sensitive* warm cache.
+    ///
+    /// The first summaries-flavored request pays the bottom-up SCC pass
+    /// (`service.summary_cache_misses`); every later one reuses the table
+    /// (`service.summary_cache_hits`). The table is a pure function of
+    /// the resident program, so warm and cold runs are byte-identical by
+    /// construction. Ladders without a summaries rung return `None`
+    /// without touching the cache or its counters.
+    pub fn warm_summaries(&self, ladder: &LadderSpec) -> Option<Arc<SummaryTable>> {
+        let wants = ladder.rungs.iter().any(|rung| {
+            matches!(
+                rung.kind,
+                RungKind::Direct(Flavor::Summaries)
+                    | RungKind::Introspective {
+                        flavor: Flavor::Summaries,
+                        ..
+                    }
+            )
+        });
+        if !wants {
+            return None;
+        }
+        let mut slot = self
+            .warm_summary_table
+            .lock()
+            .expect("summary cache poisoned");
+        match &*slot {
+            Some(table) => {
+                self.counters
+                    .summary_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(table))
+            }
+            None => {
+                self.counters
+                    .summary_cache_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                let table = Arc::new(SummaryTable::compute(&self.program, &self.hierarchy));
+                *slot = Some(Arc::clone(&table));
+                Some(table)
+            }
+        }
+    }
+
     /// Runs one accepted query under the supervisor and renders its
     /// response document. `cancel` is the per-request token (wired to
     /// client disconnect and to the `cancel-mid-rung` fault).
@@ -247,6 +308,7 @@ impl ServiceState {
         if let Some(ms) = query.budget.ms {
             budget = budget.and_duration(Duration::from_millis(ms));
         }
+        let warm_summaries = self.warm_summaries(&ladder);
         let cfg = SupervisorConfig {
             ladder,
             budget,
@@ -262,6 +324,7 @@ impl ServiceState {
             },
             watchdog: query.budget.ms.is_some(),
             warm_first_pass: self.warm.clone(),
+            warm_summaries,
         };
         let run = supervise(&self.program, &self.hierarchy, &cfg);
         // The degraded flag tracks the ladder verdict, not the rendering:

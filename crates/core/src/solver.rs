@@ -293,6 +293,12 @@ pub struct SolverConfig {
     /// caller-side stores and loads) — the [`crate::cutshortcut`] engine.
     /// `None` (the default) analyzes every call edge as written.
     pub cuts: Option<Arc<crate::cutshortcut::CutSummary>>,
+    /// Summary-table output of the bottom-up compositional pre-analysis.
+    /// When present, the solver replaces the `ret → result` edge of every
+    /// call to a distilled method with per-site instantiations of its
+    /// summary atoms — the [`crate::summaries`] engine. `None` (the
+    /// default) analyzes every return edge as written.
+    pub summaries: Option<Arc<crate::summaries::SummaryTable>>,
     /// Thread count (default: sequential). More than one thread runs the
     /// byte-identical sharded engine in [`crate::parallel`].
     pub parallelism: crate::parallel::Parallelism,
@@ -801,6 +807,14 @@ impl<'p> Solver<'p> {
             self.program.invokes[invoke].result,
             self.program.methods[target].ret,
         ) {
+            // Distilled summary: instantiate the callee's atoms at this
+            // site instead of the conflating `ret → result` edge — the
+            // summary-based compositional engine.
+            let summaries = self.config.summaries.clone();
+            if let Some(atoms) = summaries.as_deref().and_then(|t| t.distilled_atoms(target)) {
+                self.instantiate_summary(invoke, caller, callee, result, atoms)?;
+                return Ok(());
+            }
             // Getter cut: load the field off *this site's* receiver objects
             // straight into the result, skipping the shared formal return.
             let getter = cuts
@@ -819,6 +833,65 @@ impl<'p> Solver<'p> {
                 let from = self.var_node(ret, callee)?;
                 let to = self.var_node(result, caller)?;
                 self.add_edge(from, to);
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiates a distilled method summary at one call site: each atom
+    /// becomes a shortcut edge from the callee's formal parameter
+    /// (`ParamToRet`) or the global slot (`GlobalToRet`), a
+    /// receiver-registered load (`ThisFieldToRet`, handled exactly like a
+    /// getter cut), or a direct object insertion (`AllocToRet`, under the
+    /// empty heap context the summaries policy records).
+    ///
+    /// `ParamToRet` deliberately reads the *formal* parameter (the union
+    /// over all call sites) of the method the atom names — the summarized
+    /// callee itself, or a transitive callee for atoms inherited through
+    /// composition — not this site's actual argument: a per-site argument
+    /// edge would make summaries strictly more precise than `2objH`
+    /// wherever that flavor conflates call sites (static calls, shared
+    /// receiver objects, conflated inner callees), breaking the pinned
+    /// soundness chain `pts(2objH) ⊆ pts(summaries)`. The per-site
+    /// precision win comes from `ThisFieldToRet`, which filters the field
+    /// read through this site's receiver objects only. The formal is read
+    /// under `callee` — the summaries policy is context-free, so this is
+    /// the single context every method runs under.
+    fn instantiate_summary(
+        &mut self,
+        invoke: InvokeId,
+        caller: CtxId,
+        callee: CtxId,
+        result: VarId,
+        atoms: &[crate::summaries::SummaryAtom],
+    ) -> Result<(), SolverError> {
+        use crate::summaries::SummaryAtom;
+        let to = self.var_node(result, caller)?;
+        for &atom in atoms {
+            match atom {
+                SummaryAtom::ParamToRet(m, i) => {
+                    let param = self.program.methods[m].params[i];
+                    let from = self.var_node(param, callee)?;
+                    self.add_edge(from, to);
+                }
+                SummaryAtom::ThisFieldToRet(field) => {
+                    if let Some(base) = self.invoke_base(invoke) {
+                        let b = self.var_node(base, caller)?;
+                        self.loads[b.0 as usize].push((field, to));
+                        let existing: Vec<u64> = self.pts[b.0 as usize].iter().copied().collect();
+                        for o in existing {
+                            let fnode = self.field_node(CObj(o), field)?;
+                            self.add_edge(fnode, to);
+                        }
+                    }
+                }
+                SummaryAtom::AllocToRet(h) => {
+                    self.add_obj(to, CObj::new(h, HCtxId::EMPTY).0);
+                }
+                SummaryAtom::GlobalToRet(g) => {
+                    let from = self.global_node(g)?;
+                    self.add_edge(from, to);
+                }
             }
         }
         Ok(())

@@ -353,6 +353,14 @@ pub struct SupervisorConfig {
     /// pass still exhausts exactly where a cold run would. Wall-clock
     /// limits are deliberately not consulted (they are not deterministic).
     pub warm_first_pass: Option<Arc<PointsToResult>>,
+    /// A pre-computed summary table, shared across supervised runs by a
+    /// resident service (`rudoopd`'s warm summary cache — the first
+    /// *context-sensitive* warm artifact). `summaries` rungs inject it
+    /// into the solver configuration instead of recomputing the bottom-up
+    /// pass; the table is a pure function of the program, so a warm run is
+    /// byte-identical to a cold one by construction and needs no budget
+    /// admission test.
+    pub warm_summaries: Option<Arc<crate::summaries::SummaryTable>>,
 }
 
 /// Whether `stats` (of a completed run) fits inside `budget` — the warm
@@ -622,9 +630,25 @@ pub fn supervise(
         // Fresh token per rung: a watchdog firing on rung i must not
         // instantly cancel rung i+1.
         let rung_token = CancelToken::new();
+        // A warm summary table (resident service) is injected into
+        // `summaries` rungs; `Flavor::prepare_config` then reuses it
+        // instead of recomputing the bottom-up pass.
+        let rung_flavor = match &rung.kind {
+            RungKind::Direct(flavor) => *flavor,
+            RungKind::Introspective { flavor, .. } => *flavor,
+        };
+        let warm_summaries = (rung_flavor == Flavor::Summaries)
+            .then(|| cfg.warm_summaries.clone())
+            .flatten();
+        if warm_summaries.is_some() {
+            if let Some(t) = tele.as_deref() {
+                t.instant("warm-summaries-reused", vec![]);
+            }
+        }
         let rung_config = SolverConfig {
             budget: cfg.budget,
             cancel: Some(rung_token.clone()),
+            summaries: warm_summaries,
             parallelism: rung
                 .threads
                 .map(Parallelism::threads)

@@ -11,9 +11,10 @@ use rudoop_core::driver::Flavor;
 use rudoop_core::supervisor::{LadderSpec, RungSpec};
 use rudoop_ir::rng::SplitMix64;
 
-const FLAVORS: [&str; 8] = [
+const FLAVORS: [&str; 9] = [
     "insens",
     "cutshortcut",
+    "summaries",
     "1call",
     "2callH",
     "1objH",
@@ -26,9 +27,10 @@ const FLAVORS: [&str; 8] = [
 /// thread override) in its canonical rendering.
 fn gen_rung(rng: &mut SplitMix64) -> String {
     let flavor = FLAVORS[rng.below(FLAVORS.len())];
-    // The two context-free rungs never take an introspective prefix:
+    // The three context-free rungs never take an introspective prefix:
     // there is nothing for a heuristic to refine.
-    let mut spec = if flavor != "insens" && flavor != "cutshortcut" && rng.ratio(1, 2) {
+    let context_free = matches!(flavor, "insens" | "cutshortcut" | "summaries");
+    let mut spec = if !context_free && rng.ratio(1, 2) {
         let letter = if rng.ratio(1, 2) { 'A' } else { 'B' };
         format!("intro{letter}:{flavor}")
     } else {
@@ -165,13 +167,43 @@ fn cutshortcut_thread_override_errors_are_spanned() {
 }
 
 #[test]
+fn summaries_rungs_round_trip_with_thread_overrides() {
+    let parsed = LadderSpec::parse("2objH,summaries@t4,insens").expect("parses");
+    assert_eq!(parsed.spec(), "2objH,summaries@t4,insens");
+    let rung = RungSpec::parse("summaries").expect("bare rung parses");
+    assert_eq!(rung.spec(), "summaries");
+}
+
+#[test]
+fn summaries_thread_override_errors_are_spanned() {
+    let err = RungSpec::parse("summaries@t2@t2").expect_err("duplicate must not parse");
+    assert!(
+        err.contains("duplicate thread override \"@t2\" at chars 12..15"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        err.contains("already set at chars 9..12"),
+        "error does not name the first suffix: {err}"
+    );
+    let err = RungSpec::parse("summaries@t2@t5").expect_err("conflict must not parse");
+    assert!(
+        err.contains("conflicting thread override \"@t5\" at chars 12..15"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        err.contains("conflicts with \"@t2\" at chars 9..12"),
+        "error does not name the first suffix: {err}"
+    );
+}
+
+#[test]
 fn unknown_rung_flavor_error_lists_valid_names() {
     // A typo'd rung gets the same teaching error as a typo'd
-    // `--analysis`: the full flavor grammar, cutshortcut included.
+    // `--analysis`: the full flavor grammar, all six named families.
     let err = RungSpec::parse("cutshort").expect_err("typo must not parse");
     assert!(err.contains("unknown flavor \"cutshort\""), "{err}");
     assert!(
-        err.contains("valid flavors are insens, cutshortcut"),
+        err.contains("valid flavors are insens, cutshortcut, summaries"),
         "{err}"
     );
 }

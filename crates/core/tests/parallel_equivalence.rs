@@ -115,6 +115,26 @@ fn cutshortcut_is_identical_on_all_nine() {
     }
 }
 
+/// The summaries flavor completes unbudgeted everywhere (it costs about
+/// what the insensitive baseline costs). Both layers are exercised at
+/// once: the bottom-up table is computed level-parallel when `--threads`
+/// is set, and the atoms are instantiated at coordinator barriers in the
+/// sharded engine — stats, projections, and exit conditions must still be
+/// byte-identical to the fully sequential run at every thread count.
+#[test]
+fn summaries_are_identical_on_all_nine() {
+    for spec in dacapo::all_nine() {
+        let program = spec.build();
+        check_flavor(
+            &program,
+            &spec.name,
+            Flavor::Summaries,
+            Budget::unlimited(),
+            &[2, 4, 8],
+        );
+    }
+}
+
 /// The insensitive baseline completes unbudgeted everywhere: pure
 /// complete-fixpoint equivalence over all nine workloads.
 #[test]

@@ -362,3 +362,61 @@ fn tight_budget_degrades_down_the_ladder() {
     }
     handle.stop();
 }
+
+/// The warm summary cache: the first `summaries` query computes the
+/// bottom-up table (one miss), every later one reuses it (hits) — the
+/// daemon's first *context-sensitive* warm artifact. The table is a pure
+/// function of the resident program, so warm responses are byte-identical
+/// to the cold one, and non-summaries queries never touch the cache.
+#[test]
+fn warm_summary_cache_serves_repeated_queries() {
+    let (handle, state, addr) = service("antlr", ServiceConfig::default());
+
+    // A non-summaries query leaves the cache untouched.
+    let response = send_once(&addr, &quick_stats()).expect("insens query");
+    assert_eq!(expect_doc(response).0, "complete");
+    assert_eq!(state.counters.summary_cache_hits.load(Ordering::SeqCst), 0);
+    assert_eq!(
+        state.counters.summary_cache_misses.load(Ordering::SeqCst),
+        0
+    );
+
+    let summaries_stats = || {
+        Request::Query(QueryRequest {
+            kind: "stats".to_owned(),
+            ladder: Some("summaries".to_owned()),
+            ..QueryRequest::default()
+        })
+    };
+
+    // Cold: the table is computed and cached — exactly one miss.
+    let cold = send_once(&addr, &summaries_stats()).expect("cold summaries query");
+    let (status, exit_code, cold_doc) = expect_doc(cold);
+    assert_eq!((status.as_str(), exit_code), ("complete", 0));
+    assert_eq!(state.counters.summary_cache_hits.load(Ordering::SeqCst), 0);
+    assert_eq!(
+        state.counters.summary_cache_misses.load(Ordering::SeqCst),
+        1
+    );
+
+    // Warm: served from the cached table, byte-identical documents.
+    for round in 1..=2u64 {
+        let warm = send_once(&addr, &summaries_stats()).expect("warm summaries query");
+        let (status, exit_code, warm_doc) = expect_doc(warm);
+        assert_eq!((status.as_str(), exit_code), ("complete", 0));
+        assert_eq!(
+            warm_doc, cold_doc,
+            "warm summaries run must reproduce the cold document byte for byte"
+        );
+        assert_eq!(
+            state.counters.summary_cache_hits.load(Ordering::SeqCst),
+            round
+        );
+        assert_eq!(
+            state.counters.summary_cache_misses.load(Ordering::SeqCst),
+            1,
+            "the table is computed at most once per resident program"
+        );
+    }
+    handle.stop();
+}

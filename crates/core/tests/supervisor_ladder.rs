@@ -82,6 +82,7 @@ fn ladder_degrades_to_introspective() {
         solver: SolverConfig::default(),
         watchdog: false,
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
 
@@ -137,6 +138,7 @@ fn supervised_run_is_reproducible() {
         solver: SolverConfig::default(),
         watchdog: false,
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let a = supervise(&program, &hierarchy, &cfg);
     let b = supervise(&program, &hierarchy, &cfg);
@@ -185,6 +187,7 @@ fn all_rungs_exhausted_salvages_best_partial() {
         solver: SolverConfig::default(),
         watchdog: false,
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     assert_eq!(run.verdict, SupervisionVerdict::Exhausted);
@@ -207,6 +210,7 @@ fn complete_first_rung_is_verdict_complete() {
         solver: SolverConfig::default(),
         watchdog: false,
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     assert_eq!(run.verdict, SupervisionVerdict::Complete);
@@ -255,6 +259,7 @@ fn ladder_recovers_from_capacity_exceeded() {
         },
         watchdog: false,
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     // 2objH trips the context cap; insens needs no new contexts and
@@ -310,6 +315,7 @@ fn watchdog_enforces_wall_clock_deadline() {
         solver: SolverConfig::default(),
         watchdog: true,
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     // Either the in-loop wall-clock check or the watchdog stops the rung;
@@ -336,6 +342,7 @@ fn external_cancellation_skips_remaining_rungs() {
         },
         watchdog: false,
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     assert_eq!(run.verdict, SupervisionVerdict::Exhausted);
@@ -385,6 +392,7 @@ fn warm_first_pass_is_reused_when_budget_admits_it() {
         solver: SolverConfig::default(),
         watchdog: false,
         warm_first_pass,
+        warm_summaries: None,
     };
     let warm_run = supervise(&program, &hierarchy, &cfg(Some(std::sync::Arc::new(warm))));
     let cold_run = supervise(&program, &hierarchy, &cfg(None));
@@ -423,6 +431,7 @@ fn warm_first_pass_is_rejected_when_budget_would_not_admit_it() {
         solver: SolverConfig::default(),
         watchdog: false,
         warm_first_pass,
+        warm_summaries: None,
     };
     let warm_run = supervise(&program, &hierarchy, &cfg(Some(std::sync::Arc::new(warm))));
     let cold_run = supervise(&program, &hierarchy, &cfg(None));

@@ -152,6 +152,7 @@ fn ladder_emits_one_rung_span_per_attempt() {
         },
         watchdog: false,
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let run = supervise(&program, &hierarchy, &cfg);
     assert!(run.attempts.len() > 1, "ladder must actually degrade");
@@ -282,6 +283,8 @@ fn service_counter_stream_is_run_invariant() {
         "service.requests_accepted=2",
         "service.requests_shed=1",
         "service.requests_degraded=0",
+        "service.summary_cache_hits=0",
+        "service.summary_cache_misses=0",
     ] {
         assert!(
             first.lines().any(|l| l == line),
@@ -294,4 +297,6 @@ fn service_counter_stream_is_run_invariant() {
     assert!(pos("service.client_retries") < pos("service.requests_accepted"));
     assert!(pos("service.requests_accepted") < pos("service.requests_shed"));
     assert!(pos("service.requests_shed") < pos("service.requests_degraded"));
+    assert!(pos("service.requests_degraded") < pos("service.summary_cache_hits"));
+    assert!(pos("service.summary_cache_hits") < pos("service.summary_cache_misses"));
 }

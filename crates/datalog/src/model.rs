@@ -20,6 +20,7 @@ use std::rc::Rc;
 use rudoop_core::context::{CtxId, CtxTables, HCtxId};
 use rudoop_core::cutshortcut::{CutSummary, ParamCut};
 use rudoop_core::policy::{ContextPolicy, RefinementSet};
+use rudoop_core::summaries::{SummaryAtom, SummaryTable};
 use rudoop_ir::{
     AllocId, ClassHierarchy, FieldId, Instruction, InvokeId, InvokeKind, MethodId, Program, VarId,
 };
@@ -95,7 +96,7 @@ pub fn run_model(
     refined: &dyn ContextPolicy,
     refinement: &RefinementSet,
 ) -> Result<ModelResult, RuleError> {
-    run_model_with_cuts(program, hierarchy, default, refined, refinement, None)
+    run_model_extended(program, hierarchy, default, refined, refinement, None, None)
 }
 
 /// [`run_model`] with an optional cut-shortcut summary: cut parameters and
@@ -116,9 +117,49 @@ pub fn run_model_with_cuts(
     refinement: &RefinementSet,
     cuts: Option<&CutSummary>,
 ) -> Result<ModelResult, RuleError> {
+    run_model_extended(program, hierarchy, default, refined, refinement, cuts, None)
+}
+
+/// [`run_model`] with an optional bottom-up summary table: return edges of
+/// distilled methods are excluded from the interprocedural-assignment rules
+/// and replaced by the four summary-instantiation rules, mirroring the
+/// optimized solver's `summaries` flavor. Passing `None` (or a table with
+/// no distilled methods) leaves every rule's behavior unchanged.
+///
+/// # Errors
+///
+/// Propagates [`RuleError`] from rule construction (a bug, not an input
+/// condition — the rules are fixed).
+pub fn run_model_with_summaries(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    default: &dyn ContextPolicy,
+    refined: &dyn ContextPolicy,
+    refinement: &RefinementSet,
+    summaries: Option<&SummaryTable>,
+) -> Result<ModelResult, RuleError> {
+    run_model_extended(
+        program, hierarchy, default, refined, refinement, None, summaries,
+    )
+}
+
+/// The common body of the `run_model*` entry points. Cuts and summaries
+/// are mutually exclusive in practice (`Flavor::prepare_config` clears
+/// whichever the flavor does not use), but the installer composes them
+/// soundly either way: each mechanism cuts a disjoint rule premise.
+#[allow(clippy::too_many_arguments)]
+fn run_model_extended(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    default: &dyn ContextPolicy,
+    refined: &dyn ContextPolicy,
+    refinement: &RefinementSet,
+    cuts: Option<&CutSummary>,
+    summaries: Option<&SummaryTable>,
+) -> Result<ModelResult, RuleError> {
     let tables = Rc::new(RefCell::new(CtxTables::new()));
     let mut engine = Engine::new();
-    let rels = install_base_model_with_cuts(
+    let rels = install_base_model(
         &mut engine,
         &tables,
         program,
@@ -127,6 +168,7 @@ pub fn run_model_with_cuts(
         refined,
         refinement,
         cuts,
+        summaries,
     )?;
     let stats = engine.run()?;
     let mut result = extract_result(&engine, &rels, stats.rounds);
@@ -192,7 +234,7 @@ pub(crate) fn extract_result(engine: &Engine<'_>, rels: &BaseRels, rounds: u64) 
 /// and program facts on `engine`, returning the relation handles extension
 /// rule sets need.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn install_base_model_with_cuts<'a>(
+pub(crate) fn install_base_model<'a>(
     engine: &mut Engine<'a>,
     tables: &Rc<RefCell<CtxTables>>,
     program: &Program,
@@ -201,6 +243,7 @@ pub(crate) fn install_base_model_with_cuts<'a>(
     refined: &'a dyn ContextPolicy,
     refinement: &RefinementSet,
     cuts: Option<&CutSummary>,
+    summaries: Option<&SummaryTable>,
 ) -> Result<BaseRels, RuleError> {
     // ---- EDB relations (Figure 2's input relations) ----
     let alloc = engine.relation("ALLOC", 3); // var, heap, inMeth
@@ -231,6 +274,14 @@ pub(crate) fn install_base_model_with_cuts<'a>(
     let idparam = engine.relation("IDPARAM", 2); // meth, i — identity shortcut
     let setparam = engine.relation("SETPARAM", 3); // meth, i, fld — setter shortcut
     let getreturn = engine.relation("GETRETURN", 2); // meth, fld — getter shortcut
+
+    // ---- Summary EDB (empty unless a `SummaryTable` is supplied, in
+    // which case the bottom-up SCC pass dictates every tuple) ----
+    let sumret = engine.relation("SUMRET", 2); // invo, meth — ret edge summarized
+    let sumretparam = engine.relation("SUMRETPARAM", 3); // meth, srcMeth, i — ret = formal i of srcMeth
+    let sumretfield = engine.relation("SUMRETFIELD", 2); // meth, fld — ret = this.fld
+    let sumretalloc = engine.relation("SUMRETALLOC", 2); // meth, heap — ret = new heap
+    let sumretglobal = engine.relation("SUMRETGLOBAL", 2); // meth, glob — ret = global
 
     // ---- IDB relations (Figure 2's computed relations) ----
     let varpointsto = engine.relation("VARPOINTSTO", 4); // var, ctx, heap, hctx
@@ -322,7 +373,9 @@ pub(crate) fn install_base_model_with_cuts<'a>(
     )?;
     // INTERPROCASSIGN from returns — except getter returns at receiver
     // call sites (CUTRET is per (invo, meth): a baseless static call to a
-    // getter keeps its return edge, exactly as the solver does).
+    // getter keeps its return edge, exactly as the solver does) and
+    // except distilled returns (SUMRET), which the four summary rules
+    // below replace with caller-context-local instantiations.
     add(
         engine,
         RuleBuilder::new("interproc-ret")
@@ -331,6 +384,7 @@ pub(crate) fn install_base_model_with_cuts<'a>(
             .pos(formalreturn, &["meth", "from"])
             .pos(actualreturn, &["invo", "to"])
             .neg(cutret, &["invo", "meth"])
+            .neg(sumret, &["invo", "meth"])
             .build(),
     )?;
     // Cut-shortcut rules: each cut interprocedural flow is replaced by a
@@ -372,6 +426,65 @@ pub(crate) fn install_base_model_with_cuts<'a>(
             .pos(callbase, &["invo", "base"])
             .pos(varpointsto, &["base", "callerCtx", "baseH", "baseHCtx"])
             .pos(fldpointsto, &["baseH", "baseHCtx", "fld", "heap", "hctx"])
+            .build(),
+    )?;
+    // Summary-instantiation rules: a distilled callee's return edge is
+    // replaced by one rule per summary-atom kind, each expanding the atom
+    // at the call site. `ret = param i` reads the *formal* parameter of
+    // the method the atom names (the summarized callee or, for atoms
+    // inherited through composition, a transitive callee) — the union over
+    // all call sites, never this site's actual alone, so summaries stay no
+    // more precise than `2objH` where that flavor conflates sites — outer
+    // or inner; `ret = this.fld` loads the field through
+    // *this site's* receiver objects only (receiver calls — CALLBASE is
+    // empty for static sites, exactly as the solver skips baseless field
+    // atoms), which is where the precision over insensitivity comes from;
+    // `ret = new h` materializes the allocation under the empty heap
+    // context, matching what the all-empty `summaries` policy records;
+    // `ret = global g` reads the context-insensitive global slot.
+    add(
+        engine,
+        RuleBuilder::new("sum-ret-param")
+            .head(varpointsto, &["to", "callerCtx", "heap", "hctx"])
+            .pos(callgraph, &["invo", "callerCtx", "meth", "calleeCtx"])
+            .pos(sumretparam, &["meth", "srcMeth", "i"])
+            .pos(formalarg, &["srcMeth", "i", "from"])
+            .pos(actualreturn, &["invo", "to"])
+            // `calleeCtx` is sound for the source formal even when
+            // `srcMeth != meth`: the summaries policy is context-free, so
+            // every method runs under the single empty context.
+            .pos(varpointsto, &["from", "calleeCtx", "heap", "hctx"])
+            .build(),
+    )?;
+    add(
+        engine,
+        RuleBuilder::new("sum-ret-field")
+            .head(varpointsto, &["to", "callerCtx", "heap", "hctx"])
+            .pos(callgraph, &["invo", "callerCtx", "meth", "_"])
+            .pos(sumretfield, &["meth", "fld"])
+            .pos(actualreturn, &["invo", "to"])
+            .pos(callbase, &["invo", "base"])
+            .pos(varpointsto, &["base", "callerCtx", "baseH", "baseHCtx"])
+            .pos(fldpointsto, &["baseH", "baseHCtx", "fld", "heap", "hctx"])
+            .build(),
+    )?;
+    add(
+        engine,
+        RuleBuilder::new("sum-ret-alloc")
+            .head(varpointsto, &["to", "callerCtx", "heap", "#0"])
+            .pos(callgraph, &["invo", "callerCtx", "meth", "_"])
+            .pos(sumretalloc, &["meth", "heap"])
+            .pos(actualreturn, &["invo", "to"])
+            .build(),
+    )?;
+    add(
+        engine,
+        RuleBuilder::new("sum-ret-global")
+            .head(varpointsto, &["to", "callerCtx", "heap", "hctx"])
+            .pos(callgraph, &["invo", "callerCtx", "meth", "_"])
+            .pos(sumretglobal, &["meth", "glob"])
+            .pos(actualreturn, &["invo", "to"])
+            .pos(globalpointsto, &["glob", "heap", "hctx"])
             .build(),
     )?;
     // ALLOC, default context.
@@ -638,6 +751,62 @@ pub(crate) fn install_base_model_with_cuts<'a>(
             }
             if let Some(field) = cuts.getter_return(mid) {
                 engine.fact(getreturn, &[mid.0, field.0]);
+            }
+        }
+    }
+
+    // ---- Summary facts from the bottom-up SCC pass ----
+    if let Some(table) = summaries {
+        for (iid, inv) in program.invokes.iter() {
+            match inv.kind {
+                InvokeKind::Virtual { base, sig } => {
+                    engine.fact(callbase, &[iid.0, base.0]);
+                    // SUMRET pairs a call site with each plausible
+                    // distilled target (same-signature methods are exactly
+                    // the dispatch range, mirroring SITETOREFINE's filter);
+                    // pairs outside CALLGRAPH never meet a rule.
+                    for (mid, method) in program.methods.iter() {
+                        if method.sig == sig && table.distilled_atoms(mid).is_some() {
+                            engine.fact(sumret, &[iid.0, mid.0]);
+                        }
+                    }
+                }
+                InvokeKind::Special { base, target } => {
+                    engine.fact(callbase, &[iid.0, base.0]);
+                    if table.distilled_atoms(target).is_some() {
+                        engine.fact(sumret, &[iid.0, target.0]);
+                    }
+                }
+                // Unlike CUTRET, static sites do get SUMRET tuples: the
+                // solver instantiates summaries at every call edge, with
+                // only the receiver-field atoms skipped for baseless
+                // sites (CALLBASE stays empty for them).
+                InvokeKind::Static { target } => {
+                    if table.distilled_atoms(target).is_some() {
+                        engine.fact(sumret, &[iid.0, target.0]);
+                    }
+                }
+            }
+        }
+        for mid in program.methods.ids() {
+            let Some(atoms) = table.distilled_atoms(mid) else {
+                continue;
+            };
+            for atom in atoms {
+                match *atom {
+                    SummaryAtom::ParamToRet(src, i) => {
+                        engine.fact(sumretparam, &[mid.0, src.0, i as Value]);
+                    }
+                    SummaryAtom::ThisFieldToRet(field) => {
+                        engine.fact(sumretfield, &[mid.0, field.0]);
+                    }
+                    SummaryAtom::AllocToRet(heap) => {
+                        engine.fact(sumretalloc, &[mid.0, heap.0]);
+                    }
+                    SummaryAtom::GlobalToRet(glob) => {
+                        engine.fact(sumretglobal, &[mid.0, glob.0]);
+                    }
+                }
             }
         }
     }

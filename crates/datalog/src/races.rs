@@ -42,7 +42,7 @@ use rudoop_ir::{
 };
 
 use crate::engine::Engine;
-use crate::model::install_base_model_with_cuts;
+use crate::model::install_base_model;
 use crate::rule::{RuleBuilder, RuleError};
 
 /// The race relations computed by [`run_race_model`].
@@ -93,9 +93,44 @@ pub fn run_race_model_with_cuts(
     refinement: &RefinementSet,
     cuts: Option<&rudoop_core::cutshortcut::CutSummary>,
 ) -> Result<RaceModelResult, RuleError> {
+    run_race_model_extended(program, hierarchy, default, refined, refinement, cuts, None)
+}
+
+/// [`run_race_model`] over the summary-instantiating base model (see
+/// [`crate::model::run_model_with_summaries`]). The EXEC and race rules
+/// are untouched; summaries reach the race set only through the base
+/// model's `VARPOINTSTO`/`CALLGRAPH` relations.
+///
+/// # Errors
+///
+/// Propagates [`RuleError`] from rule construction (a bug, not an input
+/// condition — the rules are fixed).
+pub fn run_race_model_with_summaries(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    default: &dyn ContextPolicy,
+    refined: &dyn ContextPolicy,
+    refinement: &RefinementSet,
+    summaries: Option<&rudoop_core::summaries::SummaryTable>,
+) -> Result<RaceModelResult, RuleError> {
+    run_race_model_extended(
+        program, hierarchy, default, refined, refinement, None, summaries,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_race_model_extended(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    default: &dyn ContextPolicy,
+    refined: &dyn ContextPolicy,
+    refinement: &RefinementSet,
+    cuts: Option<&rudoop_core::cutshortcut::CutSummary>,
+    summaries: Option<&rudoop_core::summaries::SummaryTable>,
+) -> Result<RaceModelResult, RuleError> {
     let tables = Rc::new(RefCell::new(CtxTables::new()));
     let mut engine = Engine::new();
-    let base = install_base_model_with_cuts(
+    let base = install_base_model(
         &mut engine,
         &tables,
         program,
@@ -104,6 +139,7 @@ pub fn run_race_model_with_cuts(
         refined,
         refinement,
         cuts,
+        summaries,
     )?;
 
     // ---- Concurrency EDB ----

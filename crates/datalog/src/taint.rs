@@ -45,7 +45,7 @@ use rudoop_core::policy::{ContextPolicy, RefinementSet};
 use rudoop_ir::{ClassHierarchy, InvokeId, Program, TaintSpec};
 
 use crate::engine::Engine;
-use crate::model::install_base_model_with_cuts;
+use crate::model::install_base_model;
 use crate::rule::{RuleBuilder, RuleError};
 
 /// The taint relations computed by [`run_taint_model`].
@@ -99,9 +99,50 @@ pub fn run_taint_model_with_cuts(
     refinement: &RefinementSet,
     cuts: Option<&rudoop_core::cutshortcut::CutSummary>,
 ) -> Result<TaintModelResult, RuleError> {
+    run_taint_model_extended(
+        program, hierarchy, spec, default, refined, refinement, cuts, None,
+    )
+}
+
+/// [`run_taint_model`] over the summary-instantiating base model (see
+/// [`crate::model::run_model_with_summaries`]). The taint rules themselves
+/// are untouched — they propagate through `CALLGRAPH`/`FORMALARG`
+/// directly, so summaries only affect them via the base model's
+/// `VARPOINTSTO`, exactly like the optimized taint client.
+///
+/// # Errors
+///
+/// Propagates [`RuleError`] from rule construction (a bug, not an input
+/// condition — the rules are fixed).
+#[allow(clippy::too_many_arguments)]
+pub fn run_taint_model_with_summaries(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    spec: &TaintSpec,
+    default: &dyn ContextPolicy,
+    refined: &dyn ContextPolicy,
+    refinement: &RefinementSet,
+    summaries: Option<&rudoop_core::summaries::SummaryTable>,
+) -> Result<TaintModelResult, RuleError> {
+    run_taint_model_extended(
+        program, hierarchy, spec, default, refined, refinement, None, summaries,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_taint_model_extended(
+    program: &Program,
+    hierarchy: &ClassHierarchy,
+    spec: &TaintSpec,
+    default: &dyn ContextPolicy,
+    refined: &dyn ContextPolicy,
+    refinement: &RefinementSet,
+    cuts: Option<&rudoop_core::cutshortcut::CutSummary>,
+    summaries: Option<&rudoop_core::summaries::SummaryTable>,
+) -> Result<TaintModelResult, RuleError> {
     let tables = Rc::new(RefCell::new(CtxTables::new()));
     let mut engine = Engine::new();
-    let base = install_base_model_with_cuts(
+    let base = install_base_model(
         &mut engine,
         &tables,
         program,
@@ -110,6 +151,7 @@ pub fn run_taint_model_with_cuts(
         refined,
         refinement,
         cuts,
+        summaries,
     )?;
 
     // ---- Taint EDB ----

@@ -49,6 +49,7 @@ pub mod hierarchy;
 pub mod ids;
 pub mod program;
 pub mod rng;
+pub mod scc;
 pub mod span;
 pub mod taint;
 pub mod text;
@@ -62,6 +63,7 @@ pub use program::{
     AllocSite, CastSite, Class, Field, Global, Instruction, Invoke, InvokeKind, Method, Program,
     Signature, Var,
 };
+pub use scc::{naive_components, SccDag, StaticCallGraph};
 pub use span::Span;
 pub use taint::{TaintSpec, TaintSpecError};
 pub use text::{parse_program, print_program, ParseError};

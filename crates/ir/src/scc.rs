@@ -1,0 +1,373 @@
+//! Call-graph condensation: the method SCC DAG of a program.
+//!
+//! The summary-based compositional engine (`rudoop-core`'s `summaries`
+//! module) schedules its bottom-up pass over the strongly connected
+//! components of a *static* call graph: a conservative CHA
+//! over-approximation of every call graph any points-to analysis can
+//! discover. Virtual sites contribute an edge to every implementation of
+//! the called signature anywhere in the hierarchy; special and static
+//! sites contribute their one resolved target. Over-approximation is safe
+//! here — an extra edge only merges schedule units, it never lets a callee
+//! be summarized after a caller that needs it.
+//!
+//! Everything in this module is deterministic: callee lists are sorted and
+//! deduplicated, Tarjan's algorithm runs iteratively over methods in table
+//! order, and component ids are emitted callees-first — so component `0`
+//! has no callees outside itself and iterating components in id order *is*
+//! the reverse-topological (bottom-up) schedule. [`SccDag::levels`]
+//! additionally groups components into antichains for deterministic
+//! parallel scheduling: two components in one level never call each other.
+
+use crate::hierarchy::ClassHierarchy;
+use crate::ids::{IdxVec, MethodId};
+use crate::program::{InvokeKind, Program};
+
+/// The conservative (CHA) static call graph: per method, its possible
+/// callees, sorted and deduplicated.
+#[derive(Debug, Clone)]
+pub struct StaticCallGraph {
+    /// Callees of each method (sorted, deduplicated).
+    pub callees: IdxVec<MethodId, Vec<MethodId>>,
+    /// Total edges, for stats.
+    pub edge_count: usize,
+}
+
+impl StaticCallGraph {
+    /// Builds the CHA call graph of `program`: virtual sites resolve to
+    /// every implementation of their signature in the hierarchy, special
+    /// and static sites to their single target.
+    pub fn build(program: &Program, hierarchy: &ClassHierarchy) -> StaticCallGraph {
+        let mut callees: IdxVec<MethodId, Vec<MethodId>> =
+            (0..program.methods.len()).map(|_| Vec::new()).collect();
+        for inv in program.invokes.values() {
+            let out = &mut callees[inv.method];
+            match inv.kind {
+                InvokeKind::Virtual { sig, .. } => {
+                    // Every class's dispatch answer for the signature, in
+                    // class-table order (the per-class maps are hash maps,
+                    // so never iterate them — query per class instead).
+                    for (cid, _) in program.classes.iter() {
+                        if let Some(target) = hierarchy.lookup(cid, sig) {
+                            out.push(target);
+                        }
+                    }
+                }
+                InvokeKind::Special { target, .. } | InvokeKind::Static { target } => {
+                    out.push(target);
+                }
+            }
+        }
+        let mut edge_count = 0;
+        for out in callees.values_mut() {
+            out.sort_unstable();
+            out.dedup();
+            edge_count += out.len();
+        }
+        StaticCallGraph {
+            callees,
+            edge_count,
+        }
+    }
+}
+
+/// The condensation of the static call graph: methods grouped into
+/// strongly connected components, with component ids numbered in
+/// reverse-topological (callees-first) order.
+#[derive(Debug, Clone)]
+pub struct SccDag {
+    /// Component of each method.
+    pub component: IdxVec<MethodId, u32>,
+    /// Members of each component, sorted by method id. Indexing by
+    /// component id in ascending order visits callees before callers.
+    pub members: Vec<Vec<MethodId>>,
+    /// Callee components of each component (sorted, deduplicated,
+    /// self-edges removed). Acyclic by construction.
+    pub callee_comps: Vec<Vec<u32>>,
+    /// Whether each component contains a cycle: more than one member, or a
+    /// single member that calls itself.
+    pub cyclic: Vec<bool>,
+    /// Antichain levels for parallel scheduling: `levels[0]` holds every
+    /// leaf component, `levels[l]` the components whose deepest callee
+    /// chain has length `l`. Components within one level are pairwise
+    /// independent (no call edges either way), so a parallel scheduler may
+    /// run each level's components concurrently, levels in order.
+    pub levels: Vec<Vec<u32>>,
+}
+
+impl SccDag {
+    /// Condenses the CHA call graph of `program`.
+    pub fn build(program: &Program, hierarchy: &ClassHierarchy) -> SccDag {
+        SccDag::from_graph(&StaticCallGraph::build(program, hierarchy))
+    }
+
+    /// Condenses an explicit call graph (exposed for property tests that
+    /// compare against the naive reference on arbitrary graphs).
+    pub fn from_graph(graph: &StaticCallGraph) -> SccDag {
+        let n = graph.callees.len();
+        let mut component: IdxVec<MethodId, u32> = (0..n).map(|_| u32::MAX).collect();
+        let mut members: Vec<Vec<MethodId>> = Vec::new();
+
+        // Iterative Tarjan. Methods are visited in table order, so indices,
+        // lowlinks, and the emission order of components are all pure
+        // functions of the graph. With edges pointing caller → callee, a
+        // component is emitted only after every component it reaches, so
+        // emission order is exactly the bottom-up schedule.
+        const UNVISITED: u32 = u32::MAX;
+        let mut index: Vec<u32> = vec![UNVISITED; n];
+        let mut lowlink: Vec<u32> = vec![0; n];
+        let mut on_stack: Vec<bool> = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        // Call-stack frames: (node, cursor into its callee list).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+
+        for start in 0..n as u32 {
+            if index[start as usize] != UNVISITED {
+                continue;
+            }
+            frames.push((start, 0));
+            index[start as usize] = next_index;
+            lowlink[start as usize] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+            while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+                let out = &graph.callees[MethodId(v)];
+                if *cursor < out.len() {
+                    let w = out[*cursor].0;
+                    *cursor += 1;
+                    if index[w as usize] == UNVISITED {
+                        index[w as usize] = next_index;
+                        lowlink[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        lowlink[parent as usize] =
+                            lowlink[parent as usize].min(lowlink[v as usize]);
+                    }
+                    if lowlink[v as usize] == index[v as usize] {
+                        // v is the root of a component: pop it off.
+                        let comp_id = members.len() as u32;
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("Tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            component[MethodId(w)] = comp_id;
+                            comp.push(MethodId(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        members.push(comp);
+                    }
+                }
+            }
+        }
+
+        // Condensed edges and cyclicity.
+        let ncomp = members.len();
+        let mut callee_comps: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
+        let mut cyclic: Vec<bool> = members.iter().map(|m| m.len() > 1).collect();
+        for (comp_id, comp) in members.iter().enumerate() {
+            for &m in comp {
+                for &callee in &graph.callees[m] {
+                    let cc = component[callee];
+                    if cc as usize == comp_id {
+                        cyclic[comp_id] = true;
+                    } else {
+                        callee_comps[comp_id].push(cc);
+                    }
+                }
+            }
+            callee_comps[comp_id].sort_unstable();
+            callee_comps[comp_id].dedup();
+        }
+
+        // Antichain levels: level(c) = 1 + max level of its callees.
+        // Components are already reverse-topological, so one ascending pass
+        // sees every callee before its callers.
+        let mut level: Vec<u32> = vec![0; ncomp];
+        let mut max_level = 0u32;
+        for c in 0..ncomp {
+            let l = callee_comps[c]
+                .iter()
+                .map(|&cc| level[cc as usize] + 1)
+                .max()
+                .unwrap_or(0);
+            level[c] = l;
+            max_level = max_level.max(l);
+        }
+        let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_level as usize + 1];
+        for (c, &l) in level.iter().enumerate() {
+            levels[l as usize].push(c as u32);
+        }
+
+        SccDag {
+            component,
+            members,
+            callee_comps,
+            cyclic,
+            levels,
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the program has no methods at all.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Component ids in bottom-up (reverse-topological) order — by
+    /// construction simply `0..len()`.
+    pub fn bottom_up(&self) -> impl Iterator<Item = u32> + '_ {
+        0..self.len() as u32
+    }
+}
+
+/// Naive reference SCC computation: two methods share a component iff each
+/// reaches the other through call edges (every method reaches itself).
+/// Quadratic; exists only so property tests can check [`SccDag`]'s
+/// membership against an implementation with no shared code.
+pub fn naive_components(graph: &StaticCallGraph) -> Vec<Vec<MethodId>> {
+    let n = graph.callees.len();
+    let reach = |from: MethodId| -> Vec<bool> {
+        let mut seen = vec![false; n];
+        seen[from.0 as usize] = true;
+        let mut work = vec![from];
+        while let Some(v) = work.pop() {
+            for &w in &graph.callees[v] {
+                if !seen[w.0 as usize] {
+                    seen[w.0 as usize] = true;
+                    work.push(w);
+                }
+            }
+        }
+        seen
+    };
+    let reaches: Vec<Vec<bool>> = (0..n).map(|i| reach(MethodId(i as u32))).collect();
+    let mut assigned = vec![false; n];
+    let mut comps = Vec::new();
+    for i in 0..n {
+        if assigned[i] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        for j in i..n {
+            if !assigned[j] && reaches[i][j] && reaches[j][i] {
+                assigned[j] = true;
+                comp.push(MethodId(j as u32));
+            }
+        }
+        comps.push(comp);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    /// main → a ⇄ b → c, with c a leaf.
+    fn cyclic_fixture() -> (Program, [MethodId; 4]) {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let a = b.method(obj, "a", &[], true);
+        let bm = b.method(obj, "b", &[], true);
+        let c = b.method(obj, "c", &[], true);
+        let main = b.method(obj, "main", &[], true);
+        b.scall(main, None, a, &[]);
+        b.scall(a, None, bm, &[]);
+        b.scall(bm, None, a, &[]);
+        b.scall(bm, None, c, &[]);
+        b.entry(main);
+        (b.finish(), [main, a, bm, c])
+    }
+
+    #[test]
+    fn mutual_recursion_condenses_to_one_component() {
+        let (p, [main, a, bm, c]) = cyclic_fixture();
+        let h = ClassHierarchy::new(&p);
+        let dag = SccDag::build(&p, &h);
+        assert_eq!(dag.component[a], dag.component[bm]);
+        assert_ne!(dag.component[a], dag.component[c]);
+        assert_ne!(dag.component[a], dag.component[main]);
+        assert!(dag.cyclic[dag.component[a] as usize]);
+        assert!(!dag.cyclic[dag.component[c] as usize]);
+        // Bottom-up: c before {a,b} before main.
+        assert!(dag.component[c] < dag.component[a]);
+        assert!(dag.component[a] < dag.component[main]);
+    }
+
+    #[test]
+    fn self_call_is_cyclic_singleton() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let f = b.method(obj, "f", &[], true);
+        b.scall(f, None, f, &[]);
+        b.entry(f);
+        let p = b.finish();
+        let h = ClassHierarchy::new(&p);
+        let dag = SccDag::build(&p, &h);
+        assert_eq!(dag.len(), 1);
+        assert!(dag.cyclic[0]);
+    }
+
+    #[test]
+    fn virtual_sites_edge_to_every_override() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.class("Object", None);
+        let a = b.class("A", Some(obj));
+        let bb = b.class("B", Some(a));
+        let fa = b.method(a, "f", &[], false);
+        let fb = b.method(bb, "f", &[], false);
+        let main = b.method(obj, "main", &[], true);
+        let x = b.var(main, "x");
+        b.alloc(main, x, a);
+        b.vcall(main, None, x, "f", &[]);
+        b.entry(main);
+        let p = b.finish();
+        let h = ClassHierarchy::new(&p);
+        let g = StaticCallGraph::build(&p, &h);
+        assert_eq!(g.callees[main], vec![fa, fb]);
+    }
+
+    #[test]
+    fn levels_are_antichains() {
+        let (p, _) = cyclic_fixture();
+        let h = ClassHierarchy::new(&p);
+        let dag = SccDag::build(&p, &h);
+        for level in &dag.levels {
+            for &c in level {
+                for &cc in &dag.callee_comps[c as usize] {
+                    assert!(!level.contains(&cc), "call edge within one level");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_reference_agrees_on_fixture() {
+        let (p, _) = cyclic_fixture();
+        let h = ClassHierarchy::new(&p);
+        let g = StaticCallGraph::build(&p, &h);
+        let dag = SccDag::from_graph(&g);
+        let mut tarjan: Vec<Vec<MethodId>> = dag.members.clone();
+        tarjan.sort();
+        let mut naive = naive_components(&g);
+        naive.sort();
+        assert_eq!(tarjan, naive);
+    }
+}

@@ -1,0 +1,170 @@
+//! Summary-engine head-to-head benchmark: wall-clock, derivation count,
+//! and the three precision clients for `insens`, `cutshortcut`,
+//! `summaries`, `2objH`, and the two introspective mixes on all nine
+//! DaCapo-shaped workloads (plus one scaled clone), written to
+//! `BENCH_summaries.json`.
+//!
+//! Run with: `cargo run --release --example bench_summaries [out.json]`
+//!
+//! The point of the file is the paper-style comparison: how does the
+//! bottom-up compositional engine (distill once, instantiate per call
+//! site) stack up against both context cloning (`2objH`, introspective
+//! mixes) and the flow-graph cuts (`cutshortcut`) on cost and precision?
+//! `host_cpus` records the honest host capacity; every run here is
+//! sequential, so the timings compare algorithms, not schedulers.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rudoop::analysis::clients::PrecisionMetrics;
+use rudoop::analysis::driver::{analyze_flavor, analyze_introspective, Flavor};
+use rudoop::analysis::heuristics::{HeuristicA, HeuristicB};
+use rudoop::analysis::solver::SolverConfig;
+use rudoop::analysis::summaries::SummaryTable;
+use rudoop::ir::ClassHierarchy;
+use rudoop::workloads::dacapo;
+
+struct Run {
+    workload: String,
+    scale: usize,
+    flavor: &'static str,
+    seconds: f64,
+    derivations: u64,
+    poly_sites: usize,
+    reachable_methods: usize,
+    casts_may_fail: usize,
+    distilled: Option<usize>,
+    atoms: Option<usize>,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_summaries.json".to_owned());
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut runs: Vec<Run> = Vec::new();
+
+    let mut cases: Vec<(rudoop::workloads::WorkloadSpec, usize)> =
+        dacapo::all_nine().into_iter().map(|s| (s, 1)).collect();
+    cases.push((
+        {
+            let mut s = dacapo::jython();
+            s.scale = 2;
+            s
+        },
+        2,
+    ));
+
+    for (spec, scale) in cases {
+        let program = spec.build();
+        let hierarchy = ClassHierarchy::new(&program);
+        let config = SolverConfig::default();
+        for flavor_name in [
+            "insens",
+            "cutshortcut",
+            "summaries",
+            "2objH",
+            "introA",
+            "introB",
+        ] {
+            let start = Instant::now();
+            let result = match flavor_name {
+                "introA" => {
+                    analyze_introspective(
+                        &program,
+                        &hierarchy,
+                        Flavor::OBJ2H,
+                        &HeuristicA::default(),
+                        &config,
+                    )
+                    .result
+                }
+                "introB" => {
+                    analyze_introspective(
+                        &program,
+                        &hierarchy,
+                        Flavor::OBJ2H,
+                        &HeuristicB::default(),
+                        &config,
+                    )
+                    .result
+                }
+                name => {
+                    let flavor = Flavor::parse(name).expect("known flavor");
+                    analyze_flavor(&program, &hierarchy, flavor, &config)
+                }
+            };
+            let seconds = start.elapsed().as_secs_f64();
+            assert!(
+                result.outcome.is_complete(),
+                "{}/{flavor_name} must complete",
+                spec.name
+            );
+            let metrics = PrecisionMetrics::compute(&program, &hierarchy, &result);
+            let table_stats = (flavor_name == "summaries")
+                .then(|| SummaryTable::compute(&program, &hierarchy).stats);
+            println!(
+                "{:<10} scale={} {:<11}  {:>8.3}s  {:>10} derivations  poly={:<4} reach={:<5} casts={}",
+                spec.name,
+                scale,
+                flavor_name,
+                seconds,
+                result.stats.derivations,
+                metrics.polymorphic_call_sites,
+                metrics.reachable_methods,
+                metrics.casts_may_fail,
+            );
+            runs.push(Run {
+                workload: spec.name.clone(),
+                scale,
+                flavor: flavor_name,
+                seconds,
+                derivations: result.stats.derivations,
+                poly_sites: metrics.polymorphic_call_sites,
+                reachable_methods: metrics.reachable_methods,
+                casts_may_fail: metrics.casts_may_fail,
+                distilled: table_stats.map(|s| s.distilled),
+                atoms: table_stats.map(|s| s.atoms()),
+            });
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"wall-clock of a single sequential iteration per configuration \
+         (the summaries time includes its bottom-up pre-analysis pass); introA/introB \
+         are the two-pass introspective 2objH variants (their time includes the shared \
+         insensitive first pass); distilled/atoms are the summary pass's table sizes\","
+    );
+    json.push_str("  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let distilled = r.distilled.map_or("null".to_owned(), |x| x.to_string());
+        let atoms = r.atoms.map_or("null".to_owned(), |x| x.to_string());
+        let _ = write!(
+            json,
+            "\n    {{\"workload\":\"{}\",\"scale\":{},\"flavor\":\"{}\",\"seconds\":{:.4},\
+             \"derivations\":{},\"poly_sites\":{},\"reachable_methods\":{},\
+             \"casts_may_fail\":{},\"distilled\":{},\"atoms\":{}}}",
+            r.workload,
+            r.scale,
+            r.flavor,
+            r.seconds,
+            r.derivations,
+            r.poly_sites,
+            r.reachable_methods,
+            r.casts_may_fail,
+            distilled,
+            atoms
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("\nwrote {out_path}");
+}

@@ -9,8 +9,9 @@
 //!
 //! options:
 //!   --analysis <name>    points-to policy backing the tier-2 lints:
-//!                        insens | cutshortcut | 1call | 2callH | 1objH |
-//!                        2objH | 2typeH | S2objH    (default: insens)
+//!                        insens | cutshortcut | summaries | 1call |
+//!                        2callH | 1objH | 2objH | 2typeH | S2objH
+//!                        (default: insens)
 //!   --no-points-to       skip the analysis; run only tier-1 lints
 //!   --timeout <secs>     wall-clock deadline for the backing analysis
 //!                        (watchdog-cancelled). If it fires, tier-2 lints

@@ -7,8 +7,9 @@
 //!   @<name>              a built-in DaCapo-shaped benchmark (e.g. @pmd)
 //!
 //! options:
-//!   --analysis <name>    insens | cutshortcut | 1call | 2callH | 1objH |
-//!                        2objH | 2typeH | S2objH    (default: 2objH)
+//!   --analysis <name>    insens | cutshortcut | summaries | 1call |
+//!                        2callH | 1objH | 2objH | 2typeH | S2objH
+//!                        (default: 2objH)
 //!   --introspective <h>  A | B — run the two-pass introspective variant
 //!   --ladder <spec>      run a degradation ladder (comma-separated rungs,
 //!                        e.g. 2objH,introB:2objH,insens; `default`; or a
@@ -595,6 +596,7 @@ fn run_taint(
         solver,
         watchdog: opts.timeout.is_some(),
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let tele = cfg.solver.telemetry.clone();
     let run = supervise(program, hierarchy, &cfg);
@@ -637,6 +639,7 @@ fn run_races(
         solver,
         watchdog: opts.timeout.is_some(),
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let tele = cfg.solver.telemetry.clone();
     let run = supervise(program, hierarchy, &cfg);
@@ -668,6 +671,7 @@ fn run_ladder(
         solver,
         watchdog: opts.timeout.is_some(),
         warm_first_pass: None,
+        warm_summaries: None,
     };
     let run = supervise(program, hierarchy, &cfg);
     eprint!("{}", render_supervised(&run));

@@ -28,7 +28,10 @@
 //!
 //! The daemon loads and interns the program once, warms the insensitive
 //! first pass, and serves queries over a length-prefixed JSON protocol
-//! on TCP localhost. Every request runs under the supervisor's
+//! on TCP localhost. The first query whose ladder contains a `summaries`
+//! rung additionally computes and caches the bottom-up summary table —
+//! the warm *context-sensitive* artifact — so repeated summaries queries
+//! skip the pre-analysis (observable as `service.summary_cache_hits`). Every request runs under the supervisor's
 //! degradation ladder with its own budget and a cancel token wired to
 //! client disconnect; responses carry the 0/3/4 verdict as a
 //! `complete|degraded|exhausted` status and a document byte-identical
@@ -272,7 +275,8 @@ fn main() -> ExitCode {
         }
     }
     eprintln!(
-        "rudoopd: listening on {addr} ({}, warm first pass: {})",
+        "rudoopd: listening on {addr} ({}, warm first pass: {}; \
+         summary table cached lazily on the first `summaries` query)",
         opts.input,
         if warm { "ready" } else { "unavailable" },
     );
